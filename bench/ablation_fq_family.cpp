@@ -1,0 +1,99 @@
+// Ablation: which fair scheduler backs the FairQueue recombination?
+//
+// The paper says "a proportional share bandwidth allocator (like WF2Q, SFQ,
+// pClock)".  This bench runs the same decomposed WebSearch workload under
+// all three src/fq implementations (plus a weight-ratio sweep for SFQ) and
+// compares both classes' distributions — showing the recombination is robust
+// to the choice, with small tail differences.
+#include <cstdio>
+#include <memory>
+
+#include "analysis/response_stats.h"
+#include "core/capacity.h"
+#include "core/fairqueue.h"
+#include "fq/drr.h"
+#include "fq/pclock.h"
+#include "fq/sfq.h"
+#include "fq/wf2q.h"
+#include "fq/wfq.h"
+#include "sim/simulator.h"
+#include "trace/presets.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qos;
+
+std::unique_ptr<FairScheduler> make_fq(const std::string& kind, double w1,
+                                       double w2, Time delta) {
+  if (kind == "SFQ")
+    return std::make_unique<SfqScheduler>(std::vector<double>{w1, w2});
+  if (kind == "WF2Q+")
+    return std::make_unique<Wf2qPlusScheduler>(std::vector<double>{w1, w2});
+  if (kind == "WFQ")
+    return std::make_unique<WfqScheduler>(std::vector<double>{w1, w2});
+  if (kind == "DRR")
+    return std::make_unique<DrrScheduler>(std::vector<double>{w1, w2},
+                                          1.0 / w2);
+  // pClock: Q1's envelope matches its RTT reservation — burst allowance of
+  // one full primary queue (Cmin * delta slots) at rate Cmin; Q2 a loose
+  // envelope.
+  std::vector<PClockSla> slas = {
+      PClockSla{.sigma = w1 * to_sec(delta), .rho = w1, .delta = delta},
+      PClockSla{.sigma = 1, .rho = w2, .delta = 10 * delta}};
+  return std::make_unique<PClockScheduler>(slas);
+}
+
+void run() {
+  const Time delta = from_ms(50);
+  const Trace trace = preset_trace(Workload::kWebSearch, 1800 * kUsPerSec);
+  const double cmin = min_capacity(trace, 0.90, delta).cmin_iops;
+  const double dc = overflow_headroom_iops(delta);
+
+  std::printf("workload WS, Cmin(90%%, 50 ms) = %.0f IOPS, dC = %.0f\n\n",
+              cmin, dc);
+  AsciiTable table;
+  table.add("Scheduler", "Q1 within 50ms", "Q2 mean (ms)", "Q2 p99 (ms)",
+            "all within 50ms");
+  for (const char* kind : {"SFQ", "WFQ", "WF2Q+", "DRR", "pClock"}) {
+    FairQueueScheduler fq(cmin, delta, dc, make_fq(kind, cmin, dc, delta));
+    ConstantRateServer server(cmin + dc);
+    SimResult sim = simulate(trace, fq, server);
+    ResponseStats q1(sim.completions, ServiceClass::kPrimary);
+    ResponseStats q2(sim.completions, ServiceClass::kOverflow);
+    ResponseStats all(sim.completions);
+    table.add(kind, format_double(100 * q1.fraction_within(delta), 2) + "%",
+              q2.empty() ? "-" : format_double(q2.mean_us() / 1000.0, 1),
+              q2.empty() ? "-"
+                         : format_double(to_ms(q2.percentile(0.99)), 0),
+              format_double(100 * all.fraction_within(delta), 2) + "%");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Weight-ratio sweep for SFQ: more overflow weight helps Q2 but starts to
+  // squeeze Q1's reservation once it exceeds dC.
+  std::printf("SFQ weight-ratio sweep (server capacity fixed at Cmin+dC):\n");
+  AsciiTable sweep;
+  sweep.add("Q1:Q2 weight", "Q1 within 50ms", "Q2 mean (ms)");
+  for (double ratio : {32.0, 16.0, 8.0, 4.0, 2.0}) {
+    auto sfq = std::make_unique<SfqScheduler>(
+        std::vector<double>{ratio, 1.0});
+    FairQueueScheduler fq(cmin, delta, dc, std::move(sfq));
+    ConstantRateServer server(cmin + dc);
+    SimResult sim = simulate(trace, fq, server);
+    ResponseStats q1(sim.completions, ServiceClass::kPrimary);
+    ResponseStats q2(sim.completions, ServiceClass::kOverflow);
+    sweep.add(format_double(ratio, 0) + ":1",
+              format_double(100 * q1.fraction_within(delta), 2) + "%",
+              q2.empty() ? "-" : format_double(q2.mean_us() / 1000.0, 1));
+  }
+  std::printf("%s", sweep.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: fair-scheduler family behind FairQueue\n\n");
+  run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Figure 6: performance comparison of FCFS, Split, FairQueue and
+// Miser on the WebSearch workload at equal total capacity Cmin + dC.
+//
+//   (a) histogram buckets (<=50 / <=100 / <=500 / <=1000 / >1000 ms) for the
+//       target (90%, 50 ms);
+//   (b) the same for (95%, 50 ms);
+//   (c) overflow-class (Q2) average and maximum response time of Miser
+//       normalized to FairQueue (paper: ~0.85-0.90).
+#include <cstdio>
+
+#include "analysis/response_stats.h"
+#include "core/capacity.h"
+#include "core/shaper.h"
+#include "trace/presets.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qos;
+
+constexpr Policy kPolicies[] = {Policy::kFcfs, Policy::kSplit,
+                                Policy::kFairQueue, Policy::kMiser};
+
+void run_panel(const Trace& trace, double fraction, Time delta) {
+  const double cmin = min_capacity(trace, fraction, delta).cmin_iops;
+  const double dc = overflow_headroom_iops(delta);
+  std::printf("-- Target: (%.0f%%, %.0f ms), capacity %.0f+%.0f IOPS --\n",
+              100 * fraction, to_ms(delta), cmin, dc);
+  AsciiTable table;
+  table.add("Scheduler", "<=50ms", "<=100ms", "<=500ms", "<=1000ms",
+            ">1000ms", "max (ms)");
+  for (Policy p : kPolicies) {
+    ShapingConfig config;
+    config.policy = p;
+    config.fraction = fraction;
+    config.delta = delta;
+    config.capacity_override_iops = cmin;
+    ShapingOutcome out = shape_and_run(trace, config);
+    ResponseStats stats(out.sim.completions);
+    const auto b = stats.paper_buckets();
+    table.add(policy_name(p), format_double(100 * b.le_50, 1) + "%",
+              format_double(100 * b.le_100, 1) + "%",
+              format_double(100 * b.le_500, 1) + "%",
+              format_double(100 * b.le_1000, 1) + "%",
+              format_double(100 * b.gt_1000, 1) + "%",
+              format_double(to_ms(stats.max()), 0));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void run_q2_comparison(const Trace& trace, Time delta) {
+  std::printf(
+      "-- Figure 6(c): Q2 performance, Miser normalized to FairQueue --\n");
+  AsciiTable table;
+  table.add("Target %", "FQ avg (ms)", "Miser avg (ms)", "avg ratio",
+            "FQ max (ms)", "Miser max (ms)", "max ratio");
+  for (double fraction : {0.90, 0.95}) {
+    const double cmin = min_capacity(trace, fraction, delta).cmin_iops;
+    ShapingConfig config;
+    config.fraction = fraction;
+    config.delta = delta;
+    config.capacity_override_iops = cmin;
+
+    config.policy = Policy::kFairQueue;
+    ResponseStats fq(shape_and_run(trace, config).sim.completions,
+                     ServiceClass::kOverflow);
+    config.policy = Policy::kMiser;
+    ResponseStats miser(shape_and_run(trace, config).sim.completions,
+                        ServiceClass::kOverflow);
+    if (fq.empty() || miser.empty()) {
+      std::printf("  (no overflow requests at fraction %.2f)\n", fraction);
+      continue;
+    }
+    table.add(format_double(100 * fraction, 0),
+              format_double(to_ms(static_cast<Time>(fq.mean_us())), 1),
+              format_double(to_ms(static_cast<Time>(miser.mean_us())), 1),
+              format_double(miser.mean_us() / fq.mean_us(), 2),
+              format_double(to_ms(fq.max()), 0),
+              format_double(to_ms(miser.max()), 0),
+              format_double(static_cast<double>(miser.max()) /
+                                static_cast<double>(fq.max()),
+                            2));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 6: FCFS vs Split vs FairQueue vs Miser (WebSearch)\n\n");
+  const Trace trace = preset_trace(Workload::kWebSearch);
+  const Time delta = from_ms(50);
+  run_panel(trace, 0.90, delta);
+  run_panel(trace, 0.95, delta);
+  run_q2_comparison(trace, delta);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Figure 8: capacity required when multiplexing *different*
+// workload pairs (WS+FT, FT+OM, OM+WS), delta = 10 ms.
+//
+//   (a) traditional 100% provisioning: sum-of-individual estimate vs the
+//       real requirement of the merged trace (multiplexing gains);
+//   (b,c) after 90% / 95% decomposition the estimate tracks the real value
+//         closely (paper: errors of 0.05%-6%).
+#include <cstdio>
+
+#include "core/consolidation.h"
+#include "core/statistical.h"
+#include "trace/presets.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qos;
+
+void run_panel(double fraction) {
+  const Time delta = from_ms(10);
+  if (fraction == 1.0)
+    std::printf("-- (a) traditional 100%% combine --\n");
+  else
+    std::printf("-- %.0f%% decomposition combine --\n", 100 * fraction);
+
+  const std::pair<Workload, Workload> pairs[] = {
+      {Workload::kWebSearch, Workload::kFinTrans},
+      {Workload::kFinTrans, Workload::kOpenMail},
+      {Workload::kOpenMail, Workload::kWebSearch}};
+
+  AsciiTable table;
+  table.add("Workloads", "Estimate", "Real", "ratio", "rel.err");
+  for (const auto& [w1, w2] : pairs) {
+    const Trace clients[] = {preset_trace(w1), preset_trace(w2)};
+    ConsolidationReport report = consolidate(clients, fraction, delta);
+    table.add(workload_name(w1) + " + " + workload_name(w2),
+              format_double(report.estimate_iops, 0),
+              format_double(report.actual_iops, 0),
+              format_double(report.ratio(), 2),
+              format_double(100 * report.relative_error(), 1) + "%");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+// Related-work baseline (paper Section 5): Gaussian statistical envelopes.
+// No deadline semantics — it bounds per-second demand overflow probability —
+// so it under-provisions for tight deadlines while showing the same
+// multiplexing gain the decomposition estimate captures with guarantees.
+void run_statistical_baseline() {
+  std::printf("-- statistical-envelope baseline (eps = 10%%, 1 s windows) --\n");
+  const std::pair<Workload, Workload> pairs[] = {
+      {Workload::kWebSearch, Workload::kFinTrans},
+      {Workload::kFinTrans, Workload::kOpenMail},
+      {Workload::kOpenMail, Workload::kWebSearch}};
+  AsciiTable table;
+  table.add("Workloads", "sum of individual", "pooled Gaussian", "gain");
+  for (const auto& [w1, w2] : pairs) {
+    const auto e1 = statistical_capacity(preset_trace(w1), kUsPerSec, 0.10);
+    const auto e2 = statistical_capacity(preset_trace(w2), kUsPerSec, 0.10);
+    const auto pooled = statistical_multiplex({e1, e2}, 0.10);
+    const double sum = e1.capacity_iops + e2.capacity_iops;
+    table.add(workload_name(w1) + " + " + workload_name(w2),
+              format_double(sum, 0), format_double(pooled.capacity_iops, 0),
+              format_double(100 * (1 - pooled.capacity_iops / sum), 1) + "%");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+int main() {
+  std::printf("Figure 8: capacity for multiplexing different workloads\n\n");
+  run_panel(1.0);
+  run_panel(0.90);
+  run_panel(0.95);
+  run_statistical_baseline();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark): throughput of the core algorithms.
+//
+// These are engineering benchmarks, not paper reproductions: they establish
+// that RTT decomposition, Miser dispatch, the fair schedulers and the event
+// simulator all run at millions of operations per second, i.e. the shaping
+// framework adds negligible overhead at storage-array request rates.
+#include <benchmark/benchmark.h>
+
+#include "core/capacity.h"
+#include "core/fcfs.h"
+#include "core/miser.h"
+#include "core/rtt.h"
+#include "core/shaper.h"
+#include "fq/pclock.h"
+#include "fq/sfq.h"
+#include "fq/wf2q.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace qos;
+
+const Trace& bench_trace() {
+  static const Trace trace = [] {
+    WorkloadSpec spec;
+    spec.states = {{400, 1.0}, {1200, 0.4}};
+    spec.batches = {.batches_per_sec = 0.2,
+                    .mean_size = 10,
+                    .spread_us = 2'000,
+                    .giant_prob = 0.05,
+                    .giant_factor = 3};
+    return generate_workload(spec, 120 * kUsPerSec, 4242);
+  }();
+  return trace;
+}
+
+void BM_RttDecompose(benchmark::State& state) {
+  const Trace& t = bench_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtt_decompose(t, 500, 10'000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_RttDecompose);
+
+void BM_MinCapacitySearch(benchmark::State& state) {
+  const Trace& t = bench_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_capacity(t, 0.95, 10'000));
+  }
+}
+BENCHMARK(BM_MinCapacitySearch);
+
+void BM_SimulateFcfs(benchmark::State& state) {
+  const Trace& t = bench_trace();
+  for (auto _ : state) {
+    FcfsScheduler fcfs;
+    ConstantRateServer server(600);
+    benchmark::DoNotOptimize(simulate(t, fcfs, server));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_SimulateFcfs);
+
+void BM_SimulateMiser(benchmark::State& state) {
+  const Trace& t = bench_trace();
+  for (auto _ : state) {
+    MiserScheduler miser(500, 10'000);
+    ConstantRateServer server(600);
+    benchmark::DoNotOptimize(simulate(t, miser, server));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_SimulateMiser);
+
+template <typename SchedulerT>
+void run_fq(benchmark::State& state, SchedulerT make) {
+  for (auto _ : state) {
+    auto fq = make();
+    // Alternate bursts and drains over two flows.
+    std::uint64_t handle = 0;
+    for (int round = 0; round < 100; ++round) {
+      for (int i = 0; i < 32; ++i) {
+        fq.enqueue(i & 1, handle++, 1.0, round * 1000);
+      }
+      for (int i = 0; i < 32; ++i) benchmark::DoNotOptimize(fq.dequeue(0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          3200);
+}
+
+void BM_Sfq(benchmark::State& state) {
+  run_fq(state, [] { return SfqScheduler({3.0, 1.0}); });
+}
+BENCHMARK(BM_Sfq);
+
+void BM_Wf2qPlus(benchmark::State& state) {
+  run_fq(state, [] { return Wf2qPlusScheduler({3.0, 1.0}); });
+}
+BENCHMARK(BM_Wf2qPlus);
+
+void BM_PClock(benchmark::State& state) {
+  run_fq(state, [] {
+    return PClockScheduler({PClockSla{.sigma = 4, .rho = 300, .delta = 10'000},
+                            PClockSla{.sigma = 1, .rho = 100, .delta = 50'000}});
+  });
+}
+BENCHMARK(BM_PClock);
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.states = {{400, 1.0}, {1200, 0.4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_workload(spec, 10 * kUsPerSec, 77));
+  }
+}
+BENCHMARK(BM_GenerateWorkload);
+
+void BM_ShapeAndRunMiser(benchmark::State& state) {
+  const Trace& t = bench_trace();
+  ShapingConfig config;
+  config.policy = Policy::kMiser;
+  config.fraction = 0.9;
+  config.delta = 10'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shape_and_run(t, config));
+  }
+}
+BENCHMARK(BM_ShapeAndRunMiser);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces Table 1: capacity (IOPS) required for a specified fraction of
+// each workload to meet the response-time target.
+//
+// Rows: workload x response-time target (5/10/20/50 ms); columns: fraction
+// f in {90, 95, 99, 99.5, 99.9, 100}%.  The paper's knee — a small exempted
+// fraction slashing required capacity — must reproduce; absolute IOPS differ
+// because the traces are calibrated synthetics (see DESIGN.md).
+#include <cstdio>
+
+#include "core/capacity.h"
+#include "trace/presets.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qos;
+
+void run() {
+  const double fractions[] = {0.90, 0.95, 0.99, 0.995, 0.999, 1.0};
+  const Time deltas[] = {from_ms(5), from_ms(10), from_ms(20), from_ms(50)};
+
+  std::printf(
+      "Table 1: Capacity (IOPS) required for specified workload fraction\n"
+      "to meet the response-time target\n\n");
+
+  AsciiTable table;
+  table.add("Workload", "Target", "90.0%", "95.0%", "99.0%", "99.5%",
+            "99.9%", "100%");
+  for (Workload w : {Workload::kWebSearch, Workload::kFinTrans,
+                     Workload::kOpenMail}) {
+    const Trace trace = preset_trace(w);
+    std::fprintf(stderr, "[table1] %s: %zu requests, mean %.0f IOPS\n",
+                 workload_long_name(w).c_str(), trace.size(),
+                 trace.mean_rate_iops());
+    for (Time delta : deltas) {
+      std::vector<std::string> row;
+      row.push_back(workload_name(w));
+      row.push_back(format_double(to_ms(delta), 0) + " ms");
+      for (double f : fractions) {
+        const CapacityResult r = min_capacity(trace, f, delta);
+        row.push_back(format_double(r.cmin_iops, 0));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The knee summary the paper calls out in Section 4.1.
+  std::printf("Knee ratios (Cmin(100%%) / Cmin(90%%)):\n");
+  AsciiTable knee;
+  knee.add("Workload", "5 ms", "10 ms", "20 ms", "50 ms");
+  for (Workload w : {Workload::kWebSearch, Workload::kFinTrans,
+                     Workload::kOpenMail}) {
+    const Trace trace = preset_trace(w);
+    std::vector<std::string> row{workload_name(w)};
+    for (Time delta : deltas) {
+      const double c90 = min_capacity(trace, 0.90, delta).cmin_iops;
+      const double c100 = min_capacity(trace, 1.0, delta).cmin_iops;
+      row.push_back(format_double(c100 / c90, 1) + "x");
+    }
+    knee.add_row(std::move(row));
+  }
+  std::printf("%s", knee.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Storage server end-to-end: the shaping framework in front of a mechanical
+// disk model (the paper's "device driver level" deployment in DiskSim).
+//
+//   $ ./storage_server
+//
+// Two runs of the same workload against the same 15k RPM disk model:
+//   * FCFS straight to the disk, and
+//   * RTT decomposition + Miser recombination at the device-driver level
+//     (admission sized from the disk's effective IOPS on this workload).
+// Shows the paper's framework is not tied to the constant-rate abstraction:
+// the shaped schedule protects the primary class against burst spill-over on
+// a positional service-time model too.
+#include <cstdio>
+
+#include "analysis/response_stats.h"
+#include "core/fcfs.h"
+#include "core/miser.h"
+#include "disk/disk_model.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "util/table.h"
+
+using namespace qos;
+
+namespace {
+
+// Measure the disk's throughput on this workload's access pattern by
+// replaying it back-to-back (saturated), yielding an effective IOPS figure
+// the admission controller can plan against.
+double effective_disk_iops(const Trace& trace) {
+  DiskModel disk;
+  Time busy = 0;
+  for (const auto& r : trace) busy += disk.service_time(r, busy);
+  return static_cast<double>(trace.size()) / to_sec(busy);
+}
+
+}  // namespace
+
+int main() {
+  // A mail-server-like workload: bursty, moderately sequential.
+  WorkloadSpec spec;
+  spec.states = {{60, 4.0}, {150, 2.0}, {420, 0.6}};
+  spec.batches = {.batches_per_sec = 0.05,
+                  .mean_size = 10,
+                  .spread_us = 3'000,
+                  .giant_prob = 0.05,
+                  .giant_factor = 3};
+  spec.addresses = {.lba_max = 90'000'000,  // within one disk
+                    .sequential_prob = 0.4,
+                    .size_blocks = 8,
+                    .write_fraction = 0.5};
+  const Trace trace = generate_workload(spec, 600 * kUsPerSec, 31337);
+
+  const double disk_iops = effective_disk_iops(trace);
+  std::printf("workload: %zu requests, mean %.0f IOPS, peak(100ms) %.0f\n",
+              trace.size(), trace.mean_rate_iops(),
+              trace.peak_rate_iops(100'000));
+  std::printf("disk model: 15k RPM, effective %.0f IOPS on this pattern\n\n",
+              disk_iops);
+
+  const Time delta = from_ms(50);
+  // Plan Q1 admission against ~85% of the disk's effective rate, keeping the
+  // remainder as recombination headroom (the constant-rate planner's
+  // Cmin search does not apply to a positional server, so the driver plans
+  // against measured throughput — what a real array controller does).
+  const double admission_iops = 0.85 * disk_iops;
+
+  AsciiTable table;
+  table.add("scheduler", "class", "count", "within 50ms", "mean (ms)",
+            "max (ms)");
+
+  {
+    FcfsScheduler fcfs;
+    DiskServer disk;
+    SimResult sim = simulate(trace, fcfs, disk);
+    ResponseStats all(sim.completions);
+    table.add("FCFS", "all", static_cast<unsigned long long>(all.count()),
+              format_double(100 * all.fraction_within(delta), 1) + "%",
+              format_double(all.mean_us() / 1000.0, 1),
+              format_double(to_ms(all.max()), 0));
+  }
+  {
+    MiserScheduler miser(admission_iops, delta);
+    DiskServer disk;
+    SimResult sim = simulate(trace, miser, disk);
+    ResponseStats q1(sim.completions, ServiceClass::kPrimary);
+    ResponseStats q2(sim.completions, ServiceClass::kOverflow);
+    table.add("RTT+Miser", "Q1", static_cast<unsigned long long>(q1.count()),
+              format_double(100 * q1.fraction_within(delta), 1) + "%",
+              format_double(q1.mean_us() / 1000.0, 1),
+              format_double(to_ms(q1.max()), 0));
+    if (!q2.empty())
+      table.add("RTT+Miser", "Q2",
+                static_cast<unsigned long long>(q2.count()),
+                format_double(100 * q2.fraction_within(delta), 1) + "%",
+                format_double(q2.mean_us() / 1000.0, 1),
+                format_double(to_ms(q2.max()), 0));
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

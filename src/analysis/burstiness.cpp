@@ -1,0 +1,159 @@
+#include "analysis/burstiness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/rate_series.h"
+#include "util/check.h"
+
+namespace qos {
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0 : sum / static_cast<double>(v.size());
+}
+
+double variance_of(const std::vector<double>& v, double mean) {
+  if (v.size() < 2) return 0;
+  double sum = 0;
+  for (double x : v) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(v.size() - 1);
+}
+
+/// Aggregate a count series by factor m (sum of m consecutive windows).
+std::vector<double> aggregate(const std::vector<double>& counts, int m) {
+  std::vector<double> out;
+  out.reserve(counts.size() / static_cast<std::size_t>(m));
+  for (std::size_t i = 0; i + static_cast<std::size_t>(m) <= counts.size();
+       i += static_cast<std::size_t>(m)) {
+    double sum = 0;
+    for (int j = 0; j < m; ++j) sum += counts[i + static_cast<std::size_t>(j)];
+    out.push_back(sum);
+  }
+  return out;
+}
+
+/// Least-squares slope of y against x.
+double slope(const std::vector<double>& x, const std::vector<double>& y) {
+  QOS_EXPECTS(x.size() == y.size() && x.size() >= 2);
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  QOS_EXPECTS(den > 0);
+  return num / den;
+}
+
+}  // namespace
+
+std::vector<double> window_counts(const Trace& trace, Time window) {
+  QOS_EXPECTS(window > 0);
+  std::vector<double> counts;
+  for (const auto& p : rate_series(trace, window))
+    counts.push_back(p.iops * to_sec(window));
+  return counts;
+}
+
+double index_of_dispersion(const Trace& trace, Time window) {
+  const auto counts = window_counts(trace, window);
+  QOS_EXPECTS(counts.size() >= 2);
+  const double mean = mean_of(counts);
+  if (mean == 0) return 0;
+  return variance_of(counts, mean) / mean;
+}
+
+double count_autocorrelation(const Trace& trace, Time window, int lag) {
+  QOS_EXPECTS(lag >= 1);
+  const auto counts = window_counts(trace, window);
+  QOS_EXPECTS(counts.size() > static_cast<std::size_t>(lag) + 1);
+  const double mean = mean_of(counts);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    den += (counts[i] - mean) * (counts[i] - mean);
+    if (i + static_cast<std::size_t>(lag) < counts.size())
+      num += (counts[i] - mean) *
+             (counts[i + static_cast<std::size_t>(lag)] - mean);
+  }
+  return den == 0 ? 0 : num / den;
+}
+
+double hurst_aggregated_variance(const Trace& trace, Time base_window,
+                                 int octaves) {
+  QOS_EXPECTS(octaves >= 3);
+  const auto counts = window_counts(trace, base_window);
+  std::vector<double> log_m, log_var;
+  for (int o = 0; o < octaves; ++o) {
+    const int m = 1 << o;
+    auto agg = aggregate(counts, m);
+    if (agg.size() < 8) break;  // too few samples for a stable variance
+    // Normalized aggregate (mean per base window).
+    for (auto& v : agg) v /= m;
+    const double var = variance_of(agg, mean_of(agg));
+    if (var <= 0) break;
+    log_m.push_back(std::log(static_cast<double>(m)));
+    log_var.push_back(std::log(var));
+  }
+  QOS_EXPECTS(log_m.size() >= 2);
+  // Var[X^(m)] ~ m^(2H-2)  =>  H = 1 + slope/2.
+  const double h = 1.0 + slope(log_m, log_var) / 2.0;
+  return std::clamp(h, 0.0, 1.0);
+}
+
+double hurst_rescaled_range(const Trace& trace, Time base_window,
+                            int octaves) {
+  QOS_EXPECTS(octaves >= 3);
+  const auto counts = window_counts(trace, base_window);
+  std::vector<double> log_n, log_rs;
+  for (int o = 2; o < octaves + 2; ++o) {
+    const std::size_t n = 1u << o;
+    if (counts.size() < 2 * n) break;
+    // Average R/S over disjoint blocks of length n.
+    double rs_sum = 0;
+    std::size_t blocks = 0;
+    for (std::size_t b = 0; b + n <= counts.size(); b += n) {
+      const std::vector<double> block(counts.begin() + static_cast<long>(b),
+                                      counts.begin() +
+                                          static_cast<long>(b + n));
+      const double mean = mean_of(block);
+      double cum = 0, lo = 0, hi = 0, sq = 0;
+      for (double x : block) {
+        cum += x - mean;
+        lo = std::min(lo, cum);
+        hi = std::max(hi, cum);
+        sq += (x - mean) * (x - mean);
+      }
+      const double s = std::sqrt(sq / static_cast<double>(n));
+      if (s > 0) {
+        rs_sum += (hi - lo) / s;
+        ++blocks;
+      }
+    }
+    if (blocks == 0) continue;
+    log_n.push_back(std::log(static_cast<double>(n)));
+    log_rs.push_back(std::log(rs_sum / static_cast<double>(blocks)));
+  }
+  QOS_EXPECTS(log_n.size() >= 2);
+  return std::clamp(slope(log_n, log_rs), 0.0, 1.0);
+}
+
+BurstinessProfile characterize(const Trace& trace) {
+  BurstinessProfile p;
+  p.mean_iops = trace.mean_rate_iops();
+  if (p.mean_iops <= 0) return p;
+  p.peak_to_mean_100ms = trace.peak_rate_iops(100'000) / p.mean_iops;
+  p.peak_to_mean_1s = trace.peak_rate_iops(kUsPerSec) / p.mean_iops;
+  p.peak_to_mean_10s = trace.peak_rate_iops(10 * kUsPerSec) / p.mean_iops;
+  p.idc_100ms = index_of_dispersion(trace, 100'000);
+  p.idc_1s = index_of_dispersion(trace, kUsPerSec);
+  p.autocorr_lag1_1s = count_autocorrelation(trace, kUsPerSec, 1);
+  p.hurst_av = hurst_aggregated_variance(trace, 100'000);
+  p.hurst_rs = hurst_rescaled_range(trace, 100'000);
+  return p;
+}
+
+}  // namespace qos

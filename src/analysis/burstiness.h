@@ -1,0 +1,60 @@
+// Workload burstiness characterization.
+//
+// The paper's premise is that storage arrivals are high-variance and
+// long-range dependent (citing Leland et al.'s self-similarity and Riska &
+// Riedel's disk-level LRD).  This module quantifies that structure so the
+// synthetic presets can be validated against the published trace statistics
+// and so users can characterize their own traces before shaping:
+//
+//   * peak-to-mean ratio across timescales,
+//   * index of dispersion for counts (IDC) — variance/mean of window counts,
+//   * count autocorrelation at configurable lags,
+//   * Hurst exponent estimates (aggregated-variance method and R/S),
+//   * a compact BurstinessProfile bundling all of the above.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+/// Requests-per-window counts for the whole trace at the given window size.
+std::vector<double> window_counts(const Trace& trace, Time window);
+
+/// Index of dispersion for counts at a window size: Var[N] / E[N].
+/// 1.0 for Poisson; grows with burstiness and (for LRD traffic) with the
+/// window size.  Requires >= 2 windows.
+double index_of_dispersion(const Trace& trace, Time window);
+
+/// Lag-k autocorrelation of window counts.  Near 0 for Poisson; positive
+/// and slowly decaying for bursty, autocorrelated arrivals.
+double count_autocorrelation(const Trace& trace, Time window, int lag);
+
+/// Hurst exponent via the aggregated-variance method: slope of
+/// log Var[X^(m)] vs log m over octave aggregation levels, H = 1 + slope/2.
+/// 0.5 for short-range-dependent traffic, -> 1 for strong LRD.
+double hurst_aggregated_variance(const Trace& trace, Time base_window,
+                                 int octaves = 8);
+
+/// Hurst exponent via rescaled-range (R/S) analysis on window counts.
+double hurst_rescaled_range(const Trace& trace, Time base_window,
+                            int octaves = 8);
+
+struct BurstinessProfile {
+  double mean_iops = 0;
+  double peak_to_mean_100ms = 0;
+  double peak_to_mean_1s = 0;
+  double peak_to_mean_10s = 0;
+  double idc_100ms = 0;
+  double idc_1s = 0;
+  double autocorr_lag1_1s = 0;
+  double hurst_av = 0;
+  double hurst_rs = 0;
+};
+
+/// One-stop profile used by the characterization bench and preset tests.
+BurstinessProfile characterize(const Trace& trace);
+
+}  // namespace qos

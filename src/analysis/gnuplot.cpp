@@ -1,0 +1,64 @@
+#include "analysis/gnuplot.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace qos {
+
+void GnuplotWriter::add_series(std::string name, std::vector<Point> points) {
+  series_.push_back(Series{std::move(name), std::move(points)});
+}
+
+std::string GnuplotWriter::dat_content() const {
+  std::string out;
+  char buf[96];
+  for (const auto& s : series_) {
+    out += "# ";
+    out += s.name;
+    out += '\n';
+    for (const auto& p : s.points) {
+      std::snprintf(buf, sizeof buf, "%.6g %.6g\n", p.x, p.y);
+      out += buf;
+    }
+    out += "\n\n";  // gnuplot block separator
+  }
+  return out;
+}
+
+std::string GnuplotWriter::script_content(const std::string& base) const {
+  std::string out;
+  out += "set terminal pngcairo size 900,600\n";
+  out += "set output '" + base + ".png'\n";
+  if (!title_.empty()) out += "set title '" + title_ + "'\n";
+  out += "set xlabel '" + xlabel_ + "'\n";
+  out += "set ylabel '" + ylabel_ + "'\n";
+  if (logscale_x_) out += "set logscale x\n";
+  out += "set key bottom right\n";
+  out += "plot ";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) out += ", \\\n     ";
+    out += "'" + base + ".dat' index " + std::to_string(i) +
+           " with linespoints title '" + series_[i].name + "'";
+  }
+  out += '\n';
+  return out;
+}
+
+void GnuplotWriter::write(const std::string& dir,
+                          const std::string& base) const {
+  const std::string stem = dir + "/" + base;
+  {
+    std::ofstream dat(stem + ".dat");
+    QOS_EXPECTS(dat.good());
+    dat << dat_content();
+  }
+  {
+    std::ofstream gp(stem + ".gp");
+    QOS_EXPECTS(gp.good());
+    gp << script_content(base);
+  }
+}
+
+}  // namespace qos

@@ -1,0 +1,58 @@
+// Gnuplot artifact emission for the figure benches.
+//
+// Each figure bench prints its series to stdout (the reproduction record);
+// passing `--gnuplot <dir>` additionally writes a <name>.dat with one block
+// per series and a ready-to-run <name>.gp script, so the paper's plots can
+// be regenerated with a stock gnuplot install.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qos {
+
+class GnuplotWriter {
+ public:
+  struct Point {
+    double x = 0;
+    double y = 0;
+  };
+
+  /// Add a named series; plotted in insertion order.
+  void add_series(std::string name, std::vector<Point> points);
+
+  /// Axis labels / title / scales for the generated script.
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_labels(std::string x, std::string y) {
+    xlabel_ = std::move(x);
+    ylabel_ = std::move(y);
+  }
+  void set_logscale_x(bool v) { logscale_x_ = v; }
+
+  /// Contents of the .dat file: one double-blank-separated block per
+  /// series, each preceded by a "# name" comment line.
+  std::string dat_content() const;
+
+  /// Contents of the .gp script plotting every series from `<base>.dat`.
+  std::string script_content(const std::string& base) const;
+
+  /// Write `<dir>/<base>.dat` and `<dir>/<base>.gp`.  Aborts if the files
+  /// cannot be created.
+  void write(const std::string& dir, const std::string& base) const;
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<Point> points;
+  };
+
+  std::vector<Series> series_;
+  std::string title_;
+  std::string xlabel_ = "x";
+  std::string ylabel_ = "y";
+  bool logscale_x_ = false;
+};
+
+}  // namespace qos

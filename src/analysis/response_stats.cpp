@@ -1,0 +1,72 @@
+#include "analysis/response_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qos {
+
+ResponseStats::ResponseStats(std::span<const CompletionRecord> completions,
+                             std::optional<ServiceClass> klass) {
+  sorted_us_.reserve(completions.size());
+  for (const auto& c : completions) {
+    if (klass && c.klass != *klass) continue;
+    sorted_us_.push_back(c.response_time());
+  }
+  std::sort(sorted_us_.begin(), sorted_us_.end());
+}
+
+double ResponseStats::fraction_within(Time bound) const {
+  if (sorted_us_.empty()) return 1.0;
+  const auto it =
+      std::upper_bound(sorted_us_.begin(), sorted_us_.end(), bound);
+  return static_cast<double>(it - sorted_us_.begin()) /
+         static_cast<double>(sorted_us_.size());
+}
+
+Time ResponseStats::percentile(double p) const {
+  QOS_EXPECTS(!sorted_us_.empty());
+  QOS_EXPECTS(p >= 0 && p <= 1);
+  if (p == 0) return sorted_us_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_us_.size())));
+  return sorted_us_[std::min(rank == 0 ? 0 : rank - 1,
+                             sorted_us_.size() - 1)];
+}
+
+Time ResponseStats::max() const {
+  QOS_EXPECTS(!sorted_us_.empty());
+  return sorted_us_.back();
+}
+
+double ResponseStats::mean_us() const {
+  if (sorted_us_.empty()) return 0;
+  double sum = 0;
+  for (Time t : sorted_us_) sum += static_cast<double>(t);
+  return sum / static_cast<double>(sorted_us_.size());
+}
+
+std::vector<double> ResponseStats::cdf(std::span<const Time> bounds) const {
+  std::vector<double> out;
+  out.reserve(bounds.size());
+  for (Time b : bounds) out.push_back(fraction_within(b));
+  return out;
+}
+
+ResponseStats::Buckets ResponseStats::paper_buckets(bool cumulative) const {
+  Buckets b;
+  b.le_50 = fraction_within(from_ms(50));
+  b.le_100 = fraction_within(from_ms(100));
+  b.le_500 = fraction_within(from_ms(500));
+  b.le_1000 = fraction_within(from_ms(1000));
+  b.gt_1000 = 1.0 - b.le_1000;
+  if (!cumulative) {
+    b.le_1000 -= b.le_500;
+    b.le_500 -= b.le_100;
+    b.le_100 -= b.le_50;
+  }
+  return b;
+}
+
+}  // namespace qos

@@ -1,0 +1,56 @@
+// Response-time distribution analysis for simulation results.
+//
+// Produces the quantities the paper's figures report: the fraction of
+// requests within a bound (CDF points, Figures 4-5), the bucketed histogram
+// <=50 / <=100 / <=500 / <=1000 / >1000 ms (Figure 6), percentiles, and
+// per-class summaries (Figure 6(c)).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/completion.h"
+#include "util/time.h"
+
+namespace qos {
+
+class ResponseStats {
+ public:
+  ResponseStats() = default;
+
+  /// Collect response times from completions, optionally restricted to one
+  /// service class.
+  explicit ResponseStats(std::span<const CompletionRecord> completions,
+                         std::optional<ServiceClass> klass = std::nullopt);
+
+  std::size_t count() const { return sorted_us_.size(); }
+  bool empty() const { return sorted_us_.empty(); }
+
+  /// Fraction of requests with response time <= bound.
+  double fraction_within(Time bound) const;
+
+  /// p in [0, 1]; exact order statistic (nearest-rank).  Requires non-empty.
+  Time percentile(double p) const;
+
+  Time max() const;
+  double mean_us() const;
+
+  /// CDF evaluated at the given points (fractions within each bound).
+  std::vector<double> cdf(std::span<const Time> bounds) const;
+
+  /// The paper's Figure-6 buckets: fractions in (<=50, <=100, <=500,
+  /// <=1000, >1000) ms.  Cumulative = false gives disjoint bucket masses.
+  struct Buckets {
+    double le_50 = 0, le_100 = 0, le_500 = 0, le_1000 = 0, gt_1000 = 0;
+  };
+  Buckets paper_buckets(bool cumulative = true) const;
+
+  /// Sorted response times (us) — for plotting full CDFs.
+  std::span<const Time> sorted() const { return sorted_us_; }
+
+ private:
+  std::vector<Time> sorted_us_;
+};
+
+}  // namespace qos

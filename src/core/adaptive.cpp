@@ -1,0 +1,40 @@
+#include "core/adaptive.h"
+
+#include <vector>
+
+namespace qos {
+
+bool OnlineCapacityEstimator::observe(Time arrival) {
+  QOS_EXPECTS(arrival >= last_arrival_);
+  last_arrival_ = arrival;
+  window_.push_back(arrival);
+  while (!window_.empty() && window_.front() < arrival - config_.window)
+    window_.pop_front();
+
+  if (arrival < next_reprofile_) return false;
+  next_reprofile_ = arrival + config_.reprofile_interval;
+  reprofile(arrival);
+  return true;
+}
+
+void OnlineCapacityEstimator::reprofile(Time now) {
+  ++reprofiles_;
+  if (window_.empty()) return;
+  // Re-base the window to 0 so the planner sees a standalone trace.
+  const Time base = now - config_.window;
+  std::vector<Request> reqs;
+  reqs.reserve(window_.size());
+  for (Time a : window_) {
+    Request r;
+    r.arrival = a - base >= 0 ? a - base : 0;
+    reqs.push_back(r);
+  }
+  last_raw_ =
+      min_capacity(Trace(std::move(reqs)), config_.fraction, config_.delta)
+          .cmin_iops;
+  const double gain =
+      last_raw_ > smoothed_ ? config_.rise_gain : config_.decay_gain;
+  smoothed_ += gain * (last_raw_ - smoothed_);
+}
+
+}  // namespace qos

@@ -1,0 +1,67 @@
+// Online capacity estimation — dynamic re-profiling of Cmin(f, delta).
+//
+// The paper profiles a whole trace offline to reserve Cmin + dC.  Real
+// tenants drift, so a provider re-profiles on the fly: this estimator keeps
+// a sliding window of recent arrivals, re-runs the RTT capacity search over
+// the window on a fixed cadence, and smooths the result with an EWMA (rapid
+// rise, slow decay by default — capacity should follow load up quickly and
+// release cautiously).  Everything reuses the offline planner, so the
+// estimate converges exactly to Cmin on stationary input.
+#pragma once
+
+#include <deque>
+
+#include "core/capacity.h"
+#include "trace/trace.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct AdaptiveConfig {
+  double fraction = 0.90;
+  Time delta = from_ms(10);
+  Time window = 60 * kUsPerSec;            ///< profiling window length
+  Time reprofile_interval = 5 * kUsPerSec; ///< how often to re-search
+  double rise_gain = 1.0;   ///< EWMA gain when the estimate increases
+  double decay_gain = 0.2;  ///< EWMA gain when it decreases
+};
+
+class OnlineCapacityEstimator {
+ public:
+  explicit OnlineCapacityEstimator(AdaptiveConfig config) : config_(config) {
+    QOS_EXPECTS(config.window > 0);
+    QOS_EXPECTS(config.reprofile_interval > 0);
+    QOS_EXPECTS(config.fraction >= 0 && config.fraction <= 1);
+    QOS_EXPECTS(config.rise_gain > 0 && config.rise_gain <= 1);
+    QOS_EXPECTS(config.decay_gain > 0 && config.decay_gain <= 1);
+  }
+
+  /// Feed one arrival (non-decreasing times).  Returns true when this call
+  /// triggered a re-profile.
+  bool observe(Time arrival);
+
+  /// Current smoothed capacity estimate (IOPS); 0 until first re-profile.
+  double capacity_iops() const { return smoothed_; }
+
+  /// Last raw (unsmoothed) window measurement.
+  double last_window_iops() const { return last_raw_; }
+
+  /// Arrivals currently retained in the window.
+  std::size_t window_size() const { return window_.size(); }
+
+  int reprofile_count() const { return reprofiles_; }
+
+ private:
+  void reprofile(Time now);
+
+  AdaptiveConfig config_;
+  std::deque<Time> window_;
+  Time last_arrival_ = -1;
+  Time next_reprofile_ = 0;
+  double smoothed_ = 0;
+  double last_raw_ = 0;
+  int reprofiles_ = 0;
+};
+
+}  // namespace qos

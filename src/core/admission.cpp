@@ -1,0 +1,50 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qos {
+
+AdmissionReport admit_tenants(std::span<const TenantRequest> tenants,
+                              double capacity_iops) {
+  QOS_EXPECTS(capacity_iops > 0);
+  AdmissionReport report;
+  report.capacity_iops = capacity_iops;
+
+  double worst_case_reserved = 0;
+  for (const auto& tenant : tenants) {
+    QOS_EXPECTS(tenant.profile != nullptr);
+    QOS_EXPECTS(tenant.sla.fraction > 0 && tenant.sla.fraction <= 1);
+    QOS_EXPECTS(tenant.sla.delta > 0);
+
+    TenantDecision decision;
+    decision.name = tenant.name;
+
+    const double cmin =
+        min_capacity(*tenant.profile, tenant.sla.fraction, tenant.sla.delta)
+            .cmin_iops;
+    const double headroom = overflow_headroom_iops(tenant.sla.delta);
+    const double new_headroom = std::max(report.headroom_iops, headroom);
+    if (report.reserved_iops + cmin + new_headroom <= capacity_iops) {
+      decision.admitted = true;
+      decision.reserved_iops = cmin;
+      report.reserved_iops += cmin;
+      report.headroom_iops = new_headroom;
+      ++report.admitted_count;
+    }
+    report.decisions.push_back(std::move(decision));
+
+    // Worst-case counterfactual: same order, 100% reservations, no shared
+    // headroom needed (nothing overflows).
+    const double worst =
+        min_capacity(*tenant.profile, 1.0, tenant.sla.delta).cmin_iops;
+    if (worst_case_reserved + worst <= capacity_iops) {
+      worst_case_reserved += worst;
+      ++report.worst_case_admitted_count;
+    }
+  }
+  return report;
+}
+
+}  // namespace qos

@@ -1,0 +1,57 @@
+// Admission control for a shared server (paper Sections 1, 4.4).
+//
+// The provider has a fixed server capacity and receives tenant requests,
+// each a (workload profile, SLA) pair.  Because reshaped per-tenant
+// capacities aggregate accurately (Figures 7-8), admission reduces to a sum
+// check on the decomposed capacities — the paper's "improving admission
+// control decisions".  The controller also reports how many *worst-case*
+// provisioned tenants the same server could have carried, quantifying the
+// admission head-count gained by graduation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/sla.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+struct TenantRequest {
+  std::string name;
+  const Trace* profile = nullptr;  ///< representative workload (not owned)
+  SlaTier sla;                     ///< fraction within delta
+};
+
+struct TenantDecision {
+  std::string name;
+  bool admitted = false;
+  double reserved_iops = 0;  ///< Cmin(f, delta) reserved when admitted
+};
+
+struct AdmissionReport {
+  std::vector<TenantDecision> decisions;
+  double capacity_iops = 0;      ///< server capacity offered
+  double reserved_iops = 0;      ///< total reserved for admitted tenants
+  double headroom_iops = 0;      ///< shared overflow headroom reserved
+  int admitted_count = 0;
+  /// How many of the same tenants a worst-case (100%) reservation policy
+  /// would have admitted on this server.
+  int worst_case_admitted_count = 0;
+
+  double utilization() const {
+    return capacity_iops == 0
+               ? 0
+               : (reserved_iops + headroom_iops) / capacity_iops;
+  }
+};
+
+/// First-fit admission in request order: a tenant is admitted when its
+/// decomposed capacity Cmin(f, delta) plus the (single, shared) overflow
+/// headroom max(1/delta_i) still fits in `capacity_iops`.
+AdmissionReport admit_tenants(std::span<const TenantRequest> tenants,
+                              double capacity_iops);
+
+}  // namespace qos

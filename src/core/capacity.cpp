@@ -1,0 +1,69 @@
+#include "core/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rtt.h"
+#include "util/check.h"
+
+namespace qos {
+
+double fraction_guaranteed(const Trace& trace, double capacity_iops,
+                           Time delta) {
+  return rtt_decompose(trace, capacity_iops, delta).admitted_fraction();
+}
+
+double overflow_headroom_iops(Time delta) {
+  QOS_EXPECTS(delta > 0);
+  return 1e6 / static_cast<double>(delta);
+}
+
+std::vector<CapacityPoint> capacity_profile(const Trace& trace, Time delta,
+                                            std::vector<double> fractions) {
+  std::sort(fractions.begin(), fractions.end());
+  std::vector<CapacityPoint> out;
+  out.reserve(fractions.size());
+  for (double f : fractions)
+    out.push_back({f, min_capacity(trace, f, delta).cmin_iops});
+  return out;
+}
+
+CapacityResult min_capacity(const Trace& trace, double fraction, Time delta) {
+  QOS_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  QOS_EXPECTS(delta > 0);
+  CapacityResult result;
+  if (trace.empty()) {
+    result.cmin_iops = 0;
+    result.achieved_fraction = 1.0;
+    return result;
+  }
+
+  auto ok = [&](std::int64_t c) {
+    ++result.probes;
+    const double f = fraction_guaranteed(trace, static_cast<double>(c), delta);
+    // Exact comparison is intended: fraction is a ratio of integers and the
+    // caller passes targets like 0.90 that the ratio must meet or exceed.
+    return f >= fraction;
+  };
+
+  // Exponential doubling to bracket, then binary search.
+  std::int64_t hi = 1;
+  while (!ok(hi)) {
+    hi *= 2;
+    QOS_CHECK(hi < (1LL << 40));  // capacity explosion => logic error
+  }
+  std::int64_t lo = hi / 2;  // lo is infeasible (or 0)
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (ok(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  result.cmin_iops = static_cast<double>(hi);
+  result.achieved_fraction =
+      fraction_guaranteed(trace, result.cmin_iops, delta);
+  return result;
+}
+
+}  // namespace qos

@@ -1,0 +1,51 @@
+// Capacity provisioning (paper Section 2.2).
+//
+// Given a response-time bound delta, find the minimum server capacity Cmin
+// such that RTT guarantees fraction f of the workload meets its deadline.
+// The paper performs a deterministic O(log C) binary search over capacity,
+// evaluating the RTT-admitted fraction at each probe; we do the same on an
+// integer IOPS grid.  Provision Cmin + dC with dC = 1/delta to prevent
+// starvation of the overflow class (paper's experimentally sufficient value,
+// and exactly the extra capacity that absorbs one in-flight overflow request
+// per deadline window — see core/miser.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct CapacityResult {
+  double cmin_iops = 0;       ///< least integer capacity meeting the target
+  double achieved_fraction = 0;  ///< RTT fraction at cmin_iops
+  int probes = 0;             ///< fraction evaluations performed
+};
+
+/// Fraction of `trace` that RTT admits to Q1 (and hence guarantees) at
+/// capacity `capacity_iops` with deadline `delta`.
+double fraction_guaranteed(const Trace& trace, double capacity_iops,
+                           Time delta);
+
+/// Binary-search the least integer capacity whose guaranteed fraction is
+/// >= `fraction` (in [0, 1]).  `fraction == 1.0` demands zero overflow.
+CapacityResult min_capacity(const Trace& trace, double fraction, Time delta);
+
+/// The paper's overflow headroom dC = 1/delta, in IOPS.
+double overflow_headroom_iops(Time delta);
+
+/// One point of the capacity-QoS tradeoff curve (paper Section 4.1).
+struct CapacityPoint {
+  double fraction = 0;
+  double cmin_iops = 0;
+};
+
+/// The knee curve: Cmin at each requested fraction (sorted ascending).
+/// Defaults to the paper's Table 1 fractions.
+std::vector<CapacityPoint> capacity_profile(
+    const Trace& trace, Time delta,
+    std::vector<double> fractions = {0.90, 0.95, 0.99, 0.995, 0.999, 1.0});
+
+}  // namespace qos

@@ -1,0 +1,18 @@
+#include "core/consolidation.h"
+
+namespace qos {
+
+ConsolidationReport consolidate(std::span<const Trace> clients,
+                                double fraction, Time delta) {
+  ConsolidationReport report;
+  for (const auto& t : clients) {
+    const double c = min_capacity(t, fraction, delta).cmin_iops;
+    report.individual_iops.push_back(c);
+    report.estimate_iops += c;
+  }
+  const Trace merged = Trace::merge(clients);
+  report.actual_iops = min_capacity(merged, fraction, delta).cmin_iops;
+  return report;
+}
+
+}  // namespace qos

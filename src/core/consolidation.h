@@ -1,0 +1,46 @@
+// Multi-client capacity consolidation (paper Sections 2.2 and 4.4).
+//
+// For several clients sharing one server, a simple estimate adds each
+// client's individual Cmin.  For raw (100%) provisioning that estimate
+// assumes bursts align and grossly over-provisions; after decomposition the
+// per-client capacities are near the workload's average, variance is gone,
+// and the sum becomes an accurate predictor of the merged workload's actual
+// requirement — the paper's Figures 7 and 8.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/capacity.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+struct ConsolidationReport {
+  std::vector<double> individual_iops;  ///< Cmin per input workload
+  double estimate_iops = 0;             ///< sum of individual Cmin
+  double actual_iops = 0;               ///< Cmin of the merged workload
+
+  /// actual / estimate: ~1.0 means the simple sum is accurate; << 1 means it
+  /// over-provisions.
+  double ratio() const {
+    return estimate_iops == 0 ? 0 : actual_iops / estimate_iops;
+  }
+  /// |actual - estimate| / estimate.
+  double relative_error() const {
+    return estimate_iops == 0
+               ? 0
+               : (actual_iops > estimate_iops
+                      ? (actual_iops - estimate_iops)
+                      : (estimate_iops - actual_iops)) /
+                     estimate_iops;
+  }
+};
+
+/// Evaluate the aggregation estimate for the given client traces at QoS
+/// target (fraction, delta).  fraction = 1.0 reproduces the paper's
+/// "traditional 100%" rows.
+ConsolidationReport consolidate(std::span<const Trace> clients,
+                                double fraction, Time delta);
+
+}  // namespace qos

@@ -1,0 +1,75 @@
+// Shared base for the recombination schedulers (Split / FairQueue / Miser):
+// RTT admission at arrival with a live primary-queue census.
+//
+// lenQ1 counts pending primary requests — queued *and* in service — exactly
+// the quantity Algorithm 1's proof reasons about (A(t) - S(t) for the
+// primary class).  It is incremented on admission and decremented when a
+// primary request completes service.
+#pragma once
+
+#include <deque>
+
+#include "core/rtt.h"
+#include "sim/scheduler.h"
+
+namespace qos {
+
+class DecomposingScheduler : public Scheduler {
+ public:
+  /// `admission_capacity_iops` is Cmin — the capacity the Q1 profile was
+  /// planned for — regardless of how much total capacity the backing
+  /// server(s) provide.
+  DecomposingScheduler(double admission_capacity_iops, Time delta)
+      : admission_(admission_capacity_iops, delta) {}
+
+  void on_arrival(const Request& r, Time now) override {
+    if (admission_.admit(len_q1_)) {
+      q1_.push_back(r);
+      ++len_q1_;
+      on_classified(r, ServiceClass::kPrimary, now);
+    } else {
+      q2_.push_back(r);
+      on_classified(r, ServiceClass::kOverflow, now);
+    }
+  }
+
+  void on_complete(const Request&, ServiceClass klass, int, Time) override {
+    if (klass == ServiceClass::kPrimary) {
+      QOS_CHECK(len_q1_ > 0);
+      --len_q1_;
+    }
+  }
+
+  /// Pending primary requests (queued + in service).
+  std::int64_t len_q1() const { return len_q1_; }
+  std::int64_t max_q1() const { return admission_.max_q1(); }
+  std::size_t q1_queued() const { return q1_.size(); }
+  std::size_t q2_queued() const { return q2_.size(); }
+
+ protected:
+  /// Hook invoked after RTT classifies an arrival (e.g. to tag it in a fair
+  /// scheduler).  Default: nothing.
+  virtual void on_classified(const Request&, ServiceClass, Time) {}
+
+  std::optional<Dispatch> pop_q1() {
+    if (q1_.empty()) return std::nullopt;
+    Dispatch d{q1_.front(), ServiceClass::kPrimary};
+    q1_.pop_front();
+    return d;
+  }
+
+  std::optional<Dispatch> pop_q2() {
+    if (q2_.empty()) return std::nullopt;
+    Dispatch d{q2_.front(), ServiceClass::kOverflow};
+    q2_.pop_front();
+    return d;
+  }
+
+ private:
+  RttAdmission admission_;
+  std::deque<Request> q1_;
+  std::deque<Request> q2_;
+  std::int64_t len_q1_ = 0;
+};
+
+}  // namespace qos

@@ -1,0 +1,56 @@
+// FairQueue recombination (paper Section 3.2): one server of capacity
+// Cmin + dC multiplexes Q1 and Q2 under a proportional-share fair scheduler
+// with weights Cmin : dC.  Unlike Split, spare capacity moves freely between
+// the classes (statistical multiplexing) while each keeps its reservation.
+//
+// The underlying fair scheduler is pluggable — any src/fq FairScheduler
+// (SFQ by default, WF2Q+ or pClock for the ablation bench).
+#pragma once
+
+#include <memory>
+
+#include "core/decomposing_scheduler.h"
+#include "fq/fair_scheduler.h"
+#include "fq/sfq.h"
+
+namespace qos {
+
+class FairQueueScheduler final : public DecomposingScheduler {
+ public:
+  /// Weights default to Cmin : dC per the paper.  A custom fair scheduler
+  /// must be configured for exactly 2 flows (0 = Q1, 1 = Q2).
+  FairQueueScheduler(double admission_capacity_iops, Time delta,
+                     double overflow_weight,
+                     std::unique_ptr<FairScheduler> fair = nullptr)
+      : DecomposingScheduler(admission_capacity_iops, delta),
+        fair_(fair ? std::move(fair)
+                   : std::make_unique<SfqScheduler>(std::vector<double>{
+                         admission_capacity_iops, overflow_weight})) {
+    QOS_EXPECTS(fair_->flow_count() == 2);
+  }
+
+  int server_count() const override { return 1; }
+
+  std::optional<Dispatch> next_for(int server, Time now) override {
+    QOS_EXPECTS(server == 0);
+    auto pick = fair_->dequeue(now);
+    if (!pick) return std::nullopt;
+    // Per-flow order is FIFO in both the fair scheduler and our queues, so
+    // the dispatched handle is necessarily the head of that class's queue.
+    auto d = pick->flow == 0 ? pop_q1() : pop_q2();
+    QOS_CHECK(d.has_value());
+    QOS_CHECK(d->request.seq == pick->handle);
+    return d;
+  }
+
+ protected:
+  void on_classified(const Request& r, ServiceClass klass, Time now) override {
+    fair_->enqueue(klass == ServiceClass::kPrimary ? 0 : 1, r.seq,
+                   /*cost=*/1.0, now);
+  }
+
+ private:
+  std::unique_ptr<FairScheduler> fair_;
+};
+
+}  // namespace qos

@@ -1,0 +1,31 @@
+// FCFS baseline: no decomposition, one queue, one server (paper Section 3.2,
+// "base case for the evaluation").  Bursts spill over and delay well-behaved
+// requests — the behaviour the shaping framework eliminates.
+#pragma once
+
+#include <deque>
+
+#include "sim/scheduler.h"
+#include "util/check.h"
+
+namespace qos {
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  int server_count() const override { return 1; }
+
+  void on_arrival(const Request& r, Time) override { queue_.push_back(r); }
+
+  std::optional<Dispatch> next_for(int server, Time) override {
+    QOS_EXPECTS(server == 0);
+    if (queue_.empty()) return std::nullopt;
+    Dispatch d{queue_.front(), ServiceClass::kPrimary};
+    queue_.pop_front();
+    return d;
+  }
+
+ private:
+  std::deque<Request> queue_;
+};
+
+}  // namespace qos

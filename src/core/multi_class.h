@@ -1,0 +1,81 @@
+// Multi-class (k-tier) RTT decomposition — the paper's "two (or more in
+// general) classes" extension (Section 2).
+//
+// Tiers are ordered tightest-deadline first.  Tier i runs RTT admission with
+// its own (capacity_i, delta_i) profile; a request rejected by tier i
+// cascades to tier i+1, and only requests rejected by every bounded tier
+// land in the final best-effort class.  Each tier's admission uses a live
+// census of its own pending requests, so the guarantee structure matches
+// running k independent RTT servers whose outputs are recombined.
+//
+// Guarantees: the *first* tier inherits the two-class RTT guarantee
+// unchanged (strict priority gives it its full profile capacity).  Lower
+// bounded tiers are served ahead of best effort but behind higher tiers, so
+// their bounds hold only while higher tiers stay within their profiles —
+// during a higher-tier burst the overflow cascades down and can displace a
+// middle tier (visible in examples/multi_tier_service.cpp).  A slack-based
+// recombination across k classes (the Miser analogue) would tighten this;
+// the paper proves only the two-class case.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/rtt.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+struct ClassSpec {
+  double capacity_iops = 0;  ///< profile capacity for this tier
+  Time delta = 0;            ///< response-time bound for this tier
+};
+
+/// Result of analytically cascading a trace through k tiers (plus the
+/// implicit final best-effort class with index k).
+struct MultiClassDecomposition {
+  std::vector<std::uint8_t> tier;    ///< per-seq tier index (k = best effort)
+  std::vector<std::int64_t> counts;  ///< size k+1: requests per tier
+
+  double fraction_in_tier(std::size_t i) const {
+    const auto total = static_cast<double>(tier.size());
+    return total == 0 ? 0 : static_cast<double>(counts[i]) / total;
+  }
+};
+
+/// Cascade `trace` through the tiers analytically, each tier modeled as a
+/// dedicated capacity_i server draining its admissions FIFO.  Tiers must be
+/// ordered by strictly increasing delta.  O(N * k).
+MultiClassDecomposition multi_class_decompose(const Trace& trace,
+                                              std::span<const ClassSpec> tiers);
+
+/// Event-simulator scheduler: k bounded tiers + final best-effort queue on
+/// one server, served in strict tier-priority order.  Admission per tier is
+/// RTT with a live census.
+class MultiClassScheduler final : public Scheduler {
+ public:
+  explicit MultiClassScheduler(std::vector<ClassSpec> tiers);
+
+  int server_count() const override { return 1; }
+  void on_arrival(const Request& r, Time now) override;
+  std::optional<Dispatch> next_for(int server, Time now) override;
+  void on_complete(const Request& r, ServiceClass klass, int server,
+                   Time now) override;
+
+  /// Tier a dispatched-or-completed request belongs to, by seq.  Only valid
+  /// for requests that passed through on_arrival.
+  std::uint8_t tier_of(std::uint64_t seq) const;
+
+  std::size_t tier_count() const { return admissions_.size(); }
+  std::int64_t pending_in_tier(std::size_t i) const { return pending_[i]; }
+
+ private:
+  std::vector<RttAdmission> admissions_;
+  std::vector<std::deque<Request>> queues_;  ///< size k+1 (last: best effort)
+  std::vector<std::int64_t> pending_;        ///< per bounded tier
+  std::vector<std::uint8_t> tier_by_seq_;    ///< grows with max seen seq
+};
+
+}  // namespace qos

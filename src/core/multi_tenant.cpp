@@ -1,0 +1,87 @@
+#include "core/multi_tenant.h"
+
+#include <algorithm>
+
+#include "core/capacity.h"
+#include "util/check.h"
+
+namespace qos {
+
+MultiTenantScheduler::MultiTenantScheduler(std::vector<TenantSpec> tenants) {
+  QOS_EXPECTS(!tenants.empty());
+  std::vector<double> weights;
+  for (const auto& spec : tenants) {
+    QOS_EXPECTS(spec.cmin_iops > 0);
+    QOS_EXPECTS(spec.delta > 0);
+    QOS_EXPECTS(spec.overflow_weight > 0);
+    tenants_.push_back(Tenant{spec,
+                              RttAdmission(spec.cmin_iops, spec.delta),
+                              {},
+                              {},
+                              0});
+    weights.push_back(spec.cmin_iops);       // Q1 flow
+    weights.push_back(spec.overflow_weight); // Q2 flow
+  }
+  fair_ = std::make_unique<SfqScheduler>(std::move(weights));
+}
+
+void MultiTenantScheduler::on_arrival(const Request& r, Time now) {
+  QOS_EXPECTS(r.client < tenants_.size());
+  Tenant& tenant = tenants_[r.client];
+  if (tenant.admission.admit(tenant.len_q1)) {
+    ++tenant.len_q1;
+    tenant.q1.push_back(r);
+    fair_->enqueue(q1_flow(r.client), r.seq, 1.0, now);
+  } else {
+    tenant.q2.push_back(r);
+    fair_->enqueue(q2_flow(r.client), r.seq, 1.0, now);
+  }
+}
+
+std::optional<Scheduler::Dispatch> MultiTenantScheduler::next_for(int server,
+                                                                  Time now) {
+  QOS_EXPECTS(server == 0);
+  auto pick = fair_->dequeue(now);
+  if (!pick) return std::nullopt;
+  const auto tenant_index = static_cast<std::size_t>(pick->flow / 2);
+  Tenant& tenant = tenants_[tenant_index];
+  const bool primary = pick->flow % 2 == 0;
+  auto& queue = primary ? tenant.q1 : tenant.q2;
+  QOS_CHECK(!queue.empty());
+  QOS_CHECK(queue.front().seq == pick->handle);
+  Dispatch d{queue.front(),
+             primary ? ServiceClass::kPrimary : ServiceClass::kOverflow};
+  queue.pop_front();
+  return d;
+}
+
+void MultiTenantScheduler::on_complete(const Request& r, ServiceClass klass,
+                                       int, Time) {
+  if (klass != ServiceClass::kPrimary) return;
+  QOS_EXPECTS(r.client < tenants_.size());
+  Tenant& tenant = tenants_[r.client];
+  QOS_CHECK(tenant.len_q1 > 0);
+  --tenant.len_q1;
+}
+
+std::int64_t MultiTenantScheduler::len_q1(std::size_t tenant) const {
+  QOS_EXPECTS(tenant < tenants_.size());
+  return tenants_[tenant].len_q1;
+}
+
+std::size_t MultiTenantScheduler::q2_queued(std::size_t tenant) const {
+  QOS_EXPECTS(tenant < tenants_.size());
+  return tenants_[tenant].q2.size();
+}
+
+double MultiTenantScheduler::planned_capacity_iops() const {
+  double reserved = 0;
+  Time tightest = tenants_.front().spec.delta;
+  for (const auto& t : tenants_) {
+    reserved += t.spec.cmin_iops;
+    tightest = std::min(tightest, t.spec.delta);
+  }
+  return reserved + overflow_headroom_iops(tightest);
+}
+
+}  // namespace qos

@@ -1,0 +1,72 @@
+// Multi-tenant shaping: per-client RTT decomposition under one server.
+//
+// The paper's deployment (Sections 1, 4.2): a shared storage server runs a
+// fair scheduler *across* clients for isolation, and shapes *within* each
+// client's stream.  This scheduler composes both levels:
+//
+//   * each tenant has its own RTT admission (cmin_i, delta_i) and its own
+//     Q1/Q2 pair;
+//   * a proportional-share scheduler (SFQ) multiplexes all 2N class-queues
+//     on the server, with weight cmin_i on tenant i's primary flow and the
+//     tenant's share of the overflow headroom on its Q2 flow.
+//
+// A tenant that floods past its profile only grows its own overflow queue —
+// its primary reservation is unchanged and other tenants are unaffected
+// (the isolation property asserted by tests/test_multi_tenant.cpp).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/rtt.h"
+#include "fq/sfq.h"
+#include "sim/scheduler.h"
+
+namespace qos {
+
+struct TenantSpec {
+  double cmin_iops = 100;   ///< profiled primary reservation
+  Time delta = from_ms(10); ///< primary response-time bound
+  double overflow_weight = 10;  ///< share of headroom for this tenant's Q2
+};
+
+class MultiTenantScheduler final : public Scheduler {
+ public:
+  explicit MultiTenantScheduler(std::vector<TenantSpec> tenants);
+
+  int server_count() const override { return 1; }
+
+  /// Requests are routed by Request::client, which must be < tenant count.
+  void on_arrival(const Request& r, Time now) override;
+  std::optional<Dispatch> next_for(int server, Time now) override;
+  void on_complete(const Request& r, ServiceClass klass, int server,
+                   Time now) override;
+
+  std::size_t tenant_count() const { return tenants_.size(); }
+  std::int64_t len_q1(std::size_t tenant) const;
+  std::size_t q2_queued(std::size_t tenant) const;
+
+  /// Total capacity this tenant set is sized for: sum of reservations plus
+  /// the largest per-tenant headroom (1/delta).
+  double planned_capacity_iops() const;
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    RttAdmission admission;
+    std::deque<Request> q1;
+    std::deque<Request> q2;
+    std::int64_t len_q1 = 0;  ///< pending primaries (queued + in service)
+  };
+
+  int q1_flow(std::size_t tenant) const { return static_cast<int>(2 * tenant); }
+  int q2_flow(std::size_t tenant) const {
+    return static_cast<int>(2 * tenant + 1);
+  }
+
+  std::vector<Tenant> tenants_;
+  std::unique_ptr<SfqScheduler> fair_;
+};
+
+}  // namespace qos

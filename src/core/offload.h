@@ -1,0 +1,100 @@
+// Offload recombination — Split generalized to a pool of overflow servers.
+//
+// Paper Section 2.1: "one simple approach is to offload the overflowing
+// requests to a separate physical server ... similar in principle to the
+// write offloading strategy in [Everest, OSDI'08] where bursts of write
+// requests are distributed to a number of low-utilization disks".  This
+// scheduler keeps Q1 on the primary server and spreads Q2 across k offload
+// servers.  Routing policies:
+//   * round-robin — the Everest default for equal offload targets;
+//   * least-loaded — route to the server with the fewest queued overflows
+//     (join-shortest-queue), better when offload capacity is uneven.
+// With k = 1 this degenerates to the paper's Split.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/rtt.h"
+#include "sim/scheduler.h"
+
+namespace qos {
+
+enum class OffloadRouting { kRoundRobin, kLeastLoaded };
+
+class OffloadScheduler final : public Scheduler {
+ public:
+  /// Server 0 is the primary; servers 1..k are the offload pool.
+  OffloadScheduler(double admission_capacity_iops, Time delta,
+                   int offload_servers,
+                   OffloadRouting routing = OffloadRouting::kRoundRobin)
+      : admission_(admission_capacity_iops, delta),
+        routing_(routing),
+        overflow_(static_cast<std::size_t>(offload_servers)) {
+    QOS_EXPECTS(offload_servers >= 1);
+  }
+
+  int server_count() const override {
+    return 1 + static_cast<int>(overflow_.size());
+  }
+
+  void on_arrival(const Request& r, Time) override {
+    if (admission_.admit(len_q1_)) {
+      ++len_q1_;
+      q1_.push_back(r);
+      return;
+    }
+    overflow_[pick_target()].push_back(r);
+  }
+
+  std::optional<Dispatch> next_for(int server, Time) override {
+    QOS_EXPECTS(server >= 0 && server < server_count());
+    if (server == 0) {
+      if (q1_.empty()) return std::nullopt;
+      Dispatch d{q1_.front(), ServiceClass::kPrimary};
+      q1_.pop_front();
+      return d;
+    }
+    auto& queue = overflow_[static_cast<std::size_t>(server - 1)];
+    if (queue.empty()) return std::nullopt;
+    Dispatch d{queue.front(), ServiceClass::kOverflow};
+    queue.pop_front();
+    return d;
+  }
+
+  void on_complete(const Request&, ServiceClass klass, int, Time) override {
+    if (klass == ServiceClass::kPrimary) {
+      QOS_CHECK(len_q1_ > 0);
+      --len_q1_;
+    }
+  }
+
+  std::int64_t len_q1() const { return len_q1_; }
+  std::size_t overflow_queued(std::size_t target) const {
+    QOS_EXPECTS(target < overflow_.size());
+    return overflow_[target].size();
+  }
+
+ private:
+  std::size_t pick_target() {
+    if (routing_ == OffloadRouting::kRoundRobin) {
+      const std::size_t t = next_target_;
+      next_target_ = (next_target_ + 1) % overflow_.size();
+      return t;
+    }
+    // Least loaded; ties to the lowest index for determinism.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < overflow_.size(); ++i)
+      if (overflow_[i].size() < overflow_[best].size()) best = i;
+    return best;
+  }
+
+  RttAdmission admission_;
+  OffloadRouting routing_;
+  std::deque<Request> q1_;
+  std::vector<std::deque<Request>> overflow_;
+  std::int64_t len_q1_ = 0;
+  std::size_t next_target_ = 0;
+};
+
+}  // namespace qos

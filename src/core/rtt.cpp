@@ -1,0 +1,52 @@
+#include "core/rtt.h"
+
+#include <algorithm>
+
+#include "util/service_timer.h"
+
+namespace qos {
+
+std::int64_t max_q1_slots(double capacity_iops, Time delta) {
+  QOS_EXPECTS(capacity_iops > 0 && delta >= 0);
+  // floor(C * delta) computed in double; values in practice are far below
+  // 2^53 so the conversion is exact.
+  return static_cast<std::int64_t>(capacity_iops * to_sec(delta));
+}
+
+Decomposition rtt_decompose(const Trace& trace, double capacity_iops,
+                            Time delta) {
+  QOS_EXPECTS(capacity_iops > 0 && delta >= 0);
+  const std::int64_t max_q1 = max_q1_slots(capacity_iops, delta);
+
+  Decomposition d;
+  d.klass.assign(trace.size(), ServiceClass::kOverflow);
+  d.q1_finish.assign(trace.size(), kTimeMax);
+
+  // Completion instants of admitted requests, in admission (FIFO) order.
+  std::vector<Time> finish;
+  finish.reserve(trace.size());
+  std::size_t completed = 0;  // admitted requests finished by current time
+
+  ServiceTimer timer(capacity_iops);
+  Time last_finish = 0;  // finish of the most recently admitted request
+
+  for (const auto& r : trace) {
+    while (completed < finish.size() && finish[completed] <= r.arrival)
+      ++completed;
+    const std::int64_t len_q1 =
+        static_cast<std::int64_t>(finish.size() - completed);
+    if (len_q1 < max_q1) {
+      const Time start = std::max(r.arrival, last_finish);
+      Time dur = timer.next();
+      if (dur <= 0) dur = 1;
+      last_finish = start + dur;
+      finish.push_back(last_finish);
+      d.klass[r.seq] = ServiceClass::kPrimary;
+      d.q1_finish[r.seq] = last_finish;
+      ++d.admitted;
+    }
+  }
+  return d;
+}
+
+}  // namespace qos

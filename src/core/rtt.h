@@ -1,0 +1,70 @@
+// RTT decomposition (paper Algorithm 1, Section 3.1).
+//
+// RTT partitions an arrival stream into a primary class Q1 (guaranteed
+// response time delta at capacity C) and an overflow class Q2.  A request is
+// admitted to Q1 iff the number of pending Q1 requests (queued or in
+// service) is below maxQ1 = floor(C * delta): any admitted request then
+// completes within maxQ1 service slots of 1/C seconds each, i.e. within
+// delta.  The paper proves RTT admits a maximum-cardinality deadline-feasible
+// set among all online or offline partitioners (Lemmas 1-3); tests verify
+// this against brute force and against the Lemma-1 lower bound.
+//
+// Two forms are provided:
+//   * RttAdmission — the O(1) online admission test, embedded in the
+//     recombination schedulers where lenQ1 reflects live service;
+//   * rtt_decompose — analytic replay of RTT over a whole trace assuming a
+//     dedicated server of capacity C for Q1 (the model used for capacity
+//     planning, paper Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/completion.h"
+#include "trace/trace.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace qos {
+
+/// Number of Q1 slots for capacity C (IOPS) and deadline delta (us).
+std::int64_t max_q1_slots(double capacity_iops, Time delta);
+
+/// O(1) online admission test.  The owner tracks lenQ1 (pending primary
+/// requests including the one in service).
+class RttAdmission {
+ public:
+  RttAdmission(double capacity_iops, Time delta)
+      : max_q1_(max_q1_slots(capacity_iops, delta)) {}
+
+  /// True iff a request arriving with `len_q1` pending primaries may join Q1.
+  bool admit(std::int64_t len_q1) const { return len_q1 < max_q1_; }
+
+  std::int64_t max_q1() const { return max_q1_; }
+
+ private:
+  std::int64_t max_q1_;
+};
+
+/// Result of analytically replaying RTT over a trace with a dedicated
+/// capacity-C server draining Q1 in FIFO order.
+struct Decomposition {
+  std::vector<ServiceClass> klass;  ///< indexed by request seq
+  std::vector<Time> q1_finish;      ///< finish time per seq; kTimeMax for Q2
+  std::int64_t admitted = 0;        ///< |Q1|
+
+  std::int64_t total() const { return static_cast<std::int64_t>(klass.size()); }
+  std::int64_t dropped() const { return total() - admitted; }
+  double admitted_fraction() const {
+    return total() == 0 ? 1.0
+                        : static_cast<double>(admitted) /
+                              static_cast<double>(total());
+  }
+};
+
+/// Replay RTT over `trace` at dedicated capacity `capacity_iops` with
+/// deadline `delta`.  O(N).
+Decomposition rtt_decompose(const Trace& trace, double capacity_iops,
+                            Time delta);
+
+}  // namespace qos

@@ -1,0 +1,65 @@
+#include "core/shaper.h"
+
+#include "core/fairqueue.h"
+#include "core/fcfs.h"
+#include "core/miser.h"
+#include "core/split.h"
+#include "sim/server.h"
+#include "util/check.h"
+
+namespace qos {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFcfs: return "FCFS";
+    case Policy::kSplit: return "Split";
+    case Policy::kFairQueue: return "FairQueue";
+    case Policy::kMiser: return "Miser";
+  }
+  QOS_CHECK(false);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(Policy policy, double cmin_iops,
+                                          Time delta, double headroom_iops) {
+  switch (policy) {
+    case Policy::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case Policy::kSplit:
+      return std::make_unique<SplitScheduler>(cmin_iops, delta);
+    case Policy::kFairQueue:
+      return std::make_unique<FairQueueScheduler>(cmin_iops, delta,
+                                                  headroom_iops);
+    case Policy::kMiser:
+      return std::make_unique<MiserScheduler>(cmin_iops, delta);
+  }
+  QOS_CHECK(false);
+}
+
+ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config) {
+  QOS_EXPECTS(config.delta > 0);
+  ShapingOutcome out;
+  out.cmin_iops = config.capacity_override_iops > 0
+                      ? config.capacity_override_iops
+                      : min_capacity(trace, config.fraction, config.delta)
+                            .cmin_iops;
+  out.headroom_iops = config.headroom_override_iops >= 0
+                          ? config.headroom_override_iops
+                          : overflow_headroom_iops(config.delta);
+
+  auto scheduler = make_scheduler(config.policy, out.cmin_iops, config.delta,
+                                  out.headroom_iops);
+
+  if (config.policy == Policy::kSplit) {
+    ConstantRateServer primary(out.cmin_iops);
+    ConstantRateServer overflow(out.headroom_iops > 0 ? out.headroom_iops
+                                                      : 1.0);
+    Server* servers[] = {&primary, &overflow};
+    out.sim = simulate(trace, *scheduler, servers);
+  } else {
+    ConstantRateServer server(out.total_iops());
+    out.sim = simulate(trace, *scheduler, server);
+  }
+  return out;
+}
+
+}  // namespace qos

@@ -1,0 +1,56 @@
+// WorkloadShaper — the library's high-level entry point.
+//
+// Wires the whole paper pipeline together: profile the workload for
+// Cmin(f, delta), pick a recombination policy, build the server(s) and run
+// the trace through the event simulator.  Examples and benches use this
+// facade; every piece is also available individually.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/capacity.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+enum class Policy {
+  kFcfs,       ///< no decomposition (baseline)
+  kSplit,      ///< dedicated overflow server
+  kFairQueue,  ///< shared server, proportional-share multiplexing (SFQ)
+  kMiser,      ///< shared server, slack scheduling
+};
+
+const char* policy_name(Policy p);
+
+struct ShapingConfig {
+  double fraction = 0.90;  ///< QoS target: fraction meeting the deadline
+  Time delta = from_ms(10);
+  Policy policy = Policy::kMiser;
+  /// > 0 overrides the profiled Cmin (e.g. to reuse a cached value).
+  double capacity_override_iops = 0;
+  /// >= 0 overrides the overflow headroom dC; default is 1/delta.
+  double headroom_override_iops = -1;
+};
+
+struct ShapingOutcome {
+  double cmin_iops = 0;
+  double headroom_iops = 0;
+  SimResult sim;
+
+  double total_iops() const { return cmin_iops + headroom_iops; }
+};
+
+/// Build the scheduler for `policy`.  Exposed so benches can drive policies
+/// directly with custom fair schedulers.
+std::unique_ptr<Scheduler> make_scheduler(Policy policy, double cmin_iops,
+                                          Time delta, double headroom_iops);
+
+/// Profile (unless overridden), schedule and simulate.  FCFS receives the
+/// same total capacity (Cmin + dC) on a single server, matching the paper's
+/// equal-resources comparison.
+ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config);
+
+}  // namespace qos

@@ -1,0 +1,53 @@
+#include "core/sla.h"
+
+#include <algorithm>
+
+#include "analysis/response_stats.h"
+#include "util/check.h"
+
+namespace qos {
+
+bool GraduatedSla::valid() const {
+  if (tiers.empty()) return false;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].fraction <= 0 || tiers[i].fraction > 1) return false;
+    if (tiers[i].delta <= 0) return false;
+    if (i > 0 && (tiers[i].fraction <= tiers[i - 1].fraction ||
+                  tiers[i].delta <= tiers[i - 1].delta))
+      return false;
+  }
+  return true;
+}
+
+ProvisioningPlan plan_capacity(const Trace& trace, const GraduatedSla& sla) {
+  QOS_EXPECTS(sla.valid());
+  ProvisioningPlan plan;
+  Time tightest = sla.tiers.front().delta;
+  for (const auto& tier : sla.tiers) {
+    plan.cmin_iops = std::max(
+        plan.cmin_iops, min_capacity(trace, tier.fraction, tier.delta).cmin_iops);
+    tightest = std::min(tightest, tier.delta);
+  }
+  plan.headroom_iops = overflow_headroom_iops(tightest);
+  plan.worst_case_iops = min_capacity(trace, 1.0, tightest).cmin_iops;
+  return plan;
+}
+
+SlaAudit audit_sla(std::span<const CompletionRecord> completions,
+                   const GraduatedSla& sla) {
+  QOS_EXPECTS(sla.valid());
+  SlaAudit audit;
+  const ResponseStats stats(completions);
+  bool first = true;
+  for (const auto& tier : sla.tiers) {
+    const double achieved = stats.fraction_within(tier.delta);
+    audit.achieved.push_back(achieved);
+    const double margin = achieved - tier.fraction;
+    if (first || margin < audit.worst_margin) audit.worst_margin = margin;
+    first = false;
+    if (margin < 0) audit.satisfied = false;
+  }
+  return audit;
+}
+
+}  // namespace qos

@@ -1,0 +1,69 @@
+// Graduated QoS descriptors.
+//
+// The paper's key pricing/provisioning insight: instead of one worst-case
+// response-time guarantee, an SLA is a small distribution of guarantees —
+// fraction f1 of requests within delta, the rest best effort (two classes in
+// the paper; the types here allow the "or more in general" extension).  A
+// GraduatedSla plus a workload profile yields a provisioning plan.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/capacity.h"
+#include "sim/completion.h"
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+/// One tier of a graduated SLA: at least `fraction` of all requests complete
+/// within `delta`.
+struct SlaTier {
+  double fraction = 0.9;
+  Time delta = from_ms(10);
+};
+
+/// A graduated SLA: ordered tiers, tightest first, with an implicit final
+/// best-effort tier covering the remainder.
+struct GraduatedSla {
+  std::vector<SlaTier> tiers;
+
+  /// True when tiers are sensible: fractions strictly increasing in (0, 1],
+  /// deltas strictly increasing (a looser bound guards a larger fraction).
+  bool valid() const;
+};
+
+/// Provisioning plan for one client under a graduated SLA.
+struct ProvisioningPlan {
+  double cmin_iops = 0;      ///< capacity that meets every tier
+  double headroom_iops = 0;  ///< overflow headroom (1 / tightest delta)
+  double total_iops() const { return cmin_iops + headroom_iops; }
+  /// Capacity a worst-case (100%, tightest delta) reservation would need.
+  double worst_case_iops = 0;
+  /// total / worst-case: the provisioning saving from graduation.
+  double saving_ratio() const {
+    return worst_case_iops == 0 ? 1.0 : total_iops() / worst_case_iops;
+  }
+};
+
+/// Profile `trace` against `sla`: the plan capacity is the maximum over
+/// tiers of Cmin(tier.fraction, tier.delta).
+ProvisioningPlan plan_capacity(const Trace& trace, const GraduatedSla& sla);
+
+/// Verdict of checking a simulation result against a graduated SLA.
+struct SlaAudit {
+  bool satisfied = true;
+  /// Achieved fraction within each tier's delta, tier order.
+  std::vector<double> achieved;
+  /// Worst (most negative) achieved - required margin across tiers.
+  double worst_margin = 0;
+};
+
+/// Audit completions against every tier of `sla` (tier i passes when the
+/// fraction of *all* requests within delta_i is >= fraction_i).
+SlaAudit audit_sla(std::span<const CompletionRecord> completions,
+                   const GraduatedSla& sla);
+
+}  // namespace qos

@@ -1,0 +1,25 @@
+// Split recombination (paper Section 3.2): the overflow class is served by a
+// dedicated second server.  Server 0 (capacity Cmin) drains Q1; server 1
+// (capacity dC) drains Q2.  No sharing: when either server idles its
+// capacity is wasted even if the other class has backlog — the statistical
+// multiplexing penalty the paper quantifies in Figure 6(c).
+#pragma once
+
+#include "core/decomposing_scheduler.h"
+
+namespace qos {
+
+class SplitScheduler final : public DecomposingScheduler {
+ public:
+  SplitScheduler(double admission_capacity_iops, Time delta)
+      : DecomposingScheduler(admission_capacity_iops, delta) {}
+
+  int server_count() const override { return 2; }
+
+  std::optional<Dispatch> next_for(int server, Time) override {
+    QOS_EXPECTS(server == 0 || server == 1);
+    return server == 0 ? pop_q1() : pop_q2();
+  }
+};
+
+}  // namespace qos

@@ -1,0 +1,77 @@
+#include "core/statistical.h"
+
+#include <cmath>
+
+#include "trace/rate_series.h"
+#include "util/check.h"
+
+namespace qos {
+
+double gaussian_upper_quantile(double eps) {
+  QOS_EXPECTS(eps > 0 && eps <= 0.5);
+  // Peter Acklam's inverse-normal approximation, lower-region branch for
+  // p = eps (upper quantile = -Phi^{-1}(eps)).
+  const double p = eps;
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+         c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  } else {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+         a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  return -x;  // upper-tail quantile is positive for eps < 0.5
+}
+
+StatisticalEstimate statistical_capacity(const Trace& trace, Time window,
+                                         double eps) {
+  QOS_EXPECTS(window > 0);
+  StatisticalEstimate est;
+  const auto series = rate_series(trace, window);
+  if (series.size() < 2) return est;
+  double sum = 0;
+  for (const auto& p : series) sum += p.iops;
+  est.mean_iops = sum / static_cast<double>(series.size());
+  double sq = 0;
+  for (const auto& p : series)
+    sq += (p.iops - est.mean_iops) * (p.iops - est.mean_iops);
+  est.stddev_iops =
+      std::sqrt(sq / static_cast<double>(series.size() - 1));
+  est.capacity_iops =
+      est.mean_iops + gaussian_upper_quantile(eps) * est.stddev_iops;
+  return est;
+}
+
+StatisticalEstimate statistical_multiplex(
+    const std::vector<StatisticalEstimate>& clients, double eps) {
+  StatisticalEstimate est;
+  double variance = 0;
+  for (const auto& c : clients) {
+    est.mean_iops += c.mean_iops;
+    variance += c.stddev_iops * c.stddev_iops;
+  }
+  est.stddev_iops = std::sqrt(variance);
+  est.capacity_iops =
+      est.mean_iops + gaussian_upper_quantile(eps) * est.stddev_iops;
+  return est;
+}
+
+}  // namespace qos

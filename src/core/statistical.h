@@ -1,0 +1,45 @@
+// Statistical QoS provisioning baseline (paper Section 5 related work).
+//
+// The network-QoS literature the paper contrasts with (Knightly & Shroff's
+// statistical envelopes) provisions from the *distribution* of windowed
+// demand rather than from worst-case or decomposition-based profiles:
+//
+//   C_stat(eps) = mean + z(eps) * stddev     (Gaussian approximation)
+//
+// of the per-window arrival rate, where eps is the tolerated overflow
+// probability.  For multiplexed clients the means add and the variances add
+// (independence), which is where statistical multiplexing gain comes from.
+// Implemented here as a comparison baseline for the consolidation
+// experiments: unlike the RTT planner it carries no deadline semantics —
+// it bounds the chance a window's demand exceeds capacity, not response
+// times — which is exactly the gap the paper's decomposition fills.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct StatisticalEstimate {
+  double mean_iops = 0;
+  double stddev_iops = 0;
+  double capacity_iops = 0;  ///< mean + z * stddev
+};
+
+/// Gaussian quantile z for the upper-tail probability eps (eps in (0, 0.5]).
+/// Acklam-style rational approximation, |error| < 1.2e-4 — ample for
+/// provisioning.
+double gaussian_upper_quantile(double eps);
+
+/// Estimate capacity so that a fraction <= eps of windows of length
+/// `window` exceed it (Gaussian approximation of the windowed rate).
+StatisticalEstimate statistical_capacity(const Trace& trace, Time window,
+                                         double eps);
+
+/// Multiplexed estimate for independent clients: means add, variances add.
+StatisticalEstimate statistical_multiplex(
+    const std::vector<StatisticalEstimate>& clients, double eps);
+
+}  // namespace qos

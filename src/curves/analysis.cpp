@@ -1,0 +1,112 @@
+#include "curves/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qos {
+
+std::vector<BusyPeriod> busy_periods(const Trace& trace,
+                                     double capacity_iops) {
+  QOS_EXPECTS(capacity_iops > 0);
+  std::vector<BusyPeriod> out;
+  if (trace.empty()) return out;
+
+  double backlog = 0;  // pending requests (fluid)
+  Time prev = trace[0].arrival;
+  BusyPeriod cur{trace[0].arrival, 0, 0, 0};
+  bool open = false;
+
+  for (const auto& r : trace) {
+    const double drained = capacity_iops * to_sec(r.arrival - prev);
+    if (open && drained >= backlog) {
+      // The period drained before this arrival.
+      cur.end = prev + from_sec(backlog / capacity_iops);
+      out.push_back(cur);
+      open = false;
+      backlog = 0;
+    } else if (open) {
+      backlog -= drained;
+    }
+    if (!open) {
+      cur = BusyPeriod{r.arrival, 0, static_cast<std::int64_t>(r.seq),
+                       static_cast<std::int64_t>(r.seq)};
+      open = true;
+      backlog = 0;
+    }
+    backlog += 1.0;
+    cur.last_seq = static_cast<std::int64_t>(r.seq);
+    prev = r.arrival;
+  }
+  if (open) {
+    cur.end = prev + from_sec(backlog / capacity_iops);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+double max_backlog(const Trace& trace, double capacity_iops) {
+  QOS_EXPECTS(capacity_iops > 0);
+  double backlog = 0;
+  double best = 0;
+  Time prev = 0;
+  for (const auto& r : trace) {
+    backlog = std::max(0.0, backlog - capacity_iops * to_sec(r.arrival - prev));
+    backlog += 1.0;
+    best = std::max(best, backlog);
+    prev = r.arrival;
+  }
+  return best;
+}
+
+std::int64_t lemma1_lower_bound(const ArrivalCurve& curve,
+                                double capacity_iops, Time delta,
+                                Time origin) {
+  QOS_EXPECTS(capacity_iops > 0 && delta >= 0);
+  std::int64_t bound = 0;
+  for (const auto& step : curve.steps()) {
+    const double service =
+        capacity_iops * to_sec(step.at + delta - origin);
+    const double excess = static_cast<double>(step.cumulative) - service;
+    if (excess > 0)
+      bound = std::max(bound, static_cast<std::int64_t>(std::ceil(excess)));
+  }
+  return bound;
+}
+
+double scl_at(double capacity_iops, Time delta, Time t, Time origin) {
+  QOS_EXPECTS(capacity_iops > 0 && delta >= 0);
+  return capacity_iops * to_sec(t - origin + delta);
+}
+
+std::vector<Time> scl_violations(const ArrivalCurve& curve,
+                                 double capacity_iops, Time delta,
+                                 Time origin) {
+  std::vector<Time> out;
+  for (const auto& step : curve.steps()) {
+    if (static_cast<double>(step.cumulative) >
+        scl_at(capacity_iops, delta, step.at, origin))
+      out.push_back(step.at);
+  }
+  return out;
+}
+
+std::int64_t mandatory_miss_lower_bound(const Trace& trace,
+                                        double capacity_iops, Time delta) {
+  std::int64_t total = 0;
+  for (const auto& period : busy_periods(trace, capacity_iops)) {
+    // Build the period's own arrival curve re-based to its start.
+    std::vector<Request> part;
+    for (std::int64_t s = period.first_seq; s <= period.last_seq; ++s) {
+      Request r = trace[static_cast<std::size_t>(s)];
+      r.arrival -= period.start;
+      part.push_back(r);
+    }
+    ArrivalCurve curve{Trace(std::move(part))};
+    total += lemma1_lower_bound(curve, capacity_iops, delta, 0);
+  }
+  return total;
+}
+
+}  // namespace qos

@@ -1,0 +1,61 @@
+// Service-curve analysis: busy periods, backlog, the Service Curve Limit and
+// the paper's Lemma-1 lower bound on mandatory deadline misses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "curves/arrival_curve.h"
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+/// One busy period of an ideal work-conserving fluid server of capacity C.
+struct BusyPeriod {
+  Time start = 0;  ///< first arrival of the period
+  Time end = 0;    ///< instant the backlog drains to zero
+  std::int64_t first_seq = 0;
+  std::int64_t last_seq = 0;  ///< inclusive
+};
+
+/// Busy periods of a fluid server with capacity `capacity_iops` serving the
+/// whole trace (no drops).  Fluid model: service accrues continuously at C,
+/// so period end = start + backlog/C extended by arrivals that land before
+/// the drain completes.
+std::vector<BusyPeriod> busy_periods(const Trace& trace, double capacity_iops);
+
+/// Maximum instantaneous backlog (pending requests) of the fluid server at
+/// arrival instants.
+double max_backlog(const Trace& trace, double capacity_iops);
+
+/// Lemma 1 (per busy period starting at service origin `origin`):
+///   max_k sgn(A(a_k) - S(a_k + delta))
+/// where S(t) = C * (t - origin) is the service available assuming the server
+/// is continuously busy from `origin`.  This is a lower bound on the number
+/// of requests of the busy period that must miss deadline `delta` at capacity
+/// C.  `curve` must contain only the busy period's arrivals (or the whole
+/// trace when the server never idles).
+std::int64_t lemma1_lower_bound(const ArrivalCurve& curve,
+                                double capacity_iops, Time delta,
+                                Time origin = 0);
+
+/// Sum of Lemma-1 bounds over all busy periods of the fluid server — a lower
+/// bound on total mandatory misses for the whole trace.  RTT matches this
+/// bound (Lemmas 2-3); tests assert equality against RTT and brute force.
+std::int64_t mandatory_miss_lower_bound(const Trace& trace,
+                                        double capacity_iops, Time delta);
+
+/// The Service Curve Limit (paper Figure 3): the most cumulative arrivals a
+/// capacity-C server busy since `origin` can still finish within deadline
+/// delta by time t, i.e. SCL(t) = C * (t - origin + delta).
+double scl_at(double capacity_iops, Time delta, Time t, Time origin = 0);
+
+/// Arrival instants of `curve` where A(t) exceeds the SCL — the overload
+/// points where a decomposition must divert requests (paper Figure 3(a),
+/// instants 2 and 3).
+std::vector<Time> scl_violations(const ArrivalCurve& curve,
+                                 double capacity_iops, Time delta,
+                                 Time origin = 0);
+
+}  // namespace qos

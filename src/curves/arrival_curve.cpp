@@ -1,0 +1,30 @@
+#include "curves/arrival_curve.h"
+
+#include <algorithm>
+
+namespace qos {
+
+ArrivalCurve::ArrivalCurve(const Trace& trace) {
+  steps_.reserve(trace.size());
+  std::int64_t cum = 0;
+  for (const auto& r : trace) {
+    ++cum;
+    if (!steps_.empty() && steps_.back().at == r.arrival) {
+      ++steps_.back().count;
+      steps_.back().cumulative = cum;
+    } else {
+      steps_.push_back({r.arrival, 1, cum});
+    }
+  }
+}
+
+std::int64_t ArrivalCurve::at(Time t) const {
+  // Last step with at <= t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time value, const Step& s) { return value < s.at; });
+  if (it == steps_.begin()) return 0;
+  return std::prev(it)->cumulative;
+}
+
+}  // namespace qos

@@ -1,0 +1,42 @@
+// Cumulative arrival curve A(t) — the paper's Section 2.1 workload model.
+//
+// A(t) is the number of requests arriving in [0, t].  We store the curve as
+// aggregated (arrival instant, cumulative count) steps so point queries are
+// O(log N) and full scans are O(distinct instants).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+class ArrivalCurve {
+ public:
+  struct Step {
+    Time at = 0;                 ///< arrival instant a_i
+    std::int64_t count = 0;      ///< n_i, arrivals exactly at a_i
+    std::int64_t cumulative = 0; ///< A(a_i)
+  };
+
+  ArrivalCurve() = default;
+  explicit ArrivalCurve(const Trace& trace);
+
+  /// A(t): arrivals in [0, t].  O(log N).
+  std::int64_t at(Time t) const;
+
+  /// Total number of requests.
+  std::int64_t total() const {
+    return steps_.empty() ? 0 : steps_.back().cumulative;
+  }
+
+  std::span<const Step> steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace qos

@@ -1,0 +1,56 @@
+#include "disk/cache.h"
+
+#include <vector>
+
+namespace qos {
+
+BlockCache::AccessResult BlockCache::access(std::uint64_t lba,
+                                            bool is_write) {
+  const std::uint64_t tag = lba / line_blocks_;
+  AccessResult result;
+
+  auto it = map_.find(tag);
+  if (it != map_.end()) {
+    result.hit = true;
+    ++hits_;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (is_write && !it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    return result;
+  }
+
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    // Evict LRU.
+    const Line victim = lru_.back();
+    map_.erase(victim.tag);
+    lru_.pop_back();
+    if (victim.dirty) {
+      QOS_CHECK(dirty_count_ > 0);
+      --dirty_count_;
+      ++writebacks_;
+      result.writeback = true;
+      result.evicted_lba = victim.tag * line_blocks_;
+    }
+  }
+  lru_.push_front(Line{tag, is_write});
+  map_[tag] = lru_.begin();
+  if (is_write) ++dirty_count_;
+  return result;
+}
+
+std::vector<std::uint64_t> BlockCache::lines_of(
+    std::uint64_t lba, std::uint32_t size_blocks) const {
+  std::vector<std::uint64_t> lines;
+  const std::uint64_t first = lba / line_blocks_;
+  const std::uint64_t last =
+      (lba + (size_blocks == 0 ? 0 : size_blocks - 1)) / line_blocks_;
+  for (std::uint64_t tag = first; tag <= last; ++tag)
+    lines.push_back(tag * line_blocks_);
+  return lines;
+}
+
+}  // namespace qos

@@ -1,0 +1,77 @@
+// Block cache — LRU read caching with write-back dirty tracking.
+//
+// DiskSim models a cache in front of the mechanical disk; we provide the
+// same: reads that hit are served at DRAM-ish latency, writes are absorbed
+// into the cache (write-back) and flushed lazily, and misses pay the
+// mechanical cost plus (when the cache is full of dirty blocks) an eviction
+// write-back.  Deterministic by construction — no randomness, LRU order is
+// a pure function of the request sequence.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qos {
+
+class BlockCache {
+ public:
+  /// `capacity_blocks` — number of cache lines (one line per block run of
+  /// `line_blocks` 512 B blocks).
+  explicit BlockCache(std::size_t capacity_lines,
+                      std::uint32_t line_blocks = 8)
+      : capacity_(capacity_lines), line_blocks_(line_blocks) {
+    QOS_EXPECTS(capacity_lines > 0);
+    QOS_EXPECTS(line_blocks > 0);
+  }
+
+  struct AccessResult {
+    bool hit = false;          ///< present before the access
+    bool writeback = false;    ///< a dirty line was evicted
+    std::uint64_t evicted_lba = 0;  ///< first LBA of the written-back line
+  };
+
+  /// Access one block address for read or write; inserts on miss and
+  /// updates LRU order.  Multi-line requests should call once per line
+  /// (see lines_of).
+  AccessResult access(std::uint64_t lba, bool is_write);
+
+  /// Number of cache lines a request [lba, lba + size_blocks) touches, and
+  /// the line-aligned addresses.
+  std::vector<std::uint64_t> lines_of(std::uint64_t lba,
+                                      std::uint32_t size_blocks) const;
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dirty_lines() const { return dirty_count_; }
+
+  // Statistics since construction.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0 : static_cast<double>(hits_) /
+                                static_cast<double>(total);
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool dirty = false;
+  };
+
+  std::size_t capacity_;
+  std::uint32_t line_blocks_;
+  std::list<Line> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<Line>::iterator> map_;
+  std::size_t dirty_count_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace qos

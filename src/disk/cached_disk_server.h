@@ -1,0 +1,66 @@
+// Disk + block cache composed into a simulator Server.
+//
+// Read hits cost `hit_time` (controller/DRAM latency).  Read misses pay the
+// mechanical time; write-back victims add a second mechanical access.
+// Writes are absorbed at `hit_time` (write-back caching) unless the miss
+// path evicts dirty data.  The cache makes the service process
+// state-dependent but still fully deterministic.
+#pragma once
+
+#include "disk/cache.h"
+#include "disk/disk_model.h"
+#include "sim/server.h"
+
+namespace qos {
+
+class CachedDiskServer final : public Server {
+ public:
+  struct Config {
+    std::size_t cache_lines = 4'096;
+    std::uint32_t line_blocks = 8;
+    Time hit_time = 50;  ///< us — controller + DRAM
+  };
+
+  CachedDiskServer() : CachedDiskServer(DiskModel{}, Config{}) {}
+  CachedDiskServer(DiskModel model, Config config)
+      : model_(model),
+        cache_(config.cache_lines, config.line_blocks),
+        line_blocks_(config.line_blocks),
+        hit_time_(config.hit_time) {}
+
+  Time service_duration(const Request& r, Time now) override {
+    Time total = 0;
+    bool mechanical_done = false;
+    for (std::uint64_t line : cache_.lines_of(r.lba, r.size_blocks)) {
+      const auto outcome = cache_.access(line, r.is_write);
+      if (outcome.hit || r.is_write) {
+        total += hit_time_;
+      } else if (!mechanical_done) {
+        // One mechanical access fetches the whole request's lines.
+        total += model_.service_time(r, now + total);
+        mechanical_done = true;
+      } else {
+        total += hit_time_;  // subsequent lines ride the same access
+      }
+      if (outcome.writeback) {
+        Request flush;
+        flush.lba = outcome.evicted_lba;
+        flush.size_blocks = line_blocks_;
+        flush.is_write = true;
+        total += model_.service_time(flush, now + total);
+      }
+    }
+    return total > 0 ? total : 1;
+  }
+
+  const BlockCache& cache() const { return cache_; }
+  const DiskModel& model() const { return model_; }
+
+ private:
+  DiskModel model_;
+  BlockCache cache_;
+  std::uint32_t line_blocks_;
+  Time hit_time_;
+};
+
+}  // namespace qos

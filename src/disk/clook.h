@@ -1,0 +1,46 @@
+// C-LOOK elevator queue.
+//
+// Storage arrays reorder low-level queues for throughput (paper Section 4.2:
+// "scheduling at the low level of storage array uses some throughput
+// maximizing ordering").  C-LOOK sweeps the head in one direction serving
+// requests in ascending cylinder order, then jumps back to the lowest
+// pending cylinder.  Used by the disk-backed example and tests; the QoS
+// schedulers themselves stay order-preserving.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "trace/request.h"
+#include "util/check.h"
+
+namespace qos {
+
+class ClookQueue {
+ public:
+  void push(const Request& r, std::int64_t cylinder) {
+    queue_.emplace(std::pair<std::int64_t, std::uint64_t>{cylinder, r.seq}, r);
+  }
+
+  /// Pop the next request at-or-above the head position, wrapping to the
+  /// lowest cylinder when the sweep passes the top.
+  std::optional<Request> pop(std::int64_t head_cylinder) {
+    if (queue_.empty()) return std::nullopt;
+    auto it = queue_.lower_bound({head_cylinder, 0});
+    if (it == queue_.end()) it = queue_.begin();  // wrap (the C of C-LOOK)
+    Request r = it->second;
+    queue_.erase(it);
+    return r;
+  }
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  // Key: (cylinder, seq) — seq keeps same-cylinder requests FIFO and makes
+  // iteration deterministic.
+  std::map<std::pair<std::int64_t, std::uint64_t>, Request> queue_;
+};
+
+}  // namespace qos

@@ -1,0 +1,56 @@
+#include "disk/disk_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qos {
+
+Time SeekProfile::seek_time(std::int64_t distance) const {
+  QOS_EXPECTS(distance >= 0);
+  if (distance == 0) return 0;
+  if (distance == 1) return track_to_track;
+  if (distance <= short_range) {
+    return track_to_track +
+           static_cast<Time>(static_cast<double>(short_seek_coeff) *
+                             std::sqrt(static_cast<double>(distance)));
+  }
+  return long_seek_base +
+         static_cast<Time>(long_seek_slope *
+                           static_cast<double>(distance - short_range));
+}
+
+DiskPosition DiskModel::position_of(std::uint64_t lba) const {
+  const std::int64_t blocks = static_cast<std::int64_t>(
+      lba % static_cast<std::uint64_t>(geometry_.total_blocks()));
+  DiskPosition p;
+  p.cylinder = blocks / geometry_.blocks_per_cylinder();
+  const std::int64_t within = blocks % geometry_.blocks_per_cylinder();
+  p.head = within / geometry_.sectors_per_track;
+  p.sector = within % geometry_.sectors_per_track;
+  return p;
+}
+
+Time DiskModel::service_time(const Request& r, Time now) {
+  const DiskPosition pos = position_of(r.lba);
+  const Time seek = seek_.seek_time(std::llabs(pos.cylinder - cylinder_));
+  cylinder_ = pos.cylinder;
+
+  // Rotation: the platter angle is a pure function of wall-clock time, so
+  // the delay until the target sector passes under the head is the gap
+  // between the head-settled instant and the sector's next pass.
+  const Time period = geometry_.rotation_period();
+  const Time settled = now + seek;
+  const Time sector_phase =
+      pos.sector * period / geometry_.sectors_per_track;
+  const Time settle_phase = settled % period;
+  Time rotation = sector_phase - settle_phase;
+  if (rotation < 0) rotation += period;
+
+  const Time transfer = static_cast<Time>(r.size_blocks) * period /
+                        geometry_.sectors_per_track;
+  const Time total = seek + rotation + transfer;
+  return total > 0 ? total : 1;
+}
+
+}  // namespace qos

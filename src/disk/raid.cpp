@@ -1,0 +1,75 @@
+#include "disk/raid.h"
+
+namespace qos {
+
+int RaidMapper::data_disks() const {
+  switch (geometry_.level) {
+    case RaidLevel::kRaid0: return geometry_.disks;
+    case RaidLevel::kRaid1: return geometry_.disks / 2;
+    case RaidLevel::kRaid5: return geometry_.disks - 1;
+  }
+  QOS_CHECK(false);
+}
+
+PhysicalBlock RaidMapper::map_read(std::uint64_t logical_lba) const {
+  const std::uint64_t stripe = geometry_.stripe_blocks;
+  const std::uint64_t unit = logical_lba / stripe;    // stripe unit index
+  const std::uint64_t offset = logical_lba % stripe;  // within the unit
+  const int n = data_disks();
+  const std::uint64_t row = unit / static_cast<std::uint64_t>(n);
+  const int column = static_cast<int>(unit % static_cast<std::uint64_t>(n));
+
+  switch (geometry_.level) {
+    case RaidLevel::kRaid0:
+      return {column, row * stripe + offset};
+    case RaidLevel::kRaid1:
+      // Mirrored pairs: data disk 2k, mirror 2k+1.
+      return {2 * column, row * stripe + offset};
+    case RaidLevel::kRaid5: {
+      // Left-symmetric layout: parity rotates right-to-left by row; data
+      // columns shift to skip the parity disk.
+      const int disks = geometry_.disks;
+      const int parity =
+          static_cast<int>((static_cast<std::uint64_t>(disks - 1) -
+                            row % static_cast<std::uint64_t>(disks)));
+      int disk = column;
+      if (disk >= parity) ++disk;  // skip the parity column
+      return {disk, row * stripe + offset};
+    }
+  }
+  QOS_CHECK(false);
+}
+
+PhysicalBlock RaidMapper::map_mirror(std::uint64_t logical_lba) const {
+  QOS_EXPECTS(geometry_.level == RaidLevel::kRaid1);
+  PhysicalBlock primary = map_read(logical_lba);
+  return {primary.disk + 1, primary.lba};
+}
+
+int RaidMapper::parity_disk(std::uint64_t logical_lba) const {
+  QOS_EXPECTS(geometry_.level == RaidLevel::kRaid5);
+  const std::uint64_t unit = logical_lba / geometry_.stripe_blocks;
+  const std::uint64_t row =
+      unit / static_cast<std::uint64_t>(data_disks());
+  const int disks = geometry_.disks;
+  return static_cast<int>((static_cast<std::uint64_t>(disks - 1) -
+                           row % static_cast<std::uint64_t>(disks)));
+}
+
+std::vector<PhysicalBlock> RaidMapper::write_targets(
+    std::uint64_t logical_lba) const {
+  switch (geometry_.level) {
+    case RaidLevel::kRaid0:
+      return {map_read(logical_lba)};
+    case RaidLevel::kRaid1:
+      return {map_read(logical_lba), map_mirror(logical_lba)};
+    case RaidLevel::kRaid5: {
+      const PhysicalBlock data = map_read(logical_lba);
+      const PhysicalBlock parity{parity_disk(logical_lba), data.lba};
+      return {data, parity};
+    }
+  }
+  QOS_CHECK(false);
+}
+
+}  // namespace qos

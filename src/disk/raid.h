@@ -1,0 +1,73 @@
+// RAID address mapping — pure layout logic for striped arrays.
+//
+// Maps an array-logical block address onto (disk index, disk-local LBA) for
+// RAID-0 (striping), RAID-1 (mirroring over stripe pairs) and RAID-5
+// (left-symmetric rotating parity).  Pure functions of the geometry — no
+// state — so the mapping is exhaustively unit-testable and shared by the
+// multi-disk scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qos {
+
+enum class RaidLevel { kRaid0, kRaid1, kRaid5 };
+
+struct RaidGeometry {
+  RaidLevel level = RaidLevel::kRaid0;
+  int disks = 4;
+  std::uint32_t stripe_blocks = 128;  ///< stripe unit in 512 B blocks
+
+  bool valid() const {
+    if (stripe_blocks == 0) return false;
+    switch (level) {
+      case RaidLevel::kRaid0: return disks >= 2;
+      case RaidLevel::kRaid1: return disks >= 2 && disks % 2 == 0;
+      case RaidLevel::kRaid5: return disks >= 3;
+    }
+    return false;
+  }
+};
+
+struct PhysicalBlock {
+  int disk = 0;
+  std::uint64_t lba = 0;
+};
+
+class RaidMapper {
+ public:
+  explicit RaidMapper(RaidGeometry geometry) : geometry_(geometry) {
+    QOS_EXPECTS(geometry.valid());
+  }
+
+  const RaidGeometry& geometry() const { return geometry_; }
+
+  /// Data disks contributing capacity (RAID-5 loses one to parity, RAID-1
+  /// half to mirrors).
+  int data_disks() const;
+
+  /// Map a logical block to its primary physical location.
+  PhysicalBlock map_read(std::uint64_t logical_lba) const;
+
+  /// Mirror location of a logical block (RAID-1 only).
+  PhysicalBlock map_mirror(std::uint64_t logical_lba) const;
+
+  /// Disk holding parity for the stripe row containing `logical_lba`
+  /// (RAID-5 only).
+  int parity_disk(std::uint64_t logical_lba) const;
+
+  /// Physical accesses needed to *write* one logical block:
+  ///   RAID-0: 1 (data); RAID-1: 2 (both mirrors);
+  ///   RAID-5: 4 (read-modify-write: read data + parity, write data +
+  ///   parity) — returned as the two write targets, the RMW reads hit the
+  ///   same two locations.
+  std::vector<PhysicalBlock> write_targets(std::uint64_t logical_lba) const;
+
+ private:
+  RaidGeometry geometry_;
+};
+
+}  // namespace qos

@@ -1,0 +1,120 @@
+// Multi-disk QoS scheduler: RTT admission in front of a RAID array.
+//
+// The simulator's multi-server support (one Server per member disk) lets the
+// decomposition framework drive a whole array: arrivals are classified by
+// RTT exactly as on a single server, then routed to the member disk that
+// holds their data (RAID mapping); each disk drains its own two queues with
+// Q1-priority.  RAID-1 writes fan out to both mirrors; RAID-5 writes hit
+// the data and parity disks (read-modify-write modeled as a double-length
+// access on each).  Admission capacity should reflect the *array's*
+// effective IOPS.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/rtt.h"
+#include "disk/raid.h"
+#include "sim/scheduler.h"
+
+namespace qos {
+
+class RaidQosScheduler final : public Scheduler {
+ public:
+  RaidQosScheduler(RaidGeometry geometry, double admission_capacity_iops,
+                   Time delta)
+      : mapper_(geometry),
+        admission_(admission_capacity_iops, delta),
+        per_disk_(static_cast<std::size_t>(geometry.disks)) {}
+
+  int server_count() const override { return mapper_.geometry().disks; }
+
+  bool fans_out() const override { return true; }
+
+  void on_arrival(const Request& r, Time) override {
+    ServiceClass klass;
+    if (admission_.admit(len_q1_)) {
+      ++len_q1_;
+      klass = ServiceClass::kPrimary;
+    } else {
+      klass = ServiceClass::kOverflow;
+    }
+    // Route each physical access as a sub-request on its member disk.  The
+    // logical request is accounted complete when its primary access is; the
+    // extra mirror/parity accesses are independent load on their disks.
+    const auto targets = r.is_write ? mapper_.write_targets(r.lba)
+                                    : std::vector<PhysicalBlock>{
+                                          mapper_.map_read(r.lba)};
+    bool first = true;
+    for (const auto& target : targets) {
+      Request sub = r;
+      sub.lba = target.lba;
+      auto& queues = per_disk_[static_cast<std::size_t>(target.disk)];
+      // Only the primary access carries the request identity; companions
+      // are internal work (their completions are filtered by the caller
+      // via is_companion()).
+      sub.client = first ? r.client : kCompanionClient;
+      (klass == ServiceClass::kPrimary ? queues.q1 : queues.q2)
+          .push_back(sub);
+      first = false;
+    }
+    klass_of_seq_resize(r.seq);
+    klass_by_seq_[r.seq] = klass;
+  }
+
+  std::optional<Dispatch> next_for(int server, Time) override {
+    auto& queues = per_disk_[static_cast<std::size_t>(server)];
+    if (!queues.q1.empty()) {
+      Dispatch d{queues.q1.front(), ServiceClass::kPrimary};
+      queues.q1.pop_front();
+      return d;
+    }
+    if (!queues.q2.empty()) {
+      Dispatch d{queues.q2.front(), ServiceClass::kOverflow};
+      queues.q2.pop_front();
+      return d;
+    }
+    return std::nullopt;
+  }
+
+  void on_complete(const Request& r, ServiceClass klass, int, Time) override {
+    if (klass == ServiceClass::kPrimary && r.client != kCompanionClient) {
+      QOS_CHECK(len_q1_ > 0);
+      --len_q1_;
+    }
+  }
+
+  /// Completions with this client id are internal mirror/parity accesses,
+  /// not logical request completions.
+  static bool is_companion(const CompletionRecord& c) {
+    return c.client == kCompanionClient;
+  }
+
+  ServiceClass class_of(std::uint64_t seq) const {
+    QOS_EXPECTS(seq < klass_by_seq_.size());
+    return klass_by_seq_[seq];
+  }
+
+  std::int64_t len_q1() const { return len_q1_; }
+
+ private:
+  static constexpr std::uint32_t kCompanionClient = 0xffffffffu;
+
+  struct DiskQueues {
+    std::deque<Request> q1;
+    std::deque<Request> q2;
+  };
+
+  void klass_of_seq_resize(std::uint64_t seq) {
+    if (klass_by_seq_.size() <= seq)
+      klass_by_seq_.resize(seq + 1, ServiceClass::kOverflow);
+  }
+
+  RaidMapper mapper_;
+  RttAdmission admission_;
+  std::vector<DiskQueues> per_disk_;
+  std::vector<ServiceClass> klass_by_seq_;
+  std::int64_t len_q1_ = 0;
+};
+
+}  // namespace qos

@@ -1,0 +1,49 @@
+// DRR — Deficit Round Robin (Shreedhar/Varghese 1995).
+//
+// O(1) proportional sharing without virtual time: each flow carries a
+// deficit counter topped up by a weight-proportional quantum each round; a
+// flow serves items while its deficit covers their cost.  Coarser
+// short-term fairness than the tag-based schedulers but the cheapest of the
+// family — a useful ablation point for the FairQueue recombination.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fq/fair_scheduler.h"
+#include "util/check.h"
+
+namespace qos {
+
+class DrrScheduler final : public FairScheduler {
+ public:
+  /// `quantum_scale` sets the base quantum: flow i's per-round quantum is
+  /// weight_i * quantum_scale (must cover the max item cost for the heaviest
+  /// flow to make progress every round).
+  explicit DrrScheduler(std::vector<double> weights,
+                        double quantum_scale = 1.0);
+
+  int flow_count() const override {
+    return static_cast<int>(flows_.size());
+  }
+  void enqueue(int flow, std::uint64_t handle, double cost, Time now) override;
+  std::optional<FqDispatch> dequeue(Time now) override;
+  bool empty() const override;
+  std::size_t backlog(int flow) const override;
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 1;
+  };
+  struct Flow {
+    double quantum = 1;
+    double deficit = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  std::size_t cursor_ = 0;  ///< round-robin position
+};
+
+}  // namespace qos

@@ -1,0 +1,79 @@
+#include "fq/pclock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qos {
+
+PClockScheduler::PClockScheduler(std::vector<PClockSla> slas) {
+  QOS_EXPECTS(!slas.empty());
+  flows_.resize(slas.size());
+  for (std::size_t i = 0; i < slas.size(); ++i) {
+    QOS_EXPECTS(slas[i].sigma >= 0);
+    QOS_EXPECTS(slas[i].rho > 0);
+    QOS_EXPECTS(slas[i].delta >= 0);
+    flows_[i].sla = slas[i];
+    flows_[i].tokens = slas[i].sigma;
+  }
+}
+
+void PClockScheduler::enqueue(int flow, std::uint64_t handle, double cost,
+                              Time now) {
+  QOS_EXPECTS(flow >= 0 && flow < flow_count());
+  QOS_EXPECTS(cost > 0);
+  Flow& f = flows_[static_cast<std::size_t>(flow)];
+
+  // Earn tokens since the last update, capped at the burst allowance.
+  f.tokens = std::min(
+      f.sla.sigma,
+      f.tokens + f.sla.rho * to_sec(now - f.last_update));
+  f.last_update = now;
+
+  Item item;
+  item.handle = handle;
+  // The bucket goes into debt on non-conforming requests so that successive
+  // deadlines march forward at 1/rho — a flow sending above its reservation
+  // sees deadlines recede ahead of wall clock instead of its stale backlog
+  // starving other flows (this is pClock's tagging, not a plain leaky
+  // bucket).
+  f.tokens -= cost;
+  if (f.tokens >= 0) {
+    item.deadline = now + f.sla.delta;  // conforming: due delta after arrival
+  } else {
+    item.deadline = now + f.sla.delta + from_sec(-f.tokens / f.sla.rho);
+  }
+  // Deadlines within a flow must be non-decreasing (FIFO per flow).
+  if (!f.queue.empty())
+    item.deadline = std::max(item.deadline, f.queue.back().deadline);
+  f.queue.push_back(item);
+}
+
+std::optional<FqDispatch> PClockScheduler::dequeue(Time) {
+  int best = -1;
+  for (int i = 0; i < flow_count(); ++i) {
+    const Flow& f = flows_[static_cast<std::size_t>(i)];
+    if (f.queue.empty()) continue;
+    if (best < 0 ||
+        f.queue.front().deadline <
+            flows_[static_cast<std::size_t>(best)].queue.front().deadline)
+      best = i;
+  }
+  if (best < 0) return std::nullopt;
+  Flow& f = flows_[static_cast<std::size_t>(best)];
+  const Item item = f.queue.front();
+  f.queue.pop_front();
+  return FqDispatch{best, item.handle};
+}
+
+bool PClockScheduler::empty() const {
+  for (const auto& f : flows_)
+    if (!f.queue.empty()) return false;
+  return true;
+}
+
+std::size_t PClockScheduler::backlog(int flow) const {
+  QOS_EXPECTS(flow >= 0 && flow < flow_count());
+  return flows_[static_cast<std::size_t>(flow)].queue.size();
+}
+
+}  // namespace qos

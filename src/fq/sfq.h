@@ -1,0 +1,49 @@
+// Start-time Fair Queueing (SFQ).
+//
+// Each item gets a start tag S = max(v, F_prev) and finish tag
+// F = S + cost/weight, where v is the system virtual time — the start tag of
+// the item most recently dispatched.  Dispatch order is by smallest head
+// start tag (flow index breaks ties).  SFQ provides proportional sharing
+// with bounded unfairness and is the simplest member of the family the paper
+// cites for the FairQueue recombination.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fq/fair_scheduler.h"
+#include "util/check.h"
+
+namespace qos {
+
+class SfqScheduler final : public FairScheduler {
+ public:
+  explicit SfqScheduler(std::vector<double> weights);
+
+  int flow_count() const override {
+    return static_cast<int>(flows_.size());
+  }
+  void enqueue(int flow, std::uint64_t handle, double cost, Time now) override;
+  std::optional<FqDispatch> dequeue(Time now) override;
+  bool empty() const override;
+  std::size_t backlog(int flow) const override;
+
+  double virtual_time() const { return v_; }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double start = 0;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  double v_ = 0;
+};
+
+}  // namespace qos

@@ -1,0 +1,69 @@
+// Token bucket — the conformance primitive of network traffic shaping
+// (paper Section 5's related work) and of pClock's tagging.
+//
+// A bucket of depth sigma fills at rate rho tokens/second.  `conforms`
+// tests whether a request of given cost could be admitted now; `consume`
+// takes the tokens (allowing debt when forced); `time_until_conforming`
+// tells a shaper how long to delay a non-conforming request — the classic
+// leaky-bucket delay formula.
+#pragma once
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace qos {
+
+class TokenBucket {
+ public:
+  TokenBucket(double sigma, double rho) : sigma_(sigma), rho_(rho) {
+    QOS_EXPECTS(sigma >= 0);
+    QOS_EXPECTS(rho > 0);
+    tokens_ = sigma;
+  }
+
+  /// Earn tokens up to `now`; must be called with non-decreasing times.
+  void advance(Time now) {
+    QOS_EXPECTS(now >= last_);
+    tokens_ = std::min(sigma_, tokens_ + rho_ * to_sec(now - last_));
+    last_ = now;
+  }
+
+  bool conforms(double cost, Time now) {
+    advance(now);
+    return tokens_ >= cost;
+  }
+
+  /// Take `cost` tokens at `now`; tokens may go negative (debt) when the
+  /// caller ships a non-conforming request anyway.
+  void consume(double cost, Time now) {
+    QOS_EXPECTS(cost >= 0);
+    advance(now);
+    tokens_ -= cost;
+  }
+
+  /// Microseconds until a request of `cost` becomes conforming (0 if it
+  /// already is).
+  Time time_until_conforming(double cost, Time now) {
+    advance(now);
+    if (tokens_ >= cost) return 0;
+    return from_sec((cost - tokens_) / rho_);
+  }
+
+  double tokens(Time now) {
+    advance(now);
+    return tokens_;
+  }
+
+  double sigma() const { return sigma_; }
+  double rho() const { return rho_; }
+
+ private:
+  double sigma_;
+  double rho_;
+  double tokens_ = 0;
+  Time last_ = 0;
+};
+
+}  // namespace qos

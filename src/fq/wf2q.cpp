@@ -1,0 +1,74 @@
+#include "fq/wf2q.h"
+
+#include <algorithm>
+
+namespace qos {
+
+Wf2qPlusScheduler::Wf2qPlusScheduler(std::vector<double> weights) {
+  QOS_EXPECTS(!weights.empty());
+  flows_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    QOS_EXPECTS(weights[i] > 0);
+    flows_[i].weight = weights[i];
+    total_weight_ += weights[i];
+  }
+}
+
+void Wf2qPlusScheduler::enqueue(int flow, std::uint64_t handle, double cost,
+                                Time) {
+  QOS_EXPECTS(flow >= 0 && flow < flow_count());
+  QOS_EXPECTS(cost > 0);
+  Flow& f = flows_[static_cast<std::size_t>(flow)];
+  Item item;
+  item.handle = handle;
+  item.cost = cost;
+  item.start = std::max(v_, f.last_finish);
+  item.finish = item.start + cost / f.weight;
+  f.last_finish = item.finish;
+  f.queue.push_back(item);
+}
+
+std::optional<FqDispatch> Wf2qPlusScheduler::dequeue(Time) {
+  // Advance V to the minimum backlogged start tag if it fell behind.
+  double min_start = 0;
+  bool any = false;
+  for (const auto& f : flows_) {
+    if (f.queue.empty()) continue;
+    if (!any || f.queue.front().start < min_start)
+      min_start = f.queue.front().start;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  v_ = std::max(v_, min_start);
+
+  // Smallest finish tag among eligible items (start <= V).  By construction
+  // at least the min-start item is eligible.
+  int best = -1;
+  for (int i = 0; i < flow_count(); ++i) {
+    const Flow& f = flows_[static_cast<std::size_t>(i)];
+    if (f.queue.empty() || f.queue.front().start > v_) continue;
+    if (best < 0 ||
+        f.queue.front().finish <
+            flows_[static_cast<std::size_t>(best)].queue.front().finish)
+      best = i;
+  }
+  QOS_CHECK(best >= 0);
+  Flow& f = flows_[static_cast<std::size_t>(best)];
+  const Item item = f.queue.front();
+  f.queue.pop_front();
+  v_ += item.cost / total_weight_;
+  return FqDispatch{best, item.handle};
+}
+
+bool Wf2qPlusScheduler::empty() const {
+  for (const auto& f : flows_)
+    if (!f.queue.empty()) return false;
+  return true;
+}
+
+std::size_t Wf2qPlusScheduler::backlog(int flow) const {
+  QOS_EXPECTS(flow >= 0 && flow < flow_count());
+  return flows_[static_cast<std::size_t>(flow)].queue.size();
+}
+
+}  // namespace qos

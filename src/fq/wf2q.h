@@ -1,0 +1,51 @@
+// WF2Q+ — Worst-case Fair Weighted Fair Queueing (plus).
+//
+// Items carry start/finish tags as in SFQ, but dispatch is restricted to
+// *eligible* items (start tag <= system virtual time V) and picks the
+// smallest finish tag among them — giving worst-case fairness within one
+// service quantum of the fluid GPS reference.  V advances by the dispatched
+// cost / total weight and jumps up to the minimum backlogged start tag so it
+// can never stall behind an idle system (the "+" of WF2Q+).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fq/fair_scheduler.h"
+#include "util/check.h"
+
+namespace qos {
+
+class Wf2qPlusScheduler final : public FairScheduler {
+ public:
+  explicit Wf2qPlusScheduler(std::vector<double> weights);
+
+  int flow_count() const override {
+    return static_cast<int>(flows_.size());
+  }
+  void enqueue(int flow, std::uint64_t handle, double cost, Time now) override;
+  std::optional<FqDispatch> dequeue(Time now) override;
+  bool empty() const override;
+  std::size_t backlog(int flow) const override;
+
+  double virtual_time() const { return v_; }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 1;
+    double start = 0;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  double v_ = 0;
+  double total_weight_ = 0;
+};
+
+}  // namespace qos

@@ -1,0 +1,62 @@
+#include "fq/wfq.h"
+
+#include <algorithm>
+
+namespace qos {
+
+WfqScheduler::WfqScheduler(std::vector<double> weights) {
+  QOS_EXPECTS(!weights.empty());
+  flows_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    QOS_EXPECTS(weights[i] > 0);
+    flows_[i].weight = weights[i];
+    total_weight_ += weights[i];
+  }
+}
+
+void WfqScheduler::enqueue(int flow, std::uint64_t handle, double cost,
+                           Time) {
+  QOS_EXPECTS(flow >= 0 && flow < flow_count());
+  QOS_EXPECTS(cost > 0);
+  Flow& f = flows_[static_cast<std::size_t>(flow)];
+  Item item;
+  item.handle = handle;
+  item.cost = cost;
+  item.finish = std::max(v_, f.last_finish) + cost / f.weight;
+  f.last_finish = item.finish;
+  f.queue.push_back(item);
+}
+
+std::optional<FqDispatch> WfqScheduler::dequeue(Time) {
+  int best = -1;
+  for (int i = 0; i < flow_count(); ++i) {
+    const Flow& f = flows_[static_cast<std::size_t>(i)];
+    if (f.queue.empty()) continue;
+    if (best < 0 ||
+        f.queue.front().finish <
+            flows_[static_cast<std::size_t>(best)].queue.front().finish)
+      best = i;
+  }
+  if (best < 0) return std::nullopt;
+  Flow& f = flows_[static_cast<std::size_t>(best)];
+  const Item item = f.queue.front();
+  f.queue.pop_front();
+  // Self-clocked virtual time (SCFQ approximation of GPS time): V tracks
+  // the finish tag of the item in service, so a flow waking from idle joins
+  // at the current service round rather than being owed its idle history.
+  v_ = item.finish;
+  return FqDispatch{best, item.handle};
+}
+
+bool WfqScheduler::empty() const {
+  for (const auto& f : flows_)
+    if (!f.queue.empty()) return false;
+  return true;
+}
+
+std::size_t WfqScheduler::backlog(int flow) const {
+  QOS_EXPECTS(flow >= 0 && flow < flow_count());
+  return flows_[static_cast<std::size_t>(flow)].queue.size();
+}
+
+}  // namespace qos

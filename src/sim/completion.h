@@ -1,0 +1,29 @@
+// Per-request outcome record produced by the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace qos {
+
+/// Service class a request was assigned by decomposition.
+enum class ServiceClass : std::uint8_t {
+  kPrimary = 0,   ///< Q1 — guaranteed response time
+  kOverflow = 1,  ///< Q2 — best effort
+};
+
+struct CompletionRecord {
+  std::uint64_t seq = 0;
+  std::uint32_t client = 0;
+  Time arrival = 0;
+  Time start = 0;   ///< instant service began
+  Time finish = 0;  ///< instant service completed
+  ServiceClass klass = ServiceClass::kPrimary;
+  std::uint8_t server = 0;
+
+  Time response_time() const { return finish - arrival; }
+  Time wait_time() const { return start - arrival; }
+};
+
+}  // namespace qos

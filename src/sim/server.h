@@ -1,0 +1,43 @@
+// Server models: anything that can state how long a request occupies it.
+//
+// The paper's analytical model is a constant-rate server of C IOPS; the
+// DiskServer in src/disk provides a mechanical alternative.  Servers are
+// stateful (error-diffusion phase, head position) and must be asked in
+// dispatch order.
+#pragma once
+
+#include "trace/request.h"
+#include "util/service_timer.h"
+#include "util/time.h"
+
+namespace qos {
+
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  /// Duration the given request will occupy the server when started at
+  /// `now`.  Must be > 0.
+  virtual Time service_duration(const Request& r, Time now) = 0;
+};
+
+/// Fixed-capacity server: every request takes 1/C seconds (error-diffused to
+/// the microsecond grid so the long-run rate is exactly C).
+class ConstantRateServer final : public Server {
+ public:
+  explicit ConstantRateServer(double capacity_iops)
+      : timer_(capacity_iops), capacity_(capacity_iops) {}
+
+  Time service_duration(const Request&, Time) override {
+    const Time d = timer_.next();
+    return d > 0 ? d : 1;  // a slot is never shorter than the grid
+  }
+
+  double capacity_iops() const { return capacity_; }
+
+ private:
+  ServiceTimer timer_;
+  double capacity_;
+};
+
+}  // namespace qos

@@ -1,0 +1,120 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qos {
+
+std::vector<CompletionRecord> SimResult::by_seq() const {
+  std::vector<CompletionRecord> out(completions.size());
+  for (const auto& c : completions) {
+    QOS_CHECK(c.seq < out.size());
+    out[c.seq] = c;
+  }
+  return out;
+}
+
+Time SimResult::makespan() const {
+  Time last = 0;
+  for (const auto& c : completions) last = std::max(last, c.finish);
+  return last;
+}
+
+namespace {
+
+struct InService {
+  bool busy = false;
+  CompletionRecord record;  ///< filled at dispatch; finish set then too
+};
+
+}  // namespace
+
+SimResult simulate(const Trace& trace, Scheduler& scheduler,
+                   std::span<Server* const> servers) {
+  QOS_EXPECTS(static_cast<int>(servers.size()) == scheduler.server_count());
+  QOS_EXPECTS(!servers.empty());
+
+  SimResult result;
+  result.completions.reserve(trace.size());
+
+  std::vector<InService> slot(servers.size());
+  std::size_t next_arrival = 0;
+
+  // Offer work to every idle server until no server accepts.  A dispatch on
+  // one server can change scheduler state (e.g. Miser slack), so loop to a
+  // fixed point.
+  auto fill_servers = [&](Time now) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        if (slot[s].busy) continue;
+        auto d = scheduler.next_for(static_cast<int>(s), now);
+        if (!d) continue;
+        const Time dur = servers[s]->service_duration(d->request, now);
+        QOS_CHECK(dur > 0);
+        slot[s].busy = true;
+        slot[s].record = CompletionRecord{
+            .seq = d->request.seq,
+            .client = d->request.client,
+            .arrival = d->request.arrival,
+            .start = now,
+            .finish = now + dur,
+            .klass = d->klass,
+            .server = static_cast<std::uint8_t>(s),
+        };
+        progress = true;
+      }
+    }
+  };
+
+  while (true) {
+    // Next event: min over pending completions and the next arrival.
+    Time next_completion = kTimeMax;
+    for (const auto& s : slot)
+      if (s.busy) next_completion = std::min(next_completion, s.record.finish);
+    const Time arrival_time = next_arrival < trace.size()
+                                  ? trace[next_arrival].arrival
+                                  : kTimeMax;
+    const Time now = std::min(next_completion, arrival_time);
+    if (now == kTimeMax) break;  // drained
+
+    // Completions first (see scheduler.h contract).  Process every server
+    // finishing exactly at `now`, in server-index order for determinism.
+    if (next_completion == now) {
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        if (!slot[s].busy || slot[s].record.finish != now) continue;
+        slot[s].busy = false;
+        result.completions.push_back(slot[s].record);
+        scheduler.on_complete(
+            Request{.arrival = slot[s].record.arrival,
+                    .seq = slot[s].record.seq,
+                    .client = slot[s].record.client},
+            slot[s].record.klass, static_cast<int>(s), now);
+      }
+    }
+
+    // Then all arrivals at `now`.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival == now) {
+      scheduler.on_arrival(trace[next_arrival], now);
+      ++next_arrival;
+    }
+
+    fill_servers(now);
+  }
+
+  if (scheduler.fans_out())
+    QOS_ENSURES(result.completions.size() >= trace.size());
+  else
+    QOS_ENSURES(result.completions.size() == trace.size());
+  return result;
+}
+
+SimResult simulate(const Trace& trace, Scheduler& scheduler, Server& server) {
+  Server* servers[] = {&server};
+  return simulate(trace, scheduler, servers);
+}
+
+}  // namespace qos

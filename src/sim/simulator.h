@@ -1,0 +1,41 @@
+// Deterministic event-driven simulation of a trace through a scheduler.
+//
+// The engine replaces the role DiskSim plays in the paper: it delivers
+// arrivals to the scheduler at trace timestamps, asks the scheduler for work
+// whenever a server is idle, and records exact start/finish times per
+// request.  Single-threaded and fully deterministic: events are ordered by
+// (time, kind, sequence) with completions before arrivals at equal times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/completion.h"
+#include "sim/scheduler.h"
+#include "sim/server.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+struct SimResult {
+  std::vector<CompletionRecord> completions;  ///< in finish order
+
+  /// Completions indexed by request seq (same size as the input trace).
+  std::vector<CompletionRecord> by_seq() const;
+
+  /// Latest finish instant (0 for empty results).
+  Time makespan() const;
+};
+
+/// Run `trace` through `scheduler`, with `servers[i]` backing scheduler
+/// server index i.  `servers.size()` must equal scheduler.server_count().
+/// Every request the scheduler eventually dispatches is recorded; the
+/// scheduler must not drop requests (overflow goes to Q2, not away), and the
+/// simulator checks that all requests complete.
+SimResult simulate(const Trace& trace, Scheduler& scheduler,
+                   std::span<Server* const> servers);
+
+/// Convenience overload for single-server policies.
+SimResult simulate(const Trace& trace, Scheduler& scheduler, Server& server);
+
+}  // namespace qos

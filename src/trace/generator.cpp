@@ -1,0 +1,223 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qos {
+namespace {
+
+/// Stateful LBA/size/op assignment shared by all generators.
+class AddressAssigner {
+ public:
+  AddressAssigner(const AddressSpec& spec, Rng rng)
+      : spec_(spec), rng_(rng) {}
+
+  void fill(Request& r) {
+    if (rng_.next_double() < spec_.sequential_prob && last_lba_ != 0) {
+      r.lba = last_lba_ + spec_.size_blocks;
+    } else {
+      r.lba = static_cast<std::uint64_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(spec_.lba_max)));
+    }
+    last_lba_ = r.lba;
+    r.size_blocks = spec_.size_blocks;
+    r.is_write = rng_.next_double() < spec_.write_fraction;
+  }
+
+ private:
+  AddressSpec spec_;
+  Rng rng_;
+  std::uint64_t last_lba_ = 0;
+};
+
+std::uint64_t hash_node(std::uint64_t seed, std::uint64_t node) {
+  // SplitMix64-style mix of (seed, node) for per-node cascade orientation.
+  std::uint64_t z = seed ^ (node * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Trace generate_workload(const WorkloadSpec& spec, Time duration,
+                        std::uint64_t seed) {
+  QOS_EXPECTS(!spec.states.empty());
+  QOS_EXPECTS(duration > 0);
+  const std::size_t n_states = spec.states.size();
+  QOS_EXPECTS(spec.transition.empty() ||
+              spec.transition.size() == n_states * n_states);
+
+  Rng rng(seed);
+  Rng state_rng = rng.fork();
+  Rng batch_rng = rng.fork();
+  AddressAssigner addr(spec.addresses, rng.fork());
+
+  std::vector<Request> out;
+
+  // --- MMPP base process ---
+  std::size_t state = 0;
+  double t_sec = 0;
+  const double horizon_sec = to_sec(duration);
+  while (t_sec < horizon_sec) {
+    const MmppState& st = spec.states[state];
+    const double dwell = state_rng.exponential(st.mean_dwell_sec);
+    const double end_sec = std::min(horizon_sec, t_sec + dwell);
+    if (st.rate_iops > 0) {
+      double a = t_sec;
+      const double mean_gap = 1.0 / st.rate_iops;
+      while (true) {
+        a += state_rng.exponential(mean_gap);
+        if (a >= end_sec) break;
+        Request r;
+        r.arrival = from_sec(a);
+        addr.fill(r);
+        out.push_back(r);
+      }
+    }
+    t_sec = end_sec;
+    // Transition.
+    if (spec.transition.empty()) {
+      if (n_states > 1) {
+        std::size_t next = static_cast<std::size_t>(
+            state_rng.uniform_int(0, static_cast<std::int64_t>(n_states) - 2));
+        if (next >= state) ++next;
+        state = next;
+      }
+    } else {
+      const double u = state_rng.next_double();
+      double acc = 0;
+      std::size_t next = n_states - 1;
+      for (std::size_t j = 0; j < n_states; ++j) {
+        acc += spec.transition[state * n_states + j];
+        if (u < acc) {
+          next = j;
+          break;
+        }
+      }
+      state = next;
+    }
+  }
+
+  // --- Batch overlay ---
+  if (spec.batches.batches_per_sec > 0) {
+    double b = 0;
+    const double mean_gap = 1.0 / spec.batches.batches_per_sec;
+    while (true) {
+      b += batch_rng.exponential(mean_gap);
+      if (b >= horizon_sec) break;
+      double size = static_cast<double>(
+          batch_rng.geometric(1.0 / spec.batches.mean_size));
+      if (spec.batches.giant_prob > 0 &&
+          batch_rng.next_double() < spec.batches.giant_prob) {
+        size *= spec.batches.giant_factor;
+      }
+      const Time base = from_sec(b);
+      std::int64_t count = static_cast<std::int64_t>(size);
+      if (spec.batches.max_size > 0 && count > spec.batches.max_size)
+        count = spec.batches.max_size;
+      for (std::int64_t i = 0; i < count; ++i) {
+        Request r;
+        r.arrival =
+            base + batch_rng.uniform_int(0, spec.batches.spread_us);
+        if (r.arrival >= duration) continue;
+        addr.fill(r);
+        out.push_back(r);
+      }
+    }
+  }
+
+  return Trace(std::move(out));
+}
+
+Trace generate_poisson(double rate_iops, Time duration, std::uint64_t seed,
+                       const AddressSpec& addr_spec) {
+  QOS_EXPECTS(rate_iops > 0 && duration > 0);
+  Rng rng(seed);
+  AddressAssigner addr(addr_spec, rng.fork());
+  std::vector<Request> out;
+  const double horizon = to_sec(duration);
+  const double mean_gap = 1.0 / rate_iops;
+  double t = 0;
+  while (true) {
+    t += rng.exponential(mean_gap);
+    if (t >= horizon) break;
+    Request r;
+    r.arrival = from_sec(t);
+    addr.fill(r);
+    out.push_back(r);
+  }
+  return Trace(std::move(out));
+}
+
+Trace generate_bmodel(double mean_rate_iops, double b, int levels,
+                      Time duration, std::uint64_t seed,
+                      const AddressSpec& addr_spec) {
+  QOS_EXPECTS(mean_rate_iops > 0 && duration > 0);
+  QOS_EXPECTS(b >= 0.5 && b < 1.0);
+  QOS_EXPECTS(levels >= 1 && levels <= 40);
+  Rng rng(seed);
+  AddressAssigner addr(addr_spec, rng.fork());
+  const std::int64_t n =
+      static_cast<std::int64_t>(mean_rate_iops * to_sec(duration));
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Walk the cascade: at each node, a hashed orientation bit decides which
+    // child carries probability mass b.  All requests share orientations
+    // (per-seed), which is what concentrates mass into bursts.
+    std::uint64_t node = 1;
+    Time lo = 0;
+    Time width = duration;
+    for (int level = 0; level < levels && width > 1; ++level) {
+      const bool left_heavy = hash_node(seed, node) & 1;
+      const double p_left = left_heavy ? b : 1.0 - b;
+      const bool go_left = rng.next_double() < p_left;
+      width = width / 2;
+      if (!go_left) lo += width;
+      node = node * 2 + (go_left ? 0 : 1);
+    }
+    Request r;
+    r.arrival = lo + (width > 1 ? rng.uniform_int(0, width - 1) : 0);
+    addr.fill(r);
+    out.push_back(r);
+  }
+  return Trace(std::move(out));
+}
+
+Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
+                            double xm_on_sec, double mean_off_sec,
+                            Time duration, std::uint64_t seed,
+                            const AddressSpec& addr_spec) {
+  QOS_EXPECTS(on_rate_iops > 0 && duration > 0);
+  Rng rng(seed);
+  AddressAssigner addr(addr_spec, rng.fork());
+  std::vector<Request> out;
+  const double horizon = to_sec(duration);
+  double t = 0;
+  bool on = true;
+  const double mean_gap = 1.0 / on_rate_iops;
+  while (t < horizon) {
+    if (on) {
+      const double end = std::min(horizon, t + rng.pareto(alpha_on, xm_on_sec));
+      double a = t;
+      while (true) {
+        a += rng.exponential(mean_gap);
+        if (a >= end) break;
+        Request r;
+        r.arrival = from_sec(a);
+        addr.fill(r);
+        out.push_back(r);
+      }
+      t = end;
+    } else {
+      t += rng.exponential(mean_off_sec);
+    }
+    on = !on;
+  }
+  return Trace(std::move(out));
+}
+
+}  // namespace qos

@@ -1,0 +1,89 @@
+// Synthetic workload generation.
+//
+// The paper evaluates on three proprietary/distribution-restricted traces
+// (UMass WebSearch & Financial, HP OpenMail).  Offline we reproduce their
+// burst structure with calibrated synthetic processes (see DESIGN.md §2):
+//
+//  * a Markov-modulated Poisson process (MMPP) captures multi-second rate
+//    regimes (idle / normal / burst plateaus — the dominant feature of the
+//    OpenMail trace in the paper's Figure 2);
+//  * a Poisson *batch overlay* captures sub-deadline spikes — tens of
+//    requests landing within a few milliseconds — which is what makes the
+//    paper's Cmin(100%) an order of magnitude larger than Cmin(99%);
+//  * a b-model generator provides self-similar burstiness across timescales
+//    and a Pareto on/off source provides heavy-tailed busy periods, both used
+//    in tests and ablations.
+//
+// All generators are deterministic given (spec, duration, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace qos {
+
+/// How LBAs / sizes / read-write mix are assigned to generated arrivals.
+/// Only the disk-model experiments care; the constant-rate server ignores it.
+struct AddressSpec {
+  std::uint64_t lba_max = 1ULL << 26;  ///< address space in 512 B blocks
+  double sequential_prob = 0.3;        ///< P(next request continues a run)
+  std::uint32_t size_blocks = 8;       ///< request size (512 B blocks)
+  double write_fraction = 0.35;
+};
+
+/// One MMPP regime: Poisson arrivals at `rate_iops` for an exponentially
+/// distributed dwell with mean `mean_dwell_sec`.
+struct MmppState {
+  double rate_iops = 0;
+  double mean_dwell_sec = 1.0;
+};
+
+/// Poisson overlay of near-instantaneous request clusters.
+struct BatchSpec {
+  double batches_per_sec = 0;  ///< 0 disables the overlay
+  double mean_size = 8;        ///< geometric mean cluster size
+  Time spread_us = 2'000;      ///< cluster spread (uniform within)
+  double giant_prob = 0.0;     ///< P(cluster size is scaled by giant_factor)
+  double giant_factor = 4.0;
+  std::int64_t max_size = 0;   ///< cap on cluster size; 0 = uncapped.  Keeps
+                               ///< Cmin(100%) stable across seeds.
+};
+
+/// Full synthetic workload: MMPP base + batch overlay + address model.
+struct WorkloadSpec {
+  std::vector<MmppState> states;
+  /// Row-stochastic state transition matrix; empty => uniform over the other
+  /// states.  Size must be states.size()^2 when non-empty.
+  std::vector<double> transition;
+  BatchSpec batches;
+  AddressSpec addresses;
+};
+
+/// Generate `duration` worth of the composite workload.  Deterministic in
+/// (spec, duration, seed).
+Trace generate_workload(const WorkloadSpec& spec, Time duration,
+                        std::uint64_t seed);
+
+/// Homogeneous Poisson arrivals at `rate_iops`.
+Trace generate_poisson(double rate_iops, Time duration, std::uint64_t seed,
+                       const AddressSpec& addr = {});
+
+/// b-model self-similar arrivals: `mean_rate_iops * duration` requests placed
+/// by a multiplicative cascade with bias `b` in [0.5, 1).  Larger b =>
+/// burstier.  `levels` cascade levels (leaf width = duration / 2^levels).
+Trace generate_bmodel(double mean_rate_iops, double b, int levels,
+                      Time duration, std::uint64_t seed,
+                      const AddressSpec& addr = {});
+
+/// Pareto on/off source: ON periods Pareto(alpha_on, xm_on_sec) at
+/// `on_rate_iops`, OFF periods exponential with mean `mean_off_sec`.
+Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
+                            double xm_on_sec, double mean_off_sec,
+                            Time duration, std::uint64_t seed,
+                            const AddressSpec& addr = {});
+
+}  // namespace qos

@@ -1,0 +1,58 @@
+#include "trace/rate_series.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qos {
+namespace {
+
+std::vector<RatePoint> build(const std::vector<Time>& arrivals, Time window,
+                             Time horizon) {
+  QOS_EXPECTS(window > 0);
+  if (arrivals.empty()) return {};
+  const Time last = *std::max_element(arrivals.begin(), arrivals.end());
+  if (horizon <= 0) horizon = ((last / window) + 1) * window;
+  const std::size_t n = static_cast<std::size_t>((horizon + window - 1) / window);
+  std::vector<std::size_t> counts(n, 0);
+  for (Time a : arrivals) {
+    if (a < 0 || a >= horizon) continue;
+    ++counts[static_cast<std::size_t>(a / window)];
+  }
+  std::vector<RatePoint> out(n);
+  const double wsec = to_sec(window);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].window_start = static_cast<Time>(i) * window;
+    out[i].iops = static_cast<double>(counts[i]) / wsec;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RatePoint> rate_series(const Trace& trace, Time window,
+                                   Time horizon) {
+  std::vector<Time> arrivals;
+  arrivals.reserve(trace.size());
+  for (const auto& r : trace) arrivals.push_back(r.arrival);
+  return build(arrivals, window, horizon);
+}
+
+std::vector<RatePoint> rate_series(const std::vector<Time>& arrivals,
+                                   Time window, Time horizon) {
+  return build(arrivals, window, horizon);
+}
+
+RateSummary summarize(const std::vector<RatePoint>& series) {
+  RateSummary s;
+  if (series.empty()) return s;
+  double sum = 0;
+  for (const auto& p : series) {
+    s.peak_iops = std::max(s.peak_iops, p.iops);
+    sum += p.iops;
+  }
+  s.mean_iops = sum / static_cast<double>(series.size());
+  return s;
+}
+
+}  // namespace qos

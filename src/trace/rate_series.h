@@ -1,0 +1,34 @@
+// Windowed arrival-rate series — the view used by the paper's Figure 2
+// (request rate in IOPS aggregated over 100 ms windows).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct RatePoint {
+  Time window_start = 0;  ///< start of the window (us)
+  double iops = 0;        ///< arrivals in window / window length
+};
+
+/// Aggregate arrivals into fixed windows of length `window`; windows span
+/// [0, horizon) where horizon defaults to the trace end rounded up.
+std::vector<RatePoint> rate_series(const Trace& trace, Time window,
+                                   Time horizon = 0);
+
+/// Same but over an arbitrary arrival-time vector (used for per-class series
+/// after decomposition).
+std::vector<RatePoint> rate_series(const std::vector<Time>& arrivals,
+                                   Time window, Time horizon = 0);
+
+/// Peak and mean of a series.
+struct RateSummary {
+  double peak_iops = 0;
+  double mean_iops = 0;
+};
+RateSummary summarize(const std::vector<RatePoint>& series);
+
+}  // namespace qos

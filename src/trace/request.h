@@ -1,0 +1,23 @@
+// The unit of work flowing through the system: one block-level I/O request.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace qos {
+
+/// One block I/O request.  `seq` is assigned densely by the owning Trace and
+/// identifies the request across decomposition, scheduling and analysis.
+struct Request {
+  Time arrival = 0;             ///< arrival instant (us)
+  std::uint64_t seq = 0;        ///< dense per-trace sequence number
+  std::uint32_t client = 0;     ///< flow / tenant id (used when traces merge)
+  std::uint64_t lba = 0;        ///< logical block address (disk model only)
+  std::uint32_t size_blocks = 8;  ///< request size in 512 B blocks
+  bool is_write = false;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace qos

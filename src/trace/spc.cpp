@@ -1,0 +1,105 @@
+#include "trace/spc.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qos {
+namespace {
+
+// Split a line on commas into at most `n` trimmed fields; returns count.
+std::size_t split_fields(const std::string& line, std::string* fields,
+                         std::size_t n) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (count < n && pos <= line.size()) {
+    std::size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) comma = line.size();
+    std::size_t b = pos;
+    std::size_t e = comma;
+    while (b < e && (line[b] == ' ' || line[b] == '\t')) ++b;
+    while (e > b && (line[e - 1] == ' ' || line[e - 1] == '\t' ||
+                     line[e - 1] == '\r'))
+      --e;
+    fields[count++] = line.substr(b, e - b);
+    pos = comma + 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+Trace parse_spc(const std::string& text, std::size_t* skipped_lines) {
+  std::vector<Request> out;
+  std::size_t skipped = 0;
+  std::istringstream in(text);
+  std::string line;
+  std::string f[5];
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (split_fields(line, f, 5) != 5) {
+      ++skipped;
+      continue;
+    }
+    Request r;
+    unsigned asu = 0;
+    unsigned long long lba = 0;
+    unsigned long size_bytes = 0;
+    double ts = 0;
+    auto ok = [](auto& field, auto& val) {
+      auto [p, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), val);
+      return ec == std::errc() && p == field.data() + field.size();
+    };
+    if (!ok(f[0], asu) || !ok(f[1], lba) || !ok(f[2], size_bytes) ||
+        f[3].empty()) {
+      ++skipped;
+      continue;
+    }
+    // Timestamps are decimal seconds; std::from_chars(double) is not
+    // universally available for floats pre-GCC11, but we target GCC with
+    // C++20 where it is.
+    if (!ok(f[4], ts) || ts < 0) {
+      ++skipped;
+      continue;
+    }
+    const char op = f[3][0];
+    if (op != 'r' && op != 'R' && op != 'w' && op != 'W') {
+      ++skipped;
+      continue;
+    }
+    r.client = asu;
+    r.lba = lba;
+    r.size_blocks = static_cast<std::uint32_t>((size_bytes + 511) / 512);
+    r.is_write = (op == 'w' || op == 'W');
+    r.arrival = from_sec(ts);
+    out.push_back(r);
+  }
+  if (skipped_lines) *skipped_lines = skipped;
+  return Trace(std::move(out));
+}
+
+std::string to_spc(const Trace& trace) {
+  std::string out;
+  char buf[128];
+  for (const auto& r : trace) {
+    std::snprintf(buf, sizeof buf, "%u,%llu,%u,%c,%.6f\n", r.client,
+                  static_cast<unsigned long long>(r.lba), r.size_blocks * 512u,
+                  r.is_write ? 'w' : 'r', to_sec(r.arrival));
+    out += buf;
+  }
+  return out;
+}
+
+Trace load_spc_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QOS_EXPECTS(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_spc(ss.str());
+}
+
+}  // namespace qos

@@ -1,0 +1,30 @@
+// SPC-1 style trace parsing.
+//
+// The UMass Storage Repository traces (WebSearch, Financial/FinTrans) that
+// the paper evaluates are distributed in the SPC format:
+//
+//   ASU,LBA,size_bytes,opcode,timestamp_seconds
+//
+// with opcode 'r'/'R' for reads and 'w'/'W' for writes and a float timestamp
+// in seconds from trace start.  This parser lets those public traces be used
+// unchanged when available; the calibrated synthetic presets in
+// trace/presets.h stand in for them offline.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace qos {
+
+/// Parse SPC trace text.  Malformed lines are skipped; a count of skipped
+/// lines can be retrieved via the optional out-param.
+Trace parse_spc(const std::string& text, std::size_t* skipped_lines = nullptr);
+
+/// Serialize a trace to SPC text (one line per request).
+std::string to_spc(const Trace& trace);
+
+/// Load and parse an SPC trace file.  Aborts if the file cannot be read.
+Trace load_spc_file(const std::string& path);
+
+}  // namespace qos

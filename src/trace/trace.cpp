@@ -1,0 +1,152 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <deque>
+
+#include "util/check.h"
+
+namespace qos {
+
+Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests)) {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    QOS_EXPECTS(requests_[i].arrival >= 0);
+    requests_[i].seq = i;
+  }
+}
+
+Time Trace::start_time() const {
+  QOS_EXPECTS(!empty());
+  return requests_.front().arrival;
+}
+
+Time Trace::end_time() const {
+  QOS_EXPECTS(!empty());
+  return requests_.back().arrival;
+}
+
+Time Trace::duration() const {
+  return size() < 2 ? 0 : end_time() - start_time();
+}
+
+double Trace::mean_rate_iops() const {
+  if (duration() == 0) return 0.0;
+  return static_cast<double>(size()) / to_sec(duration());
+}
+
+double Trace::peak_rate_iops(Time window) const {
+  QOS_EXPECTS(window > 0);
+  // Sliding window over the sorted arrivals: for each request i, count
+  // arrivals in (arrival[i] - window, arrival[i]].
+  std::size_t lo = 0;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    while (requests_[i].arrival - requests_[lo].arrival >= window) ++lo;
+    best = std::max(best, i - lo + 1);
+  }
+  return static_cast<double>(best) / to_sec(window);
+}
+
+Trace Trace::shifted(Time delta) const {
+  std::vector<Request> out(requests_);
+  for (auto& r : out) {
+    r.arrival += delta;
+    QOS_EXPECTS(r.arrival >= 0);
+  }
+  return Trace(std::move(out));
+}
+
+Trace Trace::slice(Time from, Time to) const {
+  QOS_EXPECTS(from <= to);
+  std::vector<Request> out;
+  for (const auto& r : requests_) {
+    if (r.arrival >= from && r.arrival < to) {
+      Request copy = r;
+      copy.arrival -= from;
+      out.push_back(copy);
+    }
+  }
+  return Trace(std::move(out));
+}
+
+Trace Trace::merge(std::span<const Trace> parts) {
+  std::vector<Request> out;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    for (const auto& r : parts[c]) {
+      Request copy = r;
+      copy.client = static_cast<std::uint32_t>(c);
+      out.push_back(copy);
+    }
+  }
+  return Trace(std::move(out));
+}
+
+Trace Trace::time_scaled(double factor) const {
+  QOS_EXPECTS(factor > 0);
+  std::vector<Request> out(requests_);
+  for (auto& r : out)
+    r.arrival = static_cast<Time>(static_cast<double>(r.arrival) * factor);
+  return Trace(std::move(out));
+}
+
+std::string Trace::to_csv() const {
+  std::string out = "arrival_us,client,lba,size_blocks,is_write\n";
+  for (const auto& r : requests_) {
+    out += std::to_string(r.arrival);
+    out += ',';
+    out += std::to_string(r.client);
+    out += ',';
+    out += std::to_string(r.lba);
+    out += ',';
+    out += std::to_string(r.size_blocks);
+    out += ',';
+    out += r.is_write ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Parse one integer field up to the next comma/newline; advances `pos`.
+template <typename T>
+bool parse_field(const std::string& s, std::size_t& pos, T& out) {
+  const char* begin = s.data() + pos;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc()) return false;
+  pos = static_cast<std::size_t>(ptr - s.data());
+  if (pos < s.size() && (s[pos] == ',' || s[pos] == '\n')) ++pos;
+  return true;
+}
+
+}  // namespace
+
+Trace Trace::from_csv(const std::string& text) {
+  std::vector<Request> out;
+  std::size_t pos = text.find('\n');  // skip header
+  QOS_EXPECTS(pos != std::string::npos);
+  ++pos;
+  while (pos < text.size()) {
+    Request r;
+    int write_flag = 0;
+    if (!parse_field(text, pos, r.arrival)) break;
+    QOS_EXPECTS(parse_field(text, pos, r.client));
+    QOS_EXPECTS(parse_field(text, pos, r.lba));
+    QOS_EXPECTS(parse_field(text, pos, r.size_blocks));
+    QOS_EXPECTS(parse_field(text, pos, write_flag));
+    r.is_write = write_flag != 0;
+    out.push_back(r);
+    while (pos < text.size() && (text[pos] == '\n' || text[pos] == '\r')) ++pos;
+  }
+  return Trace(std::move(out));
+}
+
+}  // namespace qos

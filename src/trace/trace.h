@@ -1,0 +1,73 @@
+// Trace: an immutable-ish, arrival-ordered request sequence plus transforms.
+//
+// A Trace owns its requests sorted by arrival time (ties kept in insertion
+// order, sequence numbers dense and increasing).  All workload inputs to the
+// decomposition framework — parsed SPC traces, synthetic generator output,
+// shifted/merged multi-tenant mixes — are Traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/request.h"
+#include "util/time.h"
+
+namespace qos {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Takes arbitrary-order requests; sorts stably by arrival and renumbers
+  /// `seq` densely from 0.
+  explicit Trace(std::vector<Request> requests);
+
+  const Request& operator[](std::size_t i) const { return requests_[i]; }
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  std::span<const Request> requests() const { return requests_; }
+  auto begin() const { return requests_.begin(); }
+  auto end() const { return requests_.end(); }
+
+  /// First / last arrival instant.  Requires non-empty.
+  Time start_time() const;
+  Time end_time() const;
+  /// end_time() - start_time(); zero for traces with < 2 requests.
+  Time duration() const;
+
+  /// Long-run average arrival rate in IOPS (over `duration()`).
+  double mean_rate_iops() const;
+
+  /// Peak arrival rate over any window of the given length (IOPS).
+  double peak_rate_iops(Time window) const;
+
+  // ---- transforms (all return new traces) ----
+
+  /// Shift every arrival by `delta` (may be negative; resulting arrivals must
+  /// remain >= 0).
+  Trace shifted(Time delta) const;
+
+  /// Requests with arrival in [from, to).  Arrivals are re-based to 0.
+  Trace slice(Time from, Time to) const;
+
+  /// Merge any number of traces into one arrival-ordered trace.  Client ids
+  /// are remapped to the index of the source trace.
+  static Trace merge(std::span<const Trace> parts);
+
+  /// Scale all inter-arrival gaps by `factor` (> 0): factor < 1 compresses
+  /// (higher rate), > 1 stretches.
+  Trace time_scaled(double factor) const;
+
+  // ---- I/O ----
+
+  /// CSV columns: arrival_us,client,lba,size_blocks,is_write
+  std::string to_csv() const;
+  static Trace from_csv(const std::string& text);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace qos

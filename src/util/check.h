@@ -1,0 +1,41 @@
+// Lightweight contract checking (Expects/Ensures in the spirit of the GSL).
+//
+// QOS_EXPECTS / QOS_ENSURES guard pre/postconditions; QOS_CHECK guards
+// internal invariants.  All three abort with a message on failure — invariant
+// violations in a deterministic simulator are programming errors, not
+// recoverable conditions, so we fail fast rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qos::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace qos::detail
+
+#define QOS_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::qos::detail::contract_failure("Precondition", #cond, __FILE__,     \
+                                      __LINE__);                           \
+  } while (0)
+
+#define QOS_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::qos::detail::contract_failure("Postcondition", #cond, __FILE__,    \
+                                      __LINE__);                           \
+  } while (0)
+
+#define QOS_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::qos::detail::contract_failure("Invariant", #cond, __FILE__,        \
+                                      __LINE__);                           \
+  } while (0)

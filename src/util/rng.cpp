@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qos {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro authors;
+  // guarantees the state is never all-zero.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  QOS_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  QOS_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::exponential(double mean) {
+  QOS_EXPECTS(mean > 0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);  // guard log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  QOS_EXPECTS(alpha > 0 && xm > 0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::int64_t Rng::geometric(double p) {
+  QOS_EXPECTS(p > 0 && p <= 1.0);
+  if (p == 1.0) return 1;
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return 1 + static_cast<std::int64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::int64_t Rng::poisson(double mean) {
+  QOS_EXPECTS(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion in the log domain.
+    const double limit = -mean;
+    double sum = 0.0;
+    std::int64_t k = 0;
+    while (true) {
+      double u;
+      do {
+        u = next_double();
+      } while (u <= 0.0);
+      sum += std::log(u);
+      if (sum < limit) return k;
+      ++k;
+    }
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean windows used by trace generators (window counts >> 30).
+  const double u1 = next_double();
+  const double u2 = next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1 <= 0 ? 1e-300 : u1)) *
+      std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double v = mean + std::sqrt(mean) * z;
+  return v < 0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+}  // namespace qos

@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (trace generators, tie-breaking) draws from an
+// explicitly seeded `qos::Rng`.  We implement xoshiro256** seeded through
+// SplitMix64 rather than relying on std::mt19937 so that streams are cheap to
+// fork (`Rng::fork`) and the exact sequence is pinned by this repository, not
+// by a standard-library implementation detail.
+#pragma once
+
+#include <cstdint>
+
+namespace qos {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.  Not thread-safe; create one
+/// per component.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Pareto with shape alpha (> 0) and minimum xm (> 0).
+  double pareto(double alpha, double xm);
+
+  /// Geometric number of trials >= 1 with success probability p in (0, 1].
+  std::int64_t geometric(double p);
+
+  /// Poisson-distributed count with the given mean (>= 0).  Uses inversion
+  /// for small means and PTRS rejection for large ones.
+  std::int64_t poisson(double mean);
+
+  /// Derive an independent stream: hashes this stream's next output.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qos

@@ -1,0 +1,45 @@
+// Exact-rate service interval generation on the microsecond grid.
+//
+// A server of capacity C IOPS completes one request every 1e6/C microseconds,
+// which is generally not an integer.  Truncating every interval would make a
+// long simulation serve measurably faster than C; always rounding up would
+// serve slower.  `ServiceTimer` dithers between floor and ceil so that after
+// n requests the accumulated busy time equals round(n * 1e6 / C) exactly —
+// the long-run rate is C with bounded (<1 us) instantaneous error.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace qos {
+
+class ServiceTimer {
+ public:
+  /// `capacity_iops` must be positive.
+  explicit ServiceTimer(double capacity_iops)
+      : period_us_(1e6 / capacity_iops) {
+    QOS_EXPECTS(capacity_iops > 0);
+  }
+
+  /// Duration in integer microseconds of the next service slot.
+  Time next() {
+    acc_ += period_us_;
+    const Time whole = static_cast<Time>(acc_);
+    acc_ -= static_cast<double>(whole);
+    return whole;
+  }
+
+  /// Ideal (fractional) service period in microseconds.
+  double period_us() const { return period_us_; }
+
+  /// Reset the accumulated fractional error (e.g. at a busy-period start).
+  void reset() { acc_ = 0.0; }
+
+ private:
+  double period_us_;
+  double acc_ = 0.0;
+};
+
+}  // namespace qos

@@ -1,0 +1,39 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+namespace qos {
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string AsciiTable::to_cell(double v) { return format_double(v, 2); }
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+  }
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      out += row[c];
+      if (c + 1 < row.size())
+        out.append(widths[c] - row[c].size(), ' ');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qos

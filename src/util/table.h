@@ -1,0 +1,42 @@
+// Minimal ASCII table formatter used by the bench harnesses to print
+// paper-style tables (e.g. Table 1) and figure series headers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qos {
+
+/// Builds a left-padded ASCII table.  Rows may have differing column counts;
+/// each column is sized to its widest cell.
+class AsciiTable {
+ public:
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: build a row from heterogeneous printable values.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  /// Render with two spaces between columns.
+  std::string to_string() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(long v) { return std::to_string(v); }
+  static std::string to_cell(long long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long v) { return std::to_string(v); }
+  static std::string to_cell(unsigned long long v) { return std::to_string(v); }
+
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` places after the decimal point.
+std::string format_double(double v, int digits);
+
+}  // namespace qos

@@ -1,0 +1,36 @@
+// Time representation for the burstqos library.
+//
+// All trace timestamps, deadlines and simulation clocks are integer
+// microseconds (`qos::Time`).  Integer ticks keep the event-driven simulator
+// deterministic and make equality/ordering of events exact; sub-microsecond
+// service-time fractions are handled by util/service_timer.h via error
+// diffusion rather than by floating-point clocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qos {
+
+/// Time point / duration in microseconds since the start of a trace.
+using Time = std::int64_t;
+
+inline constexpr Time kUsPerMs = 1'000;
+inline constexpr Time kUsPerSec = 1'000'000;
+
+/// Largest representable time; used as "never" sentinel.
+inline constexpr Time kTimeMax = INT64_MAX;
+
+constexpr Time from_ms(double ms) { return static_cast<Time>(ms * kUsPerMs); }
+constexpr Time from_sec(double s) { return static_cast<Time>(s * kUsPerSec); }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / kUsPerMs; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / kUsPerSec; }
+
+/// Render a time as a short human string ("12.345 ms", "3.2 s").
+inline std::string time_to_string(Time t) {
+  if (t < kUsPerMs) return std::to_string(t) + " us";
+  if (t < kUsPerSec) return std::to_string(to_ms(t)) + " ms";
+  return std::to_string(to_sec(t)) + " s";
+}
+
+}  // namespace qos

@@ -1,0 +1,104 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+AdaptiveConfig fast_config() {
+  AdaptiveConfig c;
+  c.fraction = 0.95;
+  c.delta = from_ms(20);
+  c.window = 20 * kUsPerSec;
+  c.reprofile_interval = 2 * kUsPerSec;
+  return c;
+}
+
+TEST(Adaptive, ZeroBeforeFirstReprofile) {
+  OnlineCapacityEstimator est(fast_config());
+  EXPECT_DOUBLE_EQ(est.capacity_iops(), 0);
+}
+
+TEST(Adaptive, ConvergesOnStationaryLoad) {
+  auto config = fast_config();
+  OnlineCapacityEstimator est(config);
+  Trace t = generate_poisson(400, 120 * kUsPerSec, 801);
+  for (const auto& r : t) (void)est.observe(r.arrival);
+  // Stationary Poisson at 400 IOPS: windowed Cmin lands near the full-trace
+  // value (within the window-to-window sampling spread).
+  const double full =
+      min_capacity(t, config.fraction, config.delta).cmin_iops;
+  EXPECT_GT(est.capacity_iops(), 0.75 * full);
+  EXPECT_LT(est.capacity_iops(), 1.3 * full);
+  EXPECT_GT(est.reprofile_count(), 10);
+}
+
+TEST(Adaptive, TracksLoadIncrease) {
+  OnlineCapacityEstimator est(fast_config());
+  Trace low = generate_poisson(150, 60 * kUsPerSec, 803);
+  for (const auto& r : low) (void)est.observe(r.arrival);
+  const double before = est.capacity_iops();
+  Trace high = generate_poisson(1200, 60 * kUsPerSec, 805);
+  for (const auto& r : high)
+    (void)est.observe(60 * kUsPerSec + r.arrival);
+  EXPECT_GT(est.capacity_iops(), 2.5 * before);
+}
+
+TEST(Adaptive, DecaysAfterBurstPasses) {
+  auto config = fast_config();
+  config.decay_gain = 0.5;
+  OnlineCapacityEstimator est(config);
+  Trace burst = generate_poisson(2000, 30 * kUsPerSec, 807);
+  for (const auto& r : burst) (void)est.observe(r.arrival);
+  const double peak = est.capacity_iops();
+  Trace calm = generate_poisson(100, 120 * kUsPerSec, 809);
+  for (const auto& r : calm)
+    (void)est.observe(30 * kUsPerSec + r.arrival);
+  EXPECT_LT(est.capacity_iops(), 0.4 * peak);
+}
+
+TEST(Adaptive, RiseFasterThanDecay) {
+  // Default gains: a step up is followed quickly, a step down slowly —
+  // compare smoothed estimate right after symmetric steps.
+  AdaptiveConfig config = fast_config();
+  config.rise_gain = 1.0;
+  config.decay_gain = 0.1;
+
+  OnlineCapacityEstimator up(config);
+  Trace low = generate_poisson(100, 30 * kUsPerSec, 811);
+  Trace high = generate_poisson(1000, 10 * kUsPerSec, 813);
+  for (const auto& r : low) (void)up.observe(r.arrival);
+  const double before_step = up.capacity_iops();
+  for (const auto& r : high) (void)up.observe(30 * kUsPerSec + r.arrival);
+  // One window after the step up the estimate is near the new level.
+  EXPECT_GT(up.capacity_iops(), 3 * before_step);
+
+  OnlineCapacityEstimator down(config);
+  for (const auto& r : high) (void)down.observe(r.arrival);
+  const double peak = down.capacity_iops();
+  Trace calm = generate_poisson(100, 10 * kUsPerSec, 815);
+  for (const auto& r : calm)
+    (void)down.observe(10 * kUsPerSec + r.arrival);
+  // Same elapsed time after the step down: decay lags.
+  EXPECT_GT(down.capacity_iops(), 0.4 * peak);
+}
+
+TEST(Adaptive, WindowEvictsOldArrivals) {
+  auto config = fast_config();
+  OnlineCapacityEstimator est(config);
+  (void)est.observe(0);
+  (void)est.observe(1 * kUsPerSec);
+  (void)est.observe(50 * kUsPerSec);  // 20 s window: first two evicted
+  EXPECT_EQ(est.window_size(), 1u);
+}
+
+TEST(AdaptiveDeath, RejectsOutOfOrderArrivals) {
+  OnlineCapacityEstimator est(fast_config());
+  (void)est.observe(1000);
+  EXPECT_DEATH((void)est.observe(500), "Precondition");
+}
+
+}  // namespace
+}  // namespace qos

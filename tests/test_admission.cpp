@@ -1,0 +1,96 @@
+#include "core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadSpec bursty;
+    bursty.states = {{150, 2.0}};
+    bursty.batches = {.batches_per_sec = 0.1,
+                      .mean_size = 20,
+                      .spread_us = 1'000,
+                      .giant_prob = 0,
+                      .giant_factor = 1,
+                      .max_size = 30};
+    for (std::uint64_t i = 0; i < 4; ++i)
+      profiles_.push_back(
+          generate_workload(bursty, 120 * kUsPerSec, 300 + i));
+  }
+
+  std::vector<Trace> profiles_;
+};
+
+TEST_F(AdmissionTest, AdmitsWithinCapacity) {
+  std::vector<TenantRequest> tenants;
+  for (std::size_t i = 0; i < profiles_.size(); ++i)
+    tenants.push_back(TenantRequest{"t" + std::to_string(i), &profiles_[i],
+                                    SlaTier{0.9, from_ms(20)}});
+  AdmissionReport report = admit_tenants(tenants, 10'000);
+  EXPECT_EQ(report.admitted_count, 4);
+  EXPECT_LE(report.reserved_iops + report.headroom_iops, 10'000);
+  for (const auto& d : report.decisions) {
+    EXPECT_TRUE(d.admitted);
+    EXPECT_GT(d.reserved_iops, 0);
+  }
+}
+
+TEST_F(AdmissionTest, RejectsWhenFull) {
+  std::vector<TenantRequest> tenants;
+  for (std::size_t i = 0; i < profiles_.size(); ++i)
+    tenants.push_back(TenantRequest{"t" + std::to_string(i), &profiles_[i],
+                                    SlaTier{0.9, from_ms(20)}});
+  // Capacity for roughly one tenant only.
+  const double one =
+      min_capacity(profiles_[0], 0.9, from_ms(20)).cmin_iops +
+      overflow_headroom_iops(from_ms(20));
+  AdmissionReport report = admit_tenants(tenants, one + 1);
+  EXPECT_GE(report.admitted_count, 1);
+  EXPECT_LT(report.admitted_count, 4);
+  EXPECT_FALSE(report.decisions.back().admitted);
+  EXPECT_DOUBLE_EQ(report.decisions.back().reserved_iops, 0);
+}
+
+TEST_F(AdmissionTest, GraduationAdmitsMoreTenantsThanWorstCase) {
+  // The paper's headline admission-control benefit: on the same server,
+  // graduated (90%) reservations admit more bursty tenants than worst-case
+  // (100%) reservations.
+  std::vector<TenantRequest> tenants;
+  for (std::size_t i = 0; i < profiles_.size(); ++i)
+    tenants.push_back(TenantRequest{"t" + std::to_string(i), &profiles_[i],
+                                    SlaTier{0.9, from_ms(20)}});
+  // Size the server to fit all four decomposed tenants but far fewer
+  // worst-case ones.
+  double shaped_total = overflow_headroom_iops(from_ms(20));
+  for (const auto& p : profiles_)
+    shaped_total += min_capacity(p, 0.9, from_ms(20)).cmin_iops;
+  AdmissionReport report = admit_tenants(tenants, shaped_total);
+  EXPECT_EQ(report.admitted_count, 4);
+  EXPECT_LT(report.worst_case_admitted_count, report.admitted_count);
+  EXPECT_GT(report.utilization(), 0.99);
+}
+
+TEST_F(AdmissionTest, SharedHeadroomIsMaxNotSum) {
+  std::vector<TenantRequest> tenants;
+  tenants.push_back(
+      TenantRequest{"tight", &profiles_[0], SlaTier{0.9, from_ms(10)}});
+  tenants.push_back(
+      TenantRequest{"loose", &profiles_[1], SlaTier{0.9, from_ms(50)}});
+  AdmissionReport report = admit_tenants(tenants, 10'000);
+  EXPECT_DOUBLE_EQ(report.headroom_iops,
+                   overflow_headroom_iops(from_ms(10)));
+}
+
+TEST(Admission, EmptyTenantList) {
+  AdmissionReport report = admit_tenants({}, 1000);
+  EXPECT_EQ(report.admitted_count, 0);
+  EXPECT_DOUBLE_EQ(report.utilization(), 0);
+}
+
+}  // namespace
+}  // namespace qos

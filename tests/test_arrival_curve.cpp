@@ -1,0 +1,53 @@
+#include "curves/arrival_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+Trace make_trace(std::initializer_list<Time> arrivals) {
+  std::vector<Request> reqs;
+  for (Time a : arrivals) reqs.push_back(Request{.arrival = a});
+  return Trace(std::move(reqs));
+}
+
+TEST(ArrivalCurve, CumulativeCountsAtSteps) {
+  ArrivalCurve c(make_trace({10, 10, 20, 30}));
+  EXPECT_EQ(c.at(5), 0);
+  EXPECT_EQ(c.at(10), 2);
+  EXPECT_EQ(c.at(15), 2);
+  EXPECT_EQ(c.at(20), 3);
+  EXPECT_EQ(c.at(30), 4);
+  EXPECT_EQ(c.at(1000), 4);
+  EXPECT_EQ(c.total(), 4);
+}
+
+TEST(ArrivalCurve, AggregatesEqualInstants) {
+  ArrivalCurve c(make_trace({10, 10, 10}));
+  ASSERT_EQ(c.steps().size(), 1u);
+  EXPECT_EQ(c.steps()[0].count, 3);
+  EXPECT_EQ(c.steps()[0].cumulative, 3);
+}
+
+TEST(ArrivalCurve, EmptyTrace) {
+  ArrivalCurve c{Trace()};
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(c.at(100), 0);
+}
+
+TEST(ArrivalCurve, MonotoneNonDecreasing) {
+  ArrivalCurve c(make_trace({1, 5, 5, 9, 12}));
+  std::int64_t prev = 0;
+  for (Time t = 0; t <= 15; ++t) {
+    EXPECT_GE(c.at(t), prev);
+    prev = c.at(t);
+  }
+}
+
+TEST(ArrivalCurve, AtZero) {
+  ArrivalCurve c(make_trace({0, 0, 7}));
+  EXPECT_EQ(c.at(0), 2);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,138 @@
+#include "disk/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/cached_disk_server.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+TEST(BlockCache, MissThenHit) {
+  BlockCache cache(4);
+  auto first = cache.access(0, false);
+  EXPECT_FALSE(first.hit);
+  auto second = cache.access(0, false);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCache, SameLineSharesEntry) {
+  BlockCache cache(4, /*line_blocks=*/8);
+  (void)cache.access(0, false);
+  EXPECT_TRUE(cache.access(7, false).hit);   // same 8-block line
+  EXPECT_FALSE(cache.access(8, false).hit);  // next line
+}
+
+TEST(BlockCache, LruEviction) {
+  BlockCache cache(2, 1);
+  (void)cache.access(0, false);
+  (void)cache.access(1, false);
+  (void)cache.access(0, false);  // 0 becomes MRU
+  (void)cache.access(2, false);  // evicts 1 (LRU)
+  EXPECT_TRUE(cache.access(0, false).hit);
+  EXPECT_FALSE(cache.access(1, false).hit);
+}
+
+TEST(BlockCache, DirtyEvictionReportsWriteback) {
+  BlockCache cache(1, 8);
+  (void)cache.access(0, true);  // dirty line at tag 0
+  EXPECT_EQ(cache.dirty_lines(), 1u);
+  auto result = cache.access(16, false);  // evicts the dirty line
+  EXPECT_TRUE(result.writeback);
+  EXPECT_EQ(result.evicted_lba, 0u);
+  EXPECT_EQ(cache.writebacks(), 1u);
+  EXPECT_EQ(cache.dirty_lines(), 0u);
+}
+
+TEST(BlockCache, CleanEvictionIsSilent) {
+  BlockCache cache(1, 8);
+  (void)cache.access(0, false);
+  auto result = cache.access(16, false);
+  EXPECT_FALSE(result.writeback);
+}
+
+TEST(BlockCache, WriteHitMarksDirtyOnce) {
+  BlockCache cache(2, 8);
+  (void)cache.access(0, false);
+  (void)cache.access(0, true);
+  (void)cache.access(0, true);
+  EXPECT_EQ(cache.dirty_lines(), 1u);
+}
+
+TEST(BlockCache, LinesOfSpansRequest) {
+  BlockCache cache(4, 8);
+  auto lines = cache.lines_of(6, 8);  // blocks 6-13 -> lines 0 and 8
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], 0u);
+  EXPECT_EQ(lines[1], 8u);
+  EXPECT_EQ(cache.lines_of(8, 8).size(), 1u);
+}
+
+TEST(BlockCache, HitRate) {
+  BlockCache cache(8, 1);
+  (void)cache.access(0, false);
+  (void)cache.access(0, false);
+  (void)cache.access(0, false);
+  (void)cache.access(1, false);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(CachedDiskServer, HitsAreFasterThanMisses) {
+  CachedDiskServer server;
+  Request r;
+  r.lba = 1'000'000;
+  r.size_blocks = 8;
+  const Time miss = server.service_duration(r, 0);
+  const Time hit = server.service_duration(r, miss);
+  EXPECT_LT(hit, miss);
+  EXPECT_LE(hit, 200);  // DRAM-ish
+}
+
+TEST(CachedDiskServer, WritesAbsorbedByWriteBack) {
+  CachedDiskServer server;
+  Request w;
+  w.lba = 2'000'000;
+  w.size_blocks = 8;
+  w.is_write = true;
+  const Time t = server.service_duration(w, 0);
+  EXPECT_LE(t, 200);  // absorbed, no mechanical access
+  EXPECT_EQ(server.cache().dirty_lines(), 1u);
+}
+
+TEST(CachedDiskServer, RepeatedScanThrashesCache) {
+  // Working set larger than the cache: second pass still misses.
+  CachedDiskServer::Config config;
+  config.cache_lines = 16;
+  CachedDiskServer server(DiskModel{}, config);
+  Time now = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 64; ++i) {
+      Request r;
+      r.lba = static_cast<std::uint64_t>(i) * 8;
+      r.size_blocks = 8;
+      now += server.service_duration(r, now);
+    }
+  }
+  EXPECT_LT(server.cache().hit_rate(), 0.1);
+}
+
+TEST(CachedDiskServer, HotSetStaysResident) {
+  CachedDiskServer::Config config;
+  config.cache_lines = 64;
+  CachedDiskServer server(DiskModel{}, config);
+  Time now = 0;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (int i = 0; i < 32; ++i) {
+      Request r;
+      r.lba = static_cast<std::uint64_t>(i) * 8;
+      r.size_blocks = 8;
+      now += server.service_duration(r, now);
+    }
+  }
+  EXPECT_GT(server.cache().hit_rate(), 0.85);
+}
+
+}  // namespace
+}  // namespace qos

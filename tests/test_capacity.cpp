@@ -1,0 +1,125 @@
+#include "core/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rtt.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+Trace make_trace(std::initializer_list<Time> arrivals) {
+  std::vector<Request> reqs;
+  for (Time a : arrivals) reqs.push_back(Request{.arrival = a});
+  return Trace(std::move(reqs));
+}
+
+TEST(FractionGuaranteed, MatchesDecomposition) {
+  Trace t = generate_poisson(500, 10 * kUsPerSec, 42);
+  const double f = fraction_guaranteed(t, 300, 10'000);
+  EXPECT_DOUBLE_EQ(f, rtt_decompose(t, 300, 10'000).admitted_fraction());
+}
+
+TEST(MinCapacity, ExactForKnownBurst) {
+  // 10 simultaneous requests, delta = 10 ms.  Full guarantee needs
+  // maxQ1 >= 10 => C >= 1000; fraction 0.5 needs maxQ1 >= 5 => C >= 500.
+  Trace t = make_trace({0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(min_capacity(t, 1.0, 10'000).cmin_iops, 1000);
+  EXPECT_DOUBLE_EQ(min_capacity(t, 0.5, 10'000).cmin_iops, 500);
+}
+
+TEST(MinCapacity, AchievedFractionMeetsTarget) {
+  Trace t = generate_poisson(800, 20 * kUsPerSec, 7);
+  for (double f : {0.9, 0.95, 0.99, 1.0}) {
+    CapacityResult r = min_capacity(t, f, 10'000);
+    EXPECT_GE(r.achieved_fraction, f);
+  }
+}
+
+TEST(MinCapacity, IsMinimal) {
+  // One IOPS less must fail the target.
+  Trace t = generate_poisson(800, 20 * kUsPerSec, 11);
+  CapacityResult r = min_capacity(t, 0.95, 10'000);
+  ASSERT_GT(r.cmin_iops, 1);
+  EXPECT_LT(fraction_guaranteed(t, r.cmin_iops - 1, 10'000), 0.95);
+}
+
+TEST(MinCapacity, MonotoneInFraction) {
+  Trace t = generate_poisson(1000, 20 * kUsPerSec, 13);
+  double prev = 0;
+  for (double f : {0.9, 0.95, 0.99, 0.995, 0.999, 1.0}) {
+    const double c = min_capacity(t, f, 10'000).cmin_iops;
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(MinCapacity, MonotoneInDeadline) {
+  // Looser deadlines need no more capacity.
+  Trace t = generate_poisson(1000, 20 * kUsPerSec, 17);
+  double prev = 1e18;
+  for (Time delta : {5'000, 10'000, 20'000, 50'000}) {
+    const double c = min_capacity(t, 0.95, delta).cmin_iops;
+    EXPECT_LE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(MinCapacity, EmptyTraceNeedsNothing) {
+  CapacityResult r = min_capacity(Trace(), 0.9, 10'000);
+  EXPECT_DOUBLE_EQ(r.cmin_iops, 0);
+  EXPECT_DOUBLE_EQ(r.achieved_fraction, 1.0);
+}
+
+TEST(MinCapacity, ProbeCountIsLogarithmic) {
+  Trace t = generate_poisson(2000, 10 * kUsPerSec, 19);
+  CapacityResult r = min_capacity(t, 1.0, 5'000);
+  // Doubling phase + binary search: comfortably under 64 evaluations.
+  EXPECT_LE(r.probes, 64);
+  EXPECT_GT(r.probes, 1);
+}
+
+TEST(OverflowHeadroom, IsReciprocalOfDelta) {
+  EXPECT_DOUBLE_EQ(overflow_headroom_iops(from_ms(50)), 20.0);
+  EXPECT_DOUBLE_EQ(overflow_headroom_iops(from_ms(10)), 100.0);
+  EXPECT_DOUBLE_EQ(overflow_headroom_iops(from_ms(5)), 200.0);
+}
+
+TEST(CapacityProfile, SortedAndConsistentWithPointQueries) {
+  Trace t = generate_poisson(600, 20 * kUsPerSec, 23);
+  auto curve = capacity_profile(t, 10'000, {0.99, 0.9, 1.0});
+  ASSERT_EQ(curve.size(), 3u);
+  // Fractions sorted ascending, capacities non-decreasing.
+  EXPECT_DOUBLE_EQ(curve[0].fraction, 0.9);
+  EXPECT_DOUBLE_EQ(curve[2].fraction, 1.0);
+  EXPECT_LE(curve[0].cmin_iops, curve[1].cmin_iops);
+  EXPECT_LE(curve[1].cmin_iops, curve[2].cmin_iops);
+  for (const auto& point : curve)
+    EXPECT_DOUBLE_EQ(point.cmin_iops,
+                     min_capacity(t, point.fraction, 10'000).cmin_iops);
+}
+
+TEST(CapacityProfile, DefaultFractionsMatchPaperTable) {
+  Trace t = generate_poisson(300, 5 * kUsPerSec, 29);
+  auto curve = capacity_profile(t, 20'000);
+  ASSERT_EQ(curve.size(), 6u);
+  EXPECT_DOUBLE_EQ(curve.front().fraction, 0.90);
+  EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
+}
+
+TEST(MinCapacity, FullGuaranteeCoversWorstBurst) {
+  // A trace with one giant burst: Cmin(100%) is set by the burst, while
+  // Cmin(90%) is set by the smooth part — the paper's knee.  (Knee ratio
+  // checked quantitatively in integration tests.)
+  std::vector<Request> reqs;
+  for (int i = 0; i < 90; ++i) reqs.push_back(Request{.arrival = i * 100'000});
+  for (int i = 0; i < 10; ++i)
+    reqs.push_back(Request{.arrival = 4'500'000 + i * 10});
+  Trace t(std::move(reqs));
+  const double c100 = min_capacity(t, 1.0, 10'000).cmin_iops;
+  const double c90 = min_capacity(t, 0.9, 10'000).cmin_iops;
+  EXPECT_GT(c100, 3 * c90);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,96 @@
+#include "disk/clook.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qos {
+namespace {
+
+Request req(std::uint64_t seq) { return Request{.seq = seq}; }
+
+TEST(Clook, SweepsUpward) {
+  ClookQueue q;
+  q.push(req(0), 500);
+  q.push(req(1), 100);
+  q.push(req(2), 300);
+  std::vector<std::uint64_t> order;
+  std::int64_t head = 0;
+  while (auto r = q.pop(head)) {
+    order.push_back(r->seq);
+    head = r->seq == 0 ? 500 : (r->seq == 1 ? 100 : 300);
+  }
+  // From cylinder 0 the ascending sweep is 100, 300, 500.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 0}));
+}
+
+TEST(Clook, WrapsToLowestWhenPastTop) {
+  ClookQueue q;
+  q.push(req(0), 100);
+  q.push(req(1), 200);
+  auto r = q.pop(300);  // head above all pending => wrap to lowest
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->seq, 0u);
+}
+
+TEST(Clook, ExactHeadPositionServedInPlace) {
+  ClookQueue q;
+  q.push(req(0), 250);
+  auto r = q.pop(250);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->seq, 0u);
+}
+
+TEST(Clook, SameCylinderFifo) {
+  ClookQueue q;
+  q.push(req(0), 100);
+  q.push(req(1), 100);
+  q.push(req(2), 100);
+  EXPECT_EQ(q.pop(0)->seq, 0u);
+  EXPECT_EQ(q.pop(100)->seq, 1u);
+  EXPECT_EQ(q.pop(100)->seq, 2u);
+}
+
+TEST(Clook, EmptyPopReturnsNullopt) {
+  ClookQueue q;
+  EXPECT_FALSE(q.pop(0).has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Clook, SizeTracksContents) {
+  ClookQueue q;
+  q.push(req(0), 1);
+  q.push(req(1), 2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop(0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Clook, ReducesTotalSeekVsFifoOrder) {
+  // 100 random cylinders: the C-LOOK service order must travel fewer
+  // cylinders than FIFO order.
+  ClookQueue q;
+  std::vector<std::int64_t> cyls;
+  std::uint64_t state = 12345;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::int64_t cyl = static_cast<std::int64_t>(state % 50'000);
+    cyls.push_back(cyl);
+    Request r;
+    r.seq = i;
+    q.push(r, cyl);
+  }
+  std::int64_t fifo_travel = 0;
+  for (std::size_t i = 1; i < cyls.size(); ++i)
+    fifo_travel += std::abs(cyls[i] - cyls[i - 1]);
+  std::int64_t clook_travel = 0;
+  std::int64_t head = 0;
+  while (auto r = q.pop(head)) {
+    clook_travel += std::abs(cyls[r->seq] - head);
+    head = cyls[r->seq];
+  }
+  EXPECT_LT(clook_travel, fifo_travel / 4);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,85 @@
+#include "core/consolidation.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+TEST(Consolidation, EstimateIsSumOfIndividuals) {
+  Trace a = generate_poisson(300, 20 * kUsPerSec, 61);
+  Trace b = generate_poisson(500, 20 * kUsPerSec, 67);
+  const Trace clients[] = {a, b};
+  ConsolidationReport r = consolidate(clients, 0.9, 10'000);
+  ASSERT_EQ(r.individual_iops.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.estimate_iops,
+                   r.individual_iops[0] + r.individual_iops[1]);
+}
+
+TEST(Consolidation, ActualNeverBelowLargestIndividual) {
+  // The merged workload contains each client's stream, so it can't need
+  // less than the most demanding client alone.
+  Trace a = generate_poisson(200, 20 * kUsPerSec, 71);
+  Trace b = generate_poisson(800, 20 * kUsPerSec, 73);
+  const Trace clients[] = {a, b};
+  ConsolidationReport r = consolidate(clients, 0.95, 10'000);
+  EXPECT_GE(r.actual_iops,
+            std::max(r.individual_iops[0], r.individual_iops[1]));
+}
+
+TEST(Consolidation, ActualNeverAboveEstimatePlusSlack) {
+  // Serving both at the sum of individual capacities is always feasible for
+  // the decomposed profile (queues superpose); allow the integer-grid +1.
+  Trace a = generate_poisson(300, 20 * kUsPerSec, 79);
+  Trace b = generate_poisson(400, 20 * kUsPerSec, 83);
+  const Trace clients[] = {a, b};
+  ConsolidationReport r = consolidate(clients, 0.9, 10'000);
+  EXPECT_LE(r.actual_iops, r.estimate_iops + 2);
+}
+
+TEST(Consolidation, DecomposedEstimateTighterThanWorstCase) {
+  // The paper's Figures 7-8: for bursty workloads the 100% estimate
+  // over-provisions (actual << estimate), while the 90% decomposed estimate
+  // is accurate (actual ~= estimate).  The effect requires the tail to be a
+  // small *fraction of requests* (clusters), as in the paper's traces.
+  // Base rate high enough that per-window Poisson noise is small relative
+  // to capacity (the paper's traces run at hundreds of IOPS), with rare
+  // dense clusters forming the tail.
+  WorkloadSpec spec;
+  spec.states = {{600, 2.0}};
+  spec.batches = {.batches_per_sec = 0.1,
+                  .mean_size = 30,
+                  .spread_us = 1'000,
+                  .giant_prob = 0,
+                  .giant_factor = 1};
+  Trace a = generate_workload(spec, 120 * kUsPerSec, 89);
+  Trace b = generate_workload(spec, 120 * kUsPerSec, 97);
+  const Trace clients[] = {a, b};
+  ConsolidationReport full = consolidate(clients, 1.0, 20'000);
+  ConsolidationReport shaped = consolidate(clients, 0.9, 20'000);
+  EXPECT_LT(full.ratio(), 0.95);  // worst-case sum over-provisions
+  EXPECT_GT(shaped.ratio(), full.ratio());  // decomposition tightens it
+  EXPECT_LT(shaped.relative_error(), 0.25);
+}
+
+TEST(Consolidation, RelativeErrorSymmetric) {
+  ConsolidationReport r;
+  r.estimate_iops = 100;
+  r.actual_iops = 80;
+  EXPECT_DOUBLE_EQ(r.relative_error(), 0.2);
+  r.actual_iops = 120;
+  EXPECT_DOUBLE_EQ(r.relative_error(), 0.2);
+}
+
+TEST(Consolidation, SingleClientDegenerate) {
+  Trace a = generate_poisson(300, 10 * kUsPerSec, 101);
+  const Trace clients[] = {a};
+  ConsolidationReport r = consolidate(clients, 0.9, 10'000);
+  EXPECT_DOUBLE_EQ(r.estimate_iops, r.individual_iops[0]);
+  // Merging a single trace re-tags clients but preserves arrivals.
+  EXPECT_NEAR(r.actual_iops, r.estimate_iops, 1.0);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,126 @@
+#include "curves/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+Trace make_trace(std::initializer_list<Time> arrivals) {
+  std::vector<Request> reqs;
+  for (Time a : arrivals) reqs.push_back(Request{.arrival = a});
+  return Trace(std::move(reqs));
+}
+
+TEST(BusyPeriods, SingleRequest) {
+  // 1 request at t=0, capacity 10 IOPS => drains at 100 ms.
+  auto periods = busy_periods(make_trace({0}), 10);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].start, 0);
+  EXPECT_EQ(periods[0].end, 100'000);
+}
+
+TEST(BusyPeriods, SeparatedBursts) {
+  // Two bursts of 2 requests each, far apart; capacity 10 IOPS (100 ms per
+  // request) => each burst drains 200 ms after it starts.
+  auto periods = busy_periods(make_trace({0, 0, 1'000'000, 1'000'000}), 10);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].start, 0);
+  EXPECT_EQ(periods[0].end, 200'000);
+  EXPECT_EQ(periods[0].first_seq, 0);
+  EXPECT_EQ(periods[0].last_seq, 1);
+  EXPECT_EQ(periods[1].start, 1'000'000);
+  EXPECT_EQ(periods[1].end, 1'200'000);
+}
+
+TEST(BusyPeriods, ArrivalDuringDrainExtendsPeriod) {
+  // Request at 0 (drains at 100 ms) plus one at 50 ms => one busy period.
+  auto periods = busy_periods(make_trace({0, 50'000}), 10);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].end, 200'000);
+}
+
+TEST(MaxBacklog, CountsPendingAtArrivals) {
+  // 3 simultaneous arrivals: backlog 3.
+  EXPECT_DOUBLE_EQ(max_backlog(make_trace({0, 0, 0}), 100), 3.0);
+  // Spread far apart at high capacity: backlog 1.
+  EXPECT_DOUBLE_EQ(
+      max_backlog(make_trace({0, 1'000'000, 2'000'000}), 100), 1.0);
+}
+
+TEST(Lemma1, NoOverloadMeansZero) {
+  // 2 requests 1 s apart, C = 10, delta = 200 ms: never above SCL.
+  ArrivalCurve curve(make_trace({0, 1'000'000}));
+  EXPECT_EQ(lemma1_lower_bound(curve, 10, 200'000), 0);
+}
+
+TEST(Lemma1, CountsExcessOverServiceLimit) {
+  // 5 simultaneous requests at t = 0; C = 10 IOPS, delta = 200 ms.
+  // S(0 + delta) = 10 * 0.2 = 2 => at least ceil(5 - 2) = 3 must miss.
+  ArrivalCurve curve(make_trace({0, 0, 0, 0, 0}));
+  EXPECT_EQ(lemma1_lower_bound(curve, 10, 200'000), 3);
+}
+
+TEST(Lemma1, UsesWorstInstant) {
+  // Burst at t=0 within limits, second burst at t=100ms pushes over.
+  // C=10, delta=100ms: S(a+delta) at a=0 is 1; A(0)=1 => slack.
+  // At a=100ms: A=4, S(200ms)=2 => 2 mandatory misses.
+  ArrivalCurve curve(make_trace({0, 100'000, 100'000, 100'000}));
+  EXPECT_EQ(lemma1_lower_bound(curve, 10, 100'000), 2);
+}
+
+TEST(Lemma1, OriginShiftsServiceCurve) {
+  // Same burst, but service begins at the burst (origin = burst time).
+  ArrivalCurve curve(make_trace({1'000'000, 1'000'000, 1'000'000}));
+  // Origin 0: S(1s + 0.1s) = 11 => no misses.
+  EXPECT_EQ(lemma1_lower_bound(curve, 10, 100'000, 0), 0);
+  // Origin at the burst: S = 10 * 0.1 = 1 => 2 misses.
+  EXPECT_EQ(lemma1_lower_bound(curve, 10, 100'000, 1'000'000), 2);
+}
+
+TEST(MandatoryMisses, SumsOverBusyPeriods) {
+  // Two separated identical bursts of 5 at C=10, delta=200ms: 3 misses each.
+  Trace t = make_trace(
+      {0, 0, 0, 0, 0, 10'000'000, 10'000'000, 10'000'000, 10'000'000,
+       10'000'000});
+  EXPECT_EQ(mandatory_miss_lower_bound(t, 10, 200'000), 6);
+}
+
+TEST(Scl, LineValue) {
+  // C = 10 IOPS, delta = 200 ms: SCL(0) = 2, SCL(1 s) = 12.
+  EXPECT_DOUBLE_EQ(scl_at(10, 200'000, 0), 2.0);
+  EXPECT_DOUBLE_EQ(scl_at(10, 200'000, 1'000'000), 12.0);
+  // Origin shifts the busy-period start.
+  EXPECT_DOUBLE_EQ(scl_at(10, 200'000, 1'000'000, 1'000'000), 2.0);
+}
+
+TEST(Scl, ViolationsFlagOverloadInstants) {
+  // Paper Figure 3(a): overload where A(t) climbs above the SCL.
+  // C = 10, delta = 100 ms: SCL(0) = 1.  3 arrivals at t=0 violate; after
+  // they are the only ones, later slack instants do not.
+  ArrivalCurve curve(make_trace({0, 0, 0, 2'000'000}));
+  auto v = scl_violations(curve, 10, 100'000);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 0);
+}
+
+TEST(Scl, NoViolationsUnderCapacity) {
+  ArrivalCurve curve(make_trace({0, 500'000, 1'000'000}));
+  EXPECT_TRUE(scl_violations(curve, 100, 50'000).empty());
+}
+
+TEST(Scl, RemovingRequestsClearsViolation) {
+  // Paper Figure 3(b): dropping the excess shifts A(t) below the SCL.
+  // 3 at t=0 with SCL(0) = 1 violates; keeping 1 does not.
+  ArrivalCurve before(make_trace({0, 0, 0}));
+  ArrivalCurve after(make_trace({0}));
+  EXPECT_FALSE(scl_violations(before, 10, 100'000).empty());
+  EXPECT_TRUE(scl_violations(after, 10, 100'000).empty());
+}
+
+TEST(MandatoryMisses, ZeroWhenCapacityAmple) {
+  Trace t = make_trace({0, 100'000, 200'000, 300'000});
+  EXPECT_EQ(mandatory_miss_lower_bound(t, 1000, 50'000), 0);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,104 @@
+// Direct tests of the shared RTT-admission scheduler base: live census,
+// classification hook, and queue accessors.
+#include "core/decomposing_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qos {
+namespace {
+
+// Minimal concrete policy: strict Q1-then-Q2 priority, recording every
+// classification the base reports.
+class ProbeScheduler final : public DecomposingScheduler {
+ public:
+  ProbeScheduler(double cmin, Time delta)
+      : DecomposingScheduler(cmin, delta) {}
+
+  int server_count() const override { return 1; }
+
+  std::optional<Dispatch> next_for(int, Time) override {
+    if (auto d = pop_q1()) return d;
+    return pop_q2();
+  }
+
+  std::vector<std::pair<std::uint64_t, ServiceClass>> classified;
+
+ protected:
+  void on_classified(const Request& r, ServiceClass klass, Time) override {
+    classified.emplace_back(r.seq, klass);
+  }
+};
+
+Request req(std::uint64_t seq, Time arrival = 0) {
+  return Request{.arrival = arrival, .seq = seq};
+}
+
+TEST(DecomposingScheduler, CensusCountsPendingIncludingInService) {
+  ProbeScheduler s(200, 10'000);  // maxQ1 = 2
+  EXPECT_EQ(s.max_q1(), 2);
+  s.on_arrival(req(0), 0);
+  s.on_arrival(req(1), 0);
+  EXPECT_EQ(s.len_q1(), 2);
+  EXPECT_EQ(s.q1_queued(), 2u);
+
+  // Dispatch removes from the queue but the census keeps counting the
+  // in-service request until completion.
+  (void)s.next_for(0, 0);
+  EXPECT_EQ(s.q1_queued(), 1u);
+  EXPECT_EQ(s.len_q1(), 2);
+
+  // Queue full: next arrival overflows even though only one is queued.
+  s.on_arrival(req(2), 10);
+  EXPECT_EQ(s.q2_queued(), 1u);
+
+  // Completion frees a slot.
+  s.on_complete(req(0), ServiceClass::kPrimary, 0, 5'000);
+  EXPECT_EQ(s.len_q1(), 1);
+  s.on_arrival(req(3), 5'000);
+  EXPECT_EQ(s.len_q1(), 2);
+  EXPECT_EQ(s.q2_queued(), 1u);
+}
+
+TEST(DecomposingScheduler, HookSeesEveryClassification) {
+  ProbeScheduler s(100, 10'000);  // maxQ1 = 1
+  s.on_arrival(req(0), 0);
+  s.on_arrival(req(1), 0);
+  s.on_arrival(req(2), 0);
+  ASSERT_EQ(s.classified.size(), 3u);
+  EXPECT_EQ(s.classified[0],
+            (std::pair<std::uint64_t, ServiceClass>{0, ServiceClass::kPrimary}));
+  EXPECT_EQ(s.classified[1].second, ServiceClass::kOverflow);
+  EXPECT_EQ(s.classified[2].second, ServiceClass::kOverflow);
+}
+
+TEST(DecomposingScheduler, OverflowCompletionDoesNotTouchCensus) {
+  ProbeScheduler s(100, 10'000);
+  s.on_arrival(req(0), 0);
+  s.on_arrival(req(1), 0);  // overflow
+  EXPECT_EQ(s.len_q1(), 1);
+  s.on_complete(req(1), ServiceClass::kOverflow, 0, 1'000);
+  EXPECT_EQ(s.len_q1(), 1);
+}
+
+TEST(DecomposingScheduler, PopOrderIsFifoPerClass) {
+  ProbeScheduler s(300, 10'000);  // maxQ1 = 3
+  for (std::uint64_t i = 0; i < 5; ++i) s.on_arrival(req(i), 0);
+  // 3 primary (0,1,2), 2 overflow (3,4); strict priority pops 0,1,2,3,4.
+  for (std::uint64_t expect = 0; expect < 5; ++expect) {
+    auto d = s.next_for(0, 0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->request.seq, expect);
+  }
+  EXPECT_FALSE(s.next_for(0, 0).has_value());
+}
+
+TEST(DecomposingSchedulerDeath, CompletionUnderflowCaught) {
+  ProbeScheduler s(100, 10'000);
+  EXPECT_DEATH(s.on_complete(req(0), ServiceClass::kPrimary, 0, 0),
+               "Invariant");
+}
+
+}  // namespace
+}  // namespace qos

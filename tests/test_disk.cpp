@@ -1,0 +1,120 @@
+#include "disk/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fcfs.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+TEST(SeekProfile, ZeroDistanceIsFree) {
+  SeekProfile seek;
+  EXPECT_EQ(seek.seek_time(0), 0);
+}
+
+TEST(SeekProfile, TrackToTrack) {
+  SeekProfile seek;
+  EXPECT_EQ(seek.seek_time(1), seek.track_to_track);
+}
+
+TEST(SeekProfile, MonotoneInDistance) {
+  SeekProfile seek;
+  Time prev = 0;
+  for (std::int64_t d : {0, 1, 10, 100, 1'000, 2'000, 5'000, 20'000, 49'000}) {
+    const Time t = seek.seek_time(d);
+    EXPECT_GE(t, prev) << "distance " << d;
+    prev = t;
+  }
+}
+
+TEST(SeekProfile, ShortSeeksFollowSqrtRegime) {
+  SeekProfile seek;
+  // sqrt regime: quadrupling the distance roughly doubles the extra time.
+  const Time t4 = seek.seek_time(400) - seek.track_to_track;
+  const Time t1 = seek.seek_time(100) - seek.track_to_track;
+  EXPECT_NEAR(static_cast<double>(t4) / static_cast<double>(t1), 2.0, 0.2);
+}
+
+TEST(DiskGeometry, BlockArithmetic) {
+  DiskGeometry g;
+  EXPECT_EQ(g.blocks_per_cylinder(), g.heads * g.sectors_per_track);
+  EXPECT_EQ(g.total_blocks(), g.cylinders * g.blocks_per_cylinder());
+  EXPECT_EQ(g.rotation_period(), 4'000);  // 15k RPM => 4 ms
+}
+
+TEST(DiskModel, PositionMapping) {
+  DiskModel disk;
+  const auto& g = disk.geometry();
+  DiskPosition p = disk.position_of(0);
+  EXPECT_EQ(p.cylinder, 0);
+  EXPECT_EQ(p.head, 0);
+  EXPECT_EQ(p.sector, 0);
+  p = disk.position_of(
+      static_cast<std::uint64_t>(g.blocks_per_cylinder()) * 3 + 1);
+  EXPECT_EQ(p.cylinder, 3);
+  EXPECT_EQ(p.sector, 1);
+}
+
+TEST(DiskModel, ServiceTimeWithinMechanicalBounds) {
+  DiskModel disk;
+  Rng rng(47);
+  Time now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Request r;
+    r.lba = static_cast<std::uint64_t>(
+        rng.uniform_int(0, disk.geometry().total_blocks() - 1));
+    r.size_blocks = 8;
+    const Time t = disk.service_time(r, now);
+    EXPECT_GT(t, 0);
+    // Seek <= ~8 ms, rotation <= 4 ms, transfer tiny: bound ~13 ms.
+    EXPECT_LT(t, 14'000);
+    now += t;
+  }
+}
+
+TEST(DiskModel, SequentialFasterThanRandom) {
+  DiskModel seq_disk, rand_disk;
+  Rng rng(53);
+  Time seq_total = 0, rand_total = 0;
+  std::uint64_t lba = 0;
+  Time now = 0;
+  for (int i = 0; i < 500; ++i) {
+    Request r;
+    r.size_blocks = 8;
+    r.lba = lba;
+    lba += 8;
+    seq_total += seq_disk.service_time(r, now);
+    r.lba = static_cast<std::uint64_t>(rng.uniform_int(
+        0, rand_disk.geometry().total_blocks() - 1));
+    rand_total += rand_disk.service_time(r, now);
+    now += 10'000;
+  }
+  EXPECT_LT(seq_total, rand_total / 2);
+}
+
+TEST(DiskModel, RotationDependsOnArrivalPhase) {
+  // Same target sector, different start instants => different rotational
+  // delay (the platter position is a function of wall-clock time).
+  DiskModel a, b;
+  Request r;
+  r.lba = 100;
+  const Time ta = a.service_time(r, 0);
+  const Time tb = b.service_time(r, 1'000);
+  EXPECT_NE(ta, tb);
+}
+
+TEST(DiskServer, DrivesSimulator) {
+  AddressSpec addr;
+  addr.lba_max = 1ULL << 20;
+  Trace t = generate_poisson(50, 5 * kUsPerSec, 59, addr);
+  FcfsScheduler fcfs;
+  DiskServer disk;
+  SimResult r = simulate(t, fcfs, disk);
+  EXPECT_EQ(r.completions.size(), t.size());
+  for (const auto& c : r.completions) EXPECT_GT(c.finish, c.start);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,163 @@
+// Edge cases and failure injection across the stack: degenerate capacities,
+// zero-slot admission, pathological traces, and file I/O errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/response_stats.h"
+#include "core/capacity.h"
+#include "core/fairqueue.h"
+#include "core/fcfs.h"
+#include "core/miser.h"
+#include "core/rtt.h"
+#include "core/shaper.h"
+#include "core/split.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/spc.h"
+
+namespace qos {
+namespace {
+
+Trace make_trace(std::initializer_list<Time> arrivals) {
+  std::vector<Request> reqs;
+  for (Time a : arrivals) reqs.push_back(Request{.arrival = a});
+  return Trace(std::move(reqs));
+}
+
+TEST(EdgeCases, MiserWithZeroSlotsServesEverythingBestEffort) {
+  // maxQ1 = 0: every request overflows, yet the scheduler must stay
+  // work-conserving and drain the queue.
+  Trace t = make_trace({0, 0, 100, 200, 5'000});
+  MiserScheduler m(50, 10'000);  // 50 IOPS * 10 ms = 0 slots
+  ASSERT_EQ(m.max_q1(), 0);
+  ConstantRateServer server(1000);
+  SimResult r = simulate(t, m, server);
+  EXPECT_EQ(r.completions.size(), t.size());
+  for (const auto& c : r.completions)
+    EXPECT_EQ(c.klass, ServiceClass::kOverflow);
+}
+
+TEST(EdgeCases, FairQueueWithZeroSlots) {
+  Trace t = make_trace({0, 0, 100});
+  FairQueueScheduler fq(50, 10'000, 20);
+  ConstantRateServer server(1000);
+  SimResult r = simulate(t, fq, server);
+  EXPECT_EQ(r.completions.size(), t.size());
+}
+
+TEST(EdgeCases, SplitWithZeroSlots) {
+  Trace t = make_trace({0, 0});
+  SplitScheduler split(50, 10'000);
+  ConstantRateServer primary(50);
+  ConstantRateServer overflow(100);
+  Server* servers[] = {&primary, &overflow};
+  SimResult r = simulate(t, split, servers);
+  EXPECT_EQ(r.completions.size(), 2u);
+  for (const auto& c : r.completions) EXPECT_EQ(c.server, 1);
+}
+
+TEST(EdgeCases, SingleRequestTrace) {
+  Trace t = make_trace({12'345});
+  for (Policy p : {Policy::kFcfs, Policy::kSplit, Policy::kFairQueue,
+                   Policy::kMiser}) {
+    ShapingConfig config;
+    config.policy = p;
+    config.capacity_override_iops = 100;
+    ShapingOutcome out = shape_and_run(t, config);
+    ASSERT_EQ(out.sim.completions.size(), 1u) << policy_name(p);
+    EXPECT_EQ(out.sim.completions[0].arrival, 12'345);
+  }
+}
+
+TEST(EdgeCases, AllRequestsSimultaneous) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 500; ++i) reqs.push_back(Request{.arrival = 0});
+  Trace t(std::move(reqs));
+  MiserScheduler m(100, 10'000);
+  ConstantRateServer server(200);
+  SimResult r = simulate(t, m, server);
+  EXPECT_EQ(r.completions.size(), 500u);
+  EXPECT_EQ(r.makespan(), 2'500'000);  // 500 / 200 IOPS
+}
+
+TEST(EdgeCases, VeryTightDeadlineStillSane) {
+  // delta = 1 us: essentially nothing can be guaranteed at sane capacity.
+  Trace t = generate_poisson(500, 5 * kUsPerSec, 401);
+  const double f = fraction_guaranteed(t, 1000, 1);
+  EXPECT_LT(f, 0.01);
+}
+
+TEST(EdgeCases, HugeCapacityGuaranteesAll) {
+  Trace t = generate_poisson(500, 5 * kUsPerSec, 403);
+  EXPECT_DOUBLE_EQ(fraction_guaranteed(t, 1e6, 10'000), 1.0);
+}
+
+TEST(EdgeCases, FractionZeroNeedsOneIops) {
+  // Asking to guarantee 0% is satisfied by any capacity; search bottoms out
+  // at the 1-IOPS grid point.
+  Trace t = generate_poisson(500, kUsPerSec, 405);
+  EXPECT_DOUBLE_EQ(min_capacity(t, 0.0, 10'000).cmin_iops, 1.0);
+}
+
+TEST(EdgeCases, ArrivalAtTimeZero) {
+  Trace t = make_trace({0});
+  Decomposition d = rtt_decompose(t, 100, 10'000);
+  EXPECT_EQ(d.admitted, 1);
+  EXPECT_EQ(d.q1_finish[0], 10'000);
+}
+
+TEST(EdgeCases, LoadSpcFileRoundTrip) {
+  const char* path = "/tmp/burstqos_test_trace.spc";
+  {
+    std::ofstream out(path);
+    out << "0,100,4096,r,0.5\n0,200,4096,w,1.5\n";
+  }
+  Trace t = load_spc_file(path);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].arrival, 500'000);
+  EXPECT_TRUE(t[1].is_write);
+  std::remove(path);
+}
+
+TEST(EdgeCasesDeath, LoadMissingSpcFileAborts) {
+  EXPECT_DEATH(load_spc_file("/nonexistent/definitely_missing.spc"),
+               "Precondition");
+}
+
+TEST(EdgeCasesDeath, NegativeArrivalRejected) {
+  std::vector<Request> reqs = {Request{.arrival = -5}};
+  EXPECT_DEATH(Trace{std::move(reqs)}, "Precondition");
+}
+
+TEST(EdgeCasesDeath, SimulatorRejectsWrongServerCount) {
+  Trace t = make_trace({0});
+  SplitScheduler split(100, 10'000);  // wants 2 servers
+  ConstantRateServer only(100);
+  EXPECT_DEATH(simulate(t, split, only), "Precondition");
+}
+
+TEST(EdgeCases, BackToBackBusyPeriods) {
+  // Request exactly when the previous one finishes: queue length at the
+  // arrival must count the completion first (completions-before-arrivals).
+  Trace t = make_trace({0, 10'000, 20'000});
+  Decomposition d = rtt_decompose(t, 100, 10'000);  // maxQ1 = 1
+  EXPECT_EQ(d.admitted, 3);
+}
+
+TEST(EdgeCases, MicrosecondApartArrivals) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i)
+    reqs.push_back(Request{.arrival = static_cast<Time>(i)});
+  Trace t(std::move(reqs));
+  FcfsScheduler fcfs;
+  ConstantRateServer server(1'000'000);  // 1 us per request
+  SimResult r = simulate(t, fcfs, server);
+  EXPECT_EQ(r.completions.size(), 100u);
+  ResponseStats stats(r.completions);
+  EXPECT_LE(stats.max(), 100);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,106 @@
+// The FairQueue recombination must behave across every fair-scheduler
+// backend: complete service, validity of the schedule, Q1 reservation
+// respected (for the tag-based schedulers) and work conservation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/response_stats.h"
+#include "core/capacity.h"
+#include "core/fairqueue.h"
+#include "fq/drr.h"
+#include "fq/pclock.h"
+#include "fq/sfq.h"
+#include "fq/wf2q.h"
+#include "fq/wfq.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+constexpr double kCmin = 400;
+constexpr Time kDelta = 10'000;
+constexpr double kHeadroom = 100;
+
+std::unique_ptr<FairScheduler> make_backend(const std::string& kind) {
+  const std::vector<double> weights = {kCmin, kHeadroom};
+  if (kind == "SFQ") return std::make_unique<SfqScheduler>(weights);
+  if (kind == "WFQ") return std::make_unique<WfqScheduler>(weights);
+  if (kind == "WF2Q+") return std::make_unique<Wf2qPlusScheduler>(weights);
+  if (kind == "DRR")
+    return std::make_unique<DrrScheduler>(weights, 1.0 / kHeadroom);
+  if (kind == "pClock") {
+    std::vector<PClockSla> slas = {
+        PClockSla{.sigma = kCmin * to_sec(kDelta),
+                  .rho = kCmin,
+                  .delta = kDelta},
+        PClockSla{.sigma = 1, .rho = kHeadroom, .delta = 10 * kDelta}};
+    return std::make_unique<PClockScheduler>(slas);
+  }
+  ADD_FAILURE() << "unknown backend " << kind;
+  return nullptr;
+}
+
+class FqBackend : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FqBackend,
+                         ::testing::Values("SFQ", "WFQ", "WF2Q+", "DRR",
+                                           "pClock"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST_P(FqBackend, CompletesEverythingOnBurstyLoad) {
+  WorkloadSpec spec;
+  spec.states = {{300, 1.0}, {900, 0.3}};
+  Trace t = generate_workload(spec, 30 * kUsPerSec, 1001);
+  FairQueueScheduler fq(kCmin, kDelta, kHeadroom, make_backend(GetParam()));
+  ConstantRateServer server(kCmin + kHeadroom);
+  SimResult r = simulate(t, fq, server);
+  EXPECT_EQ(r.completions.size(), t.size());
+}
+
+TEST_P(FqBackend, ScheduleIsValid) {
+  Trace t = generate_poisson(600, 20 * kUsPerSec, 1003);
+  FairQueueScheduler fq(kCmin, kDelta, kHeadroom, make_backend(GetParam()));
+  ConstantRateServer server(kCmin + kHeadroom);
+  SimResult r = simulate(t, fq, server);
+  Time prev_finish = 0;
+  for (const auto& c : r.completions) {
+    EXPECT_GE(c.start, c.arrival);
+    EXPECT_GE(c.start, prev_finish);
+    prev_finish = c.finish;
+  }
+}
+
+TEST_P(FqBackend, WorkConservingOnBurst) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 250; ++i) reqs.push_back(Request{.arrival = 0});
+  Trace t(std::move(reqs));
+  FairQueueScheduler fq(kCmin, kDelta, kHeadroom, make_backend(GetParam()));
+  ConstantRateServer server(500);
+  SimResult r = simulate(t, fq, server);
+  EXPECT_EQ(r.makespan(), 500'000);  // 250 requests at 500 IOPS
+}
+
+TEST_P(FqBackend, PrimaryClassProtected) {
+  // Overloaded: Q2 grows without bound, Q1 must stay near its deadline.
+  // DRR's round granularity and pClock's tag coupling admit a bit more
+  // slop than the per-request tag schedulers.
+  Trace t = generate_poisson(700, 20 * kUsPerSec, 1005);
+  FairQueueScheduler fq(kCmin, kDelta, kHeadroom, make_backend(GetParam()));
+  ConstantRateServer server(kCmin + kHeadroom);
+  SimResult r = simulate(t, fq, server);
+  ResponseStats q1(r.completions, ServiceClass::kPrimary);
+  ASSERT_FALSE(q1.empty());
+  EXPECT_GT(q1.fraction_within(2 * kDelta), 0.98) << GetParam();
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,136 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/rate_series.h"
+
+namespace qos {
+namespace {
+
+TEST(Poisson, MeanRateConverges) {
+  Trace t = generate_poisson(200, 60 * kUsPerSec, 1);
+  EXPECT_NEAR(t.mean_rate_iops(), 200, 10);
+}
+
+TEST(Poisson, Deterministic) {
+  Trace a = generate_poisson(100, 10 * kUsPerSec, 7);
+  Trace b = generate_poisson(100, 10 * kUsPerSec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+}
+
+TEST(Poisson, SeedChangesTrace) {
+  Trace a = generate_poisson(100, 10 * kUsPerSec, 7);
+  Trace b = generate_poisson(100, 10 * kUsPerSec, 8);
+  // Sizes may coincide, but arrival patterns must differ.
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].arrival != b[i].arrival;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Mmpp, SingleStateBehavesLikePoisson) {
+  WorkloadSpec spec;
+  spec.states = {{300, 5.0}};
+  Trace t = generate_workload(spec, 60 * kUsPerSec, 3);
+  EXPECT_NEAR(t.mean_rate_iops(), 300, 20);
+}
+
+TEST(Mmpp, BurstStateRaisesPeak) {
+  WorkloadSpec calm;
+  calm.states = {{100, 1.0}};
+  WorkloadSpec bursty;
+  bursty.states = {{100, 1.0}, {2000, 1.0}};
+  Trace t_calm = generate_workload(calm, 120 * kUsPerSec, 5);
+  Trace t_bursty = generate_workload(bursty, 120 * kUsPerSec, 5);
+  EXPECT_GT(t_bursty.peak_rate_iops(100'000),
+            2 * t_calm.peak_rate_iops(100'000));
+}
+
+TEST(Mmpp, TransitionMatrixControlsOccupancy) {
+  // Burst state nearly unreachable => mean close to base rate.
+  WorkloadSpec spec;
+  spec.states = {{100, 1.0}, {5000, 1.0}};
+  spec.transition = {0.999, 0.001,   // from state 0
+                     1.0, 0.0};      // from state 1: always back
+  Trace t = generate_workload(spec, 300 * kUsPerSec, 11);
+  EXPECT_LT(t.mean_rate_iops(), 300);
+}
+
+TEST(Mmpp, BatchOverlayCreatesClusters) {
+  WorkloadSpec spec;
+  spec.states = {{50, 5.0}};
+  spec.batches = {.batches_per_sec = 0.5,
+                  .mean_size = 20,
+                  .spread_us = 1'000,
+                  .giant_prob = 0,
+                  .giant_factor = 1};
+  Trace t = generate_workload(spec, 120 * kUsPerSec, 13);
+  // Base alone can put at most a few requests in 2 ms; clusters put ~20.
+  EXPECT_GT(t.peak_rate_iops(2'000), 2'500);
+}
+
+TEST(Mmpp, ArrivalsWithinDuration) {
+  WorkloadSpec spec;
+  spec.states = {{500, 0.5}, {1000, 0.5}};
+  spec.batches = {.batches_per_sec = 1,
+                  .mean_size = 10,
+                  .spread_us = 5'000,
+                  .giant_prob = 0.1,
+                  .giant_factor = 3};
+  const Time duration = 30 * kUsPerSec;
+  Trace t = generate_workload(spec, duration, 17);
+  for (const auto& r : t) {
+    EXPECT_GE(r.arrival, 0);
+    EXPECT_LT(r.arrival, duration);
+  }
+}
+
+TEST(BModel, HigherBiasIsBurstier) {
+  Trace smooth = generate_bmodel(500, 0.55, 16, 120 * kUsPerSec, 19);
+  Trace bursty = generate_bmodel(500, 0.85, 16, 120 * kUsPerSec, 19);
+  EXPECT_GT(bursty.peak_rate_iops(1'000'000),
+            smooth.peak_rate_iops(1'000'000));
+}
+
+TEST(BModel, RequestCountMatchesMeanRate) {
+  Trace t = generate_bmodel(100, 0.7, 12, 60 * kUsPerSec, 23);
+  EXPECT_EQ(t.size(), 6000u);
+}
+
+TEST(BModel, HalfBiasIsNearUniform) {
+  Trace t = generate_bmodel(1000, 0.5, 14, 60 * kUsPerSec, 29);
+  auto summary = summarize(rate_series(t, 1'000'000));
+  EXPECT_LT(summary.peak_iops, 2.0 * summary.mean_iops);
+}
+
+TEST(ParetoOnOff, GeneratesBusyAndIdle) {
+  Trace t = generate_pareto_onoff(1000, 1.5, 0.5, 2.0, 300 * kUsPerSec, 31);
+  ASSERT_GT(t.size(), 100u);
+  // Mean rate well below the on-rate because of idle gaps.
+  EXPECT_LT(t.mean_rate_iops(), 800);
+  EXPECT_GT(t.peak_rate_iops(100'000), 500);
+}
+
+TEST(Addresses, SequentialRunsRespectProbability) {
+  AddressSpec addr;
+  addr.sequential_prob = 1.0;  // always sequential after the first jump
+  addr.size_blocks = 8;
+  Trace t = generate_poisson(100, 10 * kUsPerSec, 37, addr);
+  ASSERT_GT(t.size(), 10u);
+  int sequential = 0;
+  for (std::size_t i = 1; i < t.size(); ++i)
+    if (t[i].lba == t[i - 1].lba + 8) ++sequential;
+  EXPECT_GE(sequential + 1, static_cast<int>(t.size()) - 1);
+}
+
+TEST(Addresses, WriteFractionHonored) {
+  AddressSpec addr;
+  addr.write_fraction = 1.0;
+  Trace t = generate_poisson(100, 10 * kUsPerSec, 41, addr);
+  for (const auto& r : t) EXPECT_TRUE(r.is_write);
+}
+
+}  // namespace
+}  // namespace qos

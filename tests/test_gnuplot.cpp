@@ -1,0 +1,68 @@
+#include "analysis/gnuplot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qos {
+namespace {
+
+GnuplotWriter sample_writer() {
+  GnuplotWriter w;
+  w.add_series("first", {{0, 1}, {1, 2}});
+  w.add_series("second", {{0, 10}});
+  w.set_title("demo");
+  w.set_labels("time (s)", "IOPS");
+  return w;
+}
+
+TEST(Gnuplot, DatHasOneBlockPerSeries) {
+  const std::string dat = sample_writer().dat_content();
+  EXPECT_NE(dat.find("# first\n0 1\n1 2\n"), std::string::npos);
+  EXPECT_NE(dat.find("# second\n0 10\n"), std::string::npos);
+  // Blocks separated by a double blank line.
+  EXPECT_NE(dat.find("\n\n\n# second"), std::string::npos);
+}
+
+TEST(Gnuplot, ScriptPlotsEveryIndex) {
+  const std::string gp = sample_writer().script_content("fig");
+  EXPECT_NE(gp.find("set output 'fig.png'"), std::string::npos);
+  EXPECT_NE(gp.find("'fig.dat' index 0"), std::string::npos);
+  EXPECT_NE(gp.find("'fig.dat' index 1"), std::string::npos);
+  EXPECT_NE(gp.find("title 'first'"), std::string::npos);
+  EXPECT_NE(gp.find("set title 'demo'"), std::string::npos);
+  EXPECT_NE(gp.find("set xlabel 'time (s)'"), std::string::npos);
+}
+
+TEST(Gnuplot, LogscaleOptIn) {
+  GnuplotWriter w = sample_writer();
+  EXPECT_EQ(w.script_content("f").find("logscale"), std::string::npos);
+  w.set_logscale_x(true);
+  EXPECT_NE(w.script_content("f").find("set logscale x"),
+            std::string::npos);
+}
+
+TEST(Gnuplot, WritesFiles) {
+  GnuplotWriter w = sample_writer();
+  w.write("/tmp", "burstqos_gnuplot_test");
+  std::ifstream dat("/tmp/burstqos_gnuplot_test.dat");
+  std::ifstream gp("/tmp/burstqos_gnuplot_test.gp");
+  ASSERT_TRUE(dat.good());
+  ASSERT_TRUE(gp.good());
+  std::stringstream s;
+  s << dat.rdbuf();
+  EXPECT_EQ(s.str(), w.dat_content());
+  std::remove("/tmp/burstqos_gnuplot_test.dat");
+  std::remove("/tmp/burstqos_gnuplot_test.gp");
+}
+
+TEST(Gnuplot, EmptyWriterProducesEmptyDat) {
+  GnuplotWriter w;
+  EXPECT_TRUE(w.dat_content().empty());
+  EXPECT_EQ(w.series_count(), 0u);
+}
+
+}  // namespace
+}  // namespace qos

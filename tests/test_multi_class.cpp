@@ -1,0 +1,119 @@
+#include "core/multi_class.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rtt.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+Trace make_trace(std::initializer_list<Time> arrivals) {
+  std::vector<Request> reqs;
+  for (Time a : arrivals) reqs.push_back(Request{.arrival = a});
+  return Trace(std::move(reqs));
+}
+
+TEST(MultiClassDecompose, SingleTierMatchesRtt) {
+  Trace t = generate_poisson(800, 20 * kUsPerSec, 211);
+  const ClassSpec tiers[] = {{500, 10'000}};
+  MultiClassDecomposition mc = multi_class_decompose(t, tiers);
+  Decomposition d = rtt_decompose(t, 500, 10'000);
+  EXPECT_EQ(mc.counts[0], d.admitted);
+  EXPECT_EQ(mc.counts[1], d.dropped());
+  for (const auto& r : t) {
+    const bool primary = d.klass[r.seq] == ServiceClass::kPrimary;
+    EXPECT_EQ(mc.tier[r.seq] == 0, primary) << "seq " << r.seq;
+  }
+}
+
+TEST(MultiClassDecompose, CascadeFillsTiersInOrder) {
+  // 10 simultaneous arrivals; tier 0 holds 2 (C=200, 10 ms), tier 1 holds 4
+  // (C=200, 20 ms), rest best effort.
+  Trace t = make_trace({0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  const ClassSpec tiers[] = {{200, 10'000}, {200, 20'000}};
+  MultiClassDecomposition mc = multi_class_decompose(t, tiers);
+  EXPECT_EQ(mc.counts[0], 2);
+  EXPECT_EQ(mc.counts[1], 4);
+  EXPECT_EQ(mc.counts[2], 4);
+  // Earlier arrivals land in tighter tiers.
+  EXPECT_EQ(mc.tier[0], 0);
+  EXPECT_EQ(mc.tier[1], 0);
+  EXPECT_EQ(mc.tier[2], 1);
+  EXPECT_EQ(mc.tier[5], 1);
+  EXPECT_EQ(mc.tier[6], 2);
+}
+
+TEST(MultiClassDecompose, FractionAccessors) {
+  Trace t = make_trace({0, 0, 0, 0});
+  const ClassSpec tiers[] = {{100, 10'000}};  // 1 slot
+  MultiClassDecomposition mc = multi_class_decompose(t, tiers);
+  EXPECT_DOUBLE_EQ(mc.fraction_in_tier(0), 0.25);
+  EXPECT_DOUBLE_EQ(mc.fraction_in_tier(1), 0.75);
+}
+
+TEST(MultiClassDecompose, TiersMustHaveIncreasingDeltas) {
+  Trace t = make_trace({0});
+  const ClassSpec bad[] = {{100, 20'000}, {100, 10'000}};
+  EXPECT_DEATH(multi_class_decompose(t, bad), "Precondition");
+}
+
+TEST(MultiClassScheduler, MatchesAnalyticCountsOnDedicatedishServer) {
+  // With a fast server the live census matches the analytic cascade closely;
+  // with 3 simultaneous bursts the counts must be identical because queue
+  // occupancy is arrival-driven.
+  Trace t = make_trace({0, 0, 0, 0, 0, 0});
+  std::vector<ClassSpec> tiers = {{200, 10'000}, {100, 30'000}};
+  MultiClassScheduler sched(tiers);
+  ConstantRateServer server(300);
+  SimResult r = simulate(t, sched, server);
+  EXPECT_EQ(r.completions.size(), 6u);
+  // Tier 0: 2 slots; tier 1: 3 slots; 1 best effort.
+  EXPECT_EQ(sched.tier_of(0), 0);
+  EXPECT_EQ(sched.tier_of(1), 0);
+  EXPECT_EQ(sched.tier_of(2), 1);
+  EXPECT_EQ(sched.tier_of(3), 1);
+  EXPECT_EQ(sched.tier_of(4), 1);
+  EXPECT_EQ(sched.tier_of(5), 2);
+}
+
+TEST(MultiClassScheduler, StrictPriorityOrder) {
+  Trace t = make_trace({0, 0, 0, 0, 0, 0});
+  std::vector<ClassSpec> tiers = {{200, 10'000}, {100, 30'000}};
+  MultiClassScheduler sched(tiers);
+  ConstantRateServer server(300);
+  SimResult r = simulate(t, sched, server);
+  // Completion order: tier 0 requests first, then tier 1, then best effort.
+  std::vector<std::uint8_t> order;
+  for (const auto& c : r.completions) order.push_back(sched.tier_of(c.seq));
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(order[i - 1], order[i]);
+}
+
+TEST(MultiClassScheduler, AllServedUnderRandomLoad) {
+  Trace t = generate_poisson(900, 10 * kUsPerSec, 223);
+  std::vector<ClassSpec> tiers = {{400, 10'000}, {200, 50'000}};
+  MultiClassScheduler sched(tiers);
+  ConstantRateServer server(700);
+  SimResult r = simulate(t, sched, server);
+  EXPECT_EQ(r.completions.size(), t.size());
+}
+
+TEST(MultiClassScheduler, TightTierMeetsItsDeadline) {
+  Trace t = generate_poisson(700, 20 * kUsPerSec, 227);
+  std::vector<ClassSpec> tiers = {{400, 10'000}, {200, 50'000}};
+  MultiClassScheduler sched(tiers);
+  // Server at the sum of tier capacities: strict priority then guarantees
+  // the tightest tier at least its planned rate.
+  ConstantRateServer server(600);
+  SimResult r = simulate(t, sched, server);
+  for (const auto& c : r.completions) {
+    if (sched.tier_of(c.seq) == 0) {
+      EXPECT_LE(c.response_time(), 10'000) << "seq " << c.seq;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,123 @@
+#include "core/multi_tenant.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/response_stats.h"
+#include "core/capacity.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+// Two tenants interleaved into one trace with client ids set.
+Trace two_tenant_trace(double rate0, double rate1, Time duration,
+                       std::uint64_t seed) {
+  Trace a = generate_poisson(rate0, duration, seed);
+  Trace b = generate_poisson(rate1, duration, seed + 1);
+  const Trace parts[] = {a, b};
+  return Trace::merge(parts);
+}
+
+std::vector<TenantSpec> two_specs() {
+  return {TenantSpec{400, from_ms(10), 50},
+          TenantSpec{400, from_ms(10), 50}};
+}
+
+TEST(MultiTenant, AllRequestsServed) {
+  Trace t = two_tenant_trace(300, 300, 20 * kUsPerSec, 1101);
+  MultiTenantScheduler sched(two_specs());
+  ConstantRateServer server(sched.planned_capacity_iops());
+  SimResult r = simulate(t, sched, server);
+  EXPECT_EQ(r.completions.size(), t.size());
+}
+
+TEST(MultiTenant, PlannedCapacitySumsReservations) {
+  MultiTenantScheduler sched(two_specs());
+  EXPECT_DOUBLE_EQ(sched.planned_capacity_iops(), 400 + 400 + 100);
+}
+
+TEST(MultiTenant, WellBehavedTenantsMeetDeadlines) {
+  Trace t = two_tenant_trace(350, 350, 20 * kUsPerSec, 1103);
+  MultiTenantScheduler sched(two_specs());
+  ConstantRateServer server(sched.planned_capacity_iops());
+  SimResult r = simulate(t, sched, server);
+  std::int64_t primary = 0, missed = 0;
+  for (const auto& c : r.completions) {
+    if (c.klass != ServiceClass::kPrimary) continue;
+    ++primary;
+    if (c.response_time() > from_ms(10)) ++missed;
+  }
+  ASSERT_GT(primary, 0);
+  EXPECT_LT(static_cast<double>(missed) / static_cast<double>(primary),
+            0.005);
+}
+
+TEST(MultiTenant, MisbehavingTenantIsolated) {
+  // Tenant 1 floods at 4x its reservation; tenant 0 stays in profile.  The
+  // paper's isolation requirement: tenant 0's primary class must be
+  // unaffected — the flood piles up in tenant 1's own overflow queue.
+  Trace t = two_tenant_trace(350, 1600, 20 * kUsPerSec, 1105);
+  MultiTenantScheduler sched(two_specs());
+  ConstantRateServer server(sched.planned_capacity_iops());
+  SimResult r = simulate(t, sched, server);
+
+  std::vector<CompletionRecord> t0_primary;
+  std::int64_t t1_overflow = 0;
+  for (const auto& c : r.completions) {
+    if (c.client == 0 && c.klass == ServiceClass::kPrimary)
+      t0_primary.push_back(c);
+    if (c.client == 1 && c.klass == ServiceClass::kOverflow) ++t1_overflow;
+  }
+  ResponseStats t0(t0_primary);
+  ASSERT_FALSE(t0.empty());
+  // Tenant 0's guarantee survives the neighbor's overload up to SFQ's round
+  // granularity: with 2N backlogged flows a primary can lag a few extra
+  // service slots, so allow a small sliver past delta but none past 2*delta.
+  EXPECT_GT(t0.fraction_within(from_ms(10)), 0.97);
+  EXPECT_GT(t0.fraction_within(from_ms(20)), 0.999);
+  // The flood went to tenant 1's overflow class.
+  EXPECT_GT(t1_overflow, 1000);
+}
+
+TEST(MultiTenant, MisbehaviorHurtsOnlyTheFlooder) {
+  // Compare tenant 0's primary p99 with and without tenant 1 flooding.
+  auto p99_tenant0 = [](double tenant1_rate, std::uint64_t seed) {
+    Trace t = two_tenant_trace(350, tenant1_rate, 20 * kUsPerSec, seed);
+    MultiTenantScheduler sched(two_specs());
+    ConstantRateServer server(sched.planned_capacity_iops());
+    SimResult r = simulate(t, sched, server);
+    std::vector<CompletionRecord> t0;
+    for (const auto& c : r.completions)
+      if (c.client == 0 && c.klass == ServiceClass::kPrimary)
+        t0.push_back(c);
+    return ResponseStats(t0).percentile(0.99);
+  };
+  const Time calm = p99_tenant0(350, 1107);
+  const Time flood = p99_tenant0(1600, 1107);
+  // Within a couple of service slots of each other.
+  EXPECT_LT(flood, calm + from_ms(5));
+}
+
+TEST(MultiTenant, RoutesByClientId) {
+  std::vector<Request> reqs;
+  reqs.push_back(Request{.arrival = 0, .client = 0});
+  reqs.push_back(Request{.arrival = 0, .client = 1});
+  Trace t(std::move(reqs));
+  MultiTenantScheduler sched(two_specs());
+  ConstantRateServer server(900);
+  SimResult r = simulate(t, sched, server);
+  ASSERT_EQ(r.completions.size(), 2u);
+  EXPECT_EQ(sched.len_q1(0), 0);
+  EXPECT_EQ(sched.len_q1(1), 0);
+}
+
+TEST(MultiTenantDeath, RejectsUnknownClient) {
+  MultiTenantScheduler sched(two_specs());
+  Request r;
+  r.client = 7;
+  EXPECT_DEATH(sched.on_arrival(r, 0), "Precondition");
+}
+
+}  // namespace
+}  // namespace qos

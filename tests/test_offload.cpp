@@ -1,0 +1,114 @@
+#include "core/offload.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/response_stats.h"
+#include "core/split.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+SimResult run_offload(const Trace& t, double cmin, Time delta, int targets,
+                      double per_target_iops,
+                      OffloadRouting routing = OffloadRouting::kRoundRobin) {
+  OffloadScheduler sched(cmin, delta, targets, routing);
+  std::vector<ConstantRateServer> servers;
+  servers.reserve(static_cast<std::size_t>(targets) + 1);
+  servers.emplace_back(cmin);
+  for (int i = 0; i < targets; ++i) servers.emplace_back(per_target_iops);
+  std::vector<Server*> ptrs;
+  for (auto& s : servers) ptrs.push_back(&s);
+  return simulate(t, sched, ptrs);
+}
+
+TEST(Offload, ServerCountIsPrimaryPlusPool) {
+  OffloadScheduler sched(100, 10'000, 3);
+  EXPECT_EQ(sched.server_count(), 4);
+}
+
+TEST(Offload, SingleTargetMatchesSplit) {
+  // k = 1 must reproduce Split exactly (same admission, same service).
+  Trace t = generate_poisson(700, 10 * kUsPerSec, 1201);
+  const double cmin = 400;
+  const Time delta = 10'000;
+
+  SimResult offload = run_offload(t, cmin, delta, 1, 100);
+
+  SplitScheduler split(cmin, delta);
+  ConstantRateServer primary(cmin);
+  ConstantRateServer overflow(100);
+  Server* servers[] = {&primary, &overflow};
+  SimResult split_result = simulate(t, split, servers);
+
+  ASSERT_EQ(offload.completions.size(), split_result.completions.size());
+  for (std::size_t i = 0; i < offload.completions.size(); ++i) {
+    EXPECT_EQ(offload.completions[i].seq, split_result.completions[i].seq);
+    EXPECT_EQ(offload.completions[i].finish,
+              split_result.completions[i].finish);
+  }
+}
+
+TEST(Offload, PrimaryDeadlinesUnaffectedByPoolSize) {
+  Trace t = generate_poisson(700, 10 * kUsPerSec, 1203);
+  const Time delta = 10'000;
+  for (int targets : {1, 2, 4}) {
+    SimResult r = run_offload(t, 400, delta, targets, 50);
+    for (const auto& c : r.completions) {
+      if (c.klass == ServiceClass::kPrimary) {
+        EXPECT_LE(c.response_time(), delta) << "targets " << targets;
+      }
+    }
+  }
+}
+
+TEST(Offload, MoreTargetsDrainOverflowFaster) {
+  // Overflow load beyond one target's capacity: the pool helps.
+  Trace t = generate_poisson(900, 10 * kUsPerSec, 1205);
+  ResponseStats one(run_offload(t, 400, 10'000, 1, 60).completions,
+                    ServiceClass::kOverflow);
+  ResponseStats four(run_offload(t, 400, 10'000, 4, 60).completions,
+                     ServiceClass::kOverflow);
+  ASSERT_FALSE(one.empty());
+  ASSERT_FALSE(four.empty());
+  EXPECT_LT(four.mean_us(), one.mean_us() / 2);
+}
+
+TEST(Offload, RoundRobinSpreadsEvenly) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 12; ++i) reqs.push_back(Request{.arrival = 0});
+  Trace t(std::move(reqs));
+  // maxQ1 = 0: everything offloads; round robin over 3 targets.
+  OffloadScheduler sched(50, 10'000, 3);
+  for (const auto& r : t) sched.on_arrival(r, 0);
+  EXPECT_EQ(sched.overflow_queued(0), 4u);
+  EXPECT_EQ(sched.overflow_queued(1), 4u);
+  EXPECT_EQ(sched.overflow_queued(2), 4u);
+}
+
+TEST(Offload, LeastLoadedPrefersShortestQueue) {
+  OffloadScheduler sched(50, 10'000, 2, OffloadRouting::kLeastLoaded);
+  Request r;
+  sched.on_arrival(r, 0);  // -> target 0
+  sched.on_arrival(r, 0);  // -> target 1 (0 now longer)
+  sched.on_arrival(r, 0);  // tie -> target 0
+  EXPECT_EQ(sched.overflow_queued(0), 2u);
+  EXPECT_EQ(sched.overflow_queued(1), 1u);
+}
+
+TEST(Offload, LeastLoadedBalancesUnderDrain) {
+  Trace t = generate_poisson(600, 10 * kUsPerSec, 1207);
+  SimResult r = run_offload(t, 200, 10'000, 3, 150,
+                            OffloadRouting::kLeastLoaded);
+  EXPECT_EQ(r.completions.size(), t.size());
+  std::size_t per_server[4] = {0, 0, 0, 0};
+  for (const auto& c : r.completions) ++per_server[c.server];
+  // All three offload targets carry comparable load.
+  for (int s = 1; s <= 3; ++s) {
+    EXPECT_GT(per_server[s], per_server[0] / 8) << "server " << s;
+  }
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,82 @@
+#include "fq/pclock.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+TEST(PClock, ConformingRequestGetsLatencyDeadline) {
+  PClockScheduler pc({PClockSla{.sigma = 4, .rho = 100, .delta = 10'000}});
+  pc.enqueue(0, 1, 1.0, 0);
+  auto d = pc.dequeue(0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->handle, 1u);
+}
+
+TEST(PClock, EarliestDeadlineFirstAcrossFlows) {
+  // Flow 0 has a tight latency bound, flow 1 loose: flow 0 dispatches first
+  // even when enqueued second.
+  PClockScheduler pc({PClockSla{.sigma = 4, .rho = 100, .delta = 5'000},
+                      PClockSla{.sigma = 4, .rho = 100, .delta = 50'000}});
+  pc.enqueue(1, 10, 1.0, 0);
+  pc.enqueue(0, 20, 1.0, 0);
+  auto d = pc.dequeue(0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->flow, 0);
+}
+
+TEST(PClock, NonConformingDeadlinePushedOut) {
+  // sigma = 1, rho = 100/s: the second back-to-back request lacks a token and
+  // is due 1/rho = 10 ms later than a conforming one.
+  PClockScheduler pc({PClockSla{.sigma = 1, .rho = 100, .delta = 5'000},
+                      PClockSla{.sigma = 100, .rho = 100, .delta = 11'000}});
+  pc.enqueue(0, 1, 1.0, 0);  // conforming: due 5 ms
+  pc.enqueue(0, 2, 1.0, 0);  // non-conforming: due 5 + 10 = 15 ms
+  pc.enqueue(1, 3, 1.0, 0);  // conforming: due 11 ms
+  EXPECT_EQ(pc.dequeue(0)->handle, 1u);
+  EXPECT_EQ(pc.dequeue(0)->handle, 3u);  // 11 ms beats 15 ms
+  EXPECT_EQ(pc.dequeue(0)->handle, 2u);
+}
+
+TEST(PClock, TokensRefillOverTime) {
+  // After earning tokens back, a later request is conforming again.
+  PClockScheduler pc({PClockSla{.sigma = 1, .rho = 1000, .delta = 5'000}});
+  pc.enqueue(0, 1, 1.0, 0);
+  (void)pc.dequeue(0);
+  // 1 ms later one token (rho = 1000/s) has been earned.
+  pc.enqueue(0, 2, 1.0, 1'000);
+  auto d = pc.dequeue(0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->handle, 2u);
+}
+
+TEST(PClock, FifoWithinFlow) {
+  PClockScheduler pc({PClockSla{.sigma = 2, .rho = 100, .delta = 10'000}});
+  for (std::uint64_t i = 0; i < 6; ++i) pc.enqueue(0, i, 1.0, 0);
+  std::uint64_t expect = 0;
+  while (auto d = pc.dequeue(0)) {
+    EXPECT_EQ(d->handle, expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 6u);
+}
+
+TEST(PClock, WorkConservingAcrossFlows) {
+  PClockScheduler pc({PClockSla{.sigma = 1, .rho = 10, .delta = 1'000},
+                      PClockSla{.sigma = 1, .rho = 10, .delta = 1'000}});
+  for (std::uint64_t i = 0; i < 10; ++i) pc.enqueue(0, i, 1.0, 0);
+  int served = 0;
+  while (pc.dequeue(0)) ++served;
+  EXPECT_EQ(served, 10);
+  EXPECT_TRUE(pc.empty());
+}
+
+TEST(PClock, BacklogAccessor) {
+  PClockScheduler pc({PClockSla{}, PClockSla{}});
+  pc.enqueue(1, 5, 1.0, 0);
+  EXPECT_EQ(pc.backlog(0), 0u);
+  EXPECT_EQ(pc.backlog(1), 1u);
+}
+
+}  // namespace
+}  // namespace qos

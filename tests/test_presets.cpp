@@ -1,0 +1,79 @@
+#include "trace/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/rate_series.h"
+
+namespace qos {
+namespace {
+
+class PresetTest : public ::testing::TestWithParam<Workload> {};
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PresetTest,
+                         ::testing::Values(Workload::kWebSearch,
+                                           Workload::kFinTrans,
+                                           Workload::kOpenMail),
+                         [](const auto& info) {
+                           return workload_long_name(info.param);
+                         });
+
+TEST_P(PresetTest, Deterministic) {
+  // Short horizon keeps the test fast; determinism is horizon-independent.
+  Trace a = preset_trace(GetParam(), 60 * kUsPerSec);
+  Trace b = preset_trace(GetParam(), 60 * kUsPerSec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97)
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+}
+
+TEST_P(PresetTest, NonTrivialVolume) {
+  Trace t = preset_trace(GetParam(), 120 * kUsPerSec);
+  EXPECT_GT(t.size(), 1000u);
+}
+
+TEST_P(PresetTest, BurstyAtFineGranularity) {
+  // All three paper workloads have 100 ms-window peaks well above the mean —
+  // the property that drives every experiment.
+  Trace t = preset_trace(GetParam(), 600 * kUsPerSec);
+  const double peak = t.peak_rate_iops(100'000);
+  const double mean = t.mean_rate_iops();
+  EXPECT_GT(peak, 2.0 * mean) << "peak " << peak << " mean " << mean;
+}
+
+TEST(Presets, NamesAreStable) {
+  EXPECT_EQ(workload_name(Workload::kWebSearch), "WS");
+  EXPECT_EQ(workload_name(Workload::kFinTrans), "FT");
+  EXPECT_EQ(workload_name(Workload::kOpenMail), "OM");
+  EXPECT_EQ(workload_long_name(Workload::kOpenMail), "OpenMail");
+}
+
+TEST(Presets, DistinctSeeds) {
+  EXPECT_NE(preset_seed(Workload::kWebSearch),
+            preset_seed(Workload::kFinTrans));
+  EXPECT_NE(preset_seed(Workload::kFinTrans),
+            preset_seed(Workload::kOpenMail));
+}
+
+TEST(Presets, RateOrdering) {
+  // The paper's workloads order OM > WS > FT by average rate; the presets
+  // must preserve that relation.
+  const Time dur = 300 * kUsPerSec;
+  const double ws = preset_trace(Workload::kWebSearch, dur).mean_rate_iops();
+  const double ft = preset_trace(Workload::kFinTrans, dur).mean_rate_iops();
+  const double om = preset_trace(Workload::kOpenMail, dur).mean_rate_iops();
+  EXPECT_GT(om, ws);
+  EXPECT_GT(ws, ft);
+}
+
+TEST(Presets, OpenMailHasHeavyPlateaus) {
+  // OpenMail's signature in the paper (Fig. 2): multi-second plateaus several
+  // times the mean rate.  Full preset duration: the tall plateaus are rare
+  // regime excursions and a short slice can miss them.
+  Trace t = preset_trace(Workload::kOpenMail);
+  auto series = rate_series(t, kUsPerSec);  // 1 s windows
+  auto summary = summarize(series);
+  EXPECT_GT(summary.peak_iops, 3.0 * summary.mean_iops);
+}
+
+}  // namespace
+}  // namespace qos

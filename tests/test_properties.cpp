@@ -1,0 +1,167 @@
+// Property-based parameterized sweeps across capacities, deadlines, seeds
+// and policies: invariants that must hold for every configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/response_stats.h"
+#include "core/capacity.h"
+#include "core/rtt.h"
+#include "core/shaper.h"
+#include "curves/analysis.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+Trace property_trace(std::uint64_t seed, double rate) {
+  WorkloadSpec spec;
+  spec.states = {{rate * 0.5, 1.0}, {rate, 1.0}, {rate * 3, 0.3}};
+  spec.batches = {.batches_per_sec = 0.2,
+                  .mean_size = 6,
+                  .spread_us = 1'500,
+                  .giant_prob = 0.05,
+                  .giant_factor = 3};
+  return generate_workload(spec, 30 * kUsPerSec, seed);
+}
+
+// ---------------------------------------------------------------------------
+// RTT invariants across (capacity, delta, seed).
+
+using RttParam = std::tuple<double, Time, std::uint64_t>;
+
+class RttProperty : public ::testing::TestWithParam<RttParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RttProperty,
+    ::testing::Combine(::testing::Values(100.0, 250.0, 500.0, 1000.0),
+                       ::testing::Values<Time>(5'000, 10'000, 50'000),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST_P(RttProperty, AdmittedFinishWithinDeadlinePlusGrid) {
+  const auto [capacity, delta, seed] = GetParam();
+  Trace t = property_trace(seed, 400);
+  Decomposition d = rtt_decompose(t, capacity, delta);
+  for (const auto& r : t) {
+    if (d.klass[r.seq] != ServiceClass::kPrimary) continue;
+    // +1 us: service slots are dithered onto the microsecond grid.
+    EXPECT_LE(d.q1_finish[r.seq], r.arrival + delta + 1);
+  }
+}
+
+TEST_P(RttProperty, DropsBoundedBelowByLemma1) {
+  const auto [capacity, delta, seed] = GetParam();
+  Trace t = property_trace(seed, 400);
+  Decomposition d = rtt_decompose(t, capacity, delta);
+  EXPECT_GE(d.dropped(), mandatory_miss_lower_bound(t, capacity, delta));
+}
+
+TEST_P(RttProperty, ClassesPartitionTheTrace) {
+  const auto [capacity, delta, seed] = GetParam();
+  Trace t = property_trace(seed, 400);
+  Decomposition d = rtt_decompose(t, capacity, delta);
+  std::int64_t primaries = 0;
+  for (auto k : d.klass)
+    if (k == ServiceClass::kPrimary) ++primaries;
+  EXPECT_EQ(primaries, d.admitted);
+  EXPECT_EQ(d.total(), static_cast<std::int64_t>(t.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Capacity search invariants.
+
+class CapacityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapacityProperty,
+                         ::testing::Values<std::uint64_t>(3, 5, 8, 13));
+
+TEST_P(CapacityProperty, FractionIsMonotoneInCapacity) {
+  Trace t = property_trace(GetParam(), 300);
+  double prev = 0;
+  for (double c = 50; c <= 3200; c *= 2) {
+    const double f = fraction_guaranteed(t, c, 10'000);
+    EXPECT_GE(f, prev - 1e-12) << "capacity " << c;
+    prev = f;
+  }
+}
+
+TEST_P(CapacityProperty, SearchResultIsFeasibleAndTight) {
+  Trace t = property_trace(GetParam(), 300);
+  for (double f : {0.9, 0.99, 1.0}) {
+    CapacityResult r = min_capacity(t, f, 10'000);
+    EXPECT_GE(fraction_guaranteed(t, r.cmin_iops, 10'000), f);
+    if (r.cmin_iops > 1) {
+      EXPECT_LT(fraction_guaranteed(t, r.cmin_iops - 1, 10'000), f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler conservation laws across policies and seeds.
+
+using PolicyParam = std::tuple<Policy, std::uint64_t>;
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyProperty,
+    ::testing::Combine(::testing::Values(Policy::kFcfs, Policy::kSplit,
+                                         Policy::kFairQueue, Policy::kMiser),
+                       ::testing::Values<std::uint64_t>(21, 22, 23)));
+
+TEST_P(PolicyProperty, EveryRequestServedExactlyOnce) {
+  const auto [policy, seed] = GetParam();
+  Trace t = property_trace(seed, 350);
+  ShapingConfig config;
+  config.policy = policy;
+  config.fraction = 0.9;
+  config.delta = 10'000;
+  ShapingOutcome out = shape_and_run(t, config);
+  ASSERT_EQ(out.sim.completions.size(), t.size());
+  std::vector<bool> seen(t.size(), false);
+  for (const auto& c : out.sim.completions) {
+    ASSERT_LT(c.seq, t.size());
+    EXPECT_FALSE(seen[c.seq]) << "duplicate seq " << c.seq;
+    seen[c.seq] = true;
+  }
+}
+
+TEST_P(PolicyProperty, ServiceWindowsValid) {
+  const auto [policy, seed] = GetParam();
+  Trace t = property_trace(seed, 350);
+  ShapingConfig config;
+  config.policy = policy;
+  config.fraction = 0.9;
+  config.delta = 10'000;
+  ShapingOutcome out = shape_and_run(t, config);
+  Time prev_finish_per_server[2] = {0, 0};
+  for (const auto& c : out.sim.completions) {
+    EXPECT_GE(c.start, c.arrival);
+    EXPECT_GT(c.finish, c.start);
+    ASSERT_LT(c.server, 2);
+    // Service on one server is serialized: starts never precede the
+    // previous finish there (completions arrive in finish order).
+    EXPECT_GE(c.start, prev_finish_per_server[c.server]);
+    prev_finish_per_server[c.server] = c.finish;
+  }
+}
+
+TEST_P(PolicyProperty, DeterministicAcrossRuns) {
+  const auto [policy, seed] = GetParam();
+  Trace t = property_trace(seed, 350);
+  ShapingConfig config;
+  config.policy = policy;
+  config.fraction = 0.9;
+  config.delta = 10'000;
+  ShapingOutcome a = shape_and_run(t, config);
+  ShapingOutcome b = shape_and_run(t, config);
+  ASSERT_EQ(a.sim.completions.size(), b.sim.completions.size());
+  for (std::size_t i = 0; i < a.sim.completions.size(); ++i) {
+    EXPECT_EQ(a.sim.completions[i].seq, b.sim.completions[i].seq);
+    EXPECT_EQ(a.sim.completions[i].finish, b.sim.completions[i].finish);
+  }
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,183 @@
+#include "disk/raid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "disk/disk_model.h"
+#include "disk/raid_qos_scheduler.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+TEST(RaidGeometry, Validity) {
+  EXPECT_TRUE((RaidGeometry{RaidLevel::kRaid0, 2, 128}).valid());
+  EXPECT_FALSE((RaidGeometry{RaidLevel::kRaid0, 1, 128}).valid());
+  EXPECT_TRUE((RaidGeometry{RaidLevel::kRaid1, 4, 128}).valid());
+  EXPECT_FALSE((RaidGeometry{RaidLevel::kRaid1, 3, 128}).valid());
+  EXPECT_TRUE((RaidGeometry{RaidLevel::kRaid5, 3, 128}).valid());
+  EXPECT_FALSE((RaidGeometry{RaidLevel::kRaid5, 2, 128}).valid());
+  EXPECT_FALSE((RaidGeometry{RaidLevel::kRaid0, 2, 0}).valid());
+}
+
+TEST(RaidMapper, Raid0StripesRoundRobin) {
+  RaidMapper m({RaidLevel::kRaid0, 4, 8});
+  // Stripe units of 8 blocks rotate across 4 disks.
+  EXPECT_EQ(m.map_read(0).disk, 0);
+  EXPECT_EQ(m.map_read(8).disk, 1);
+  EXPECT_EQ(m.map_read(16).disk, 2);
+  EXPECT_EQ(m.map_read(24).disk, 3);
+  EXPECT_EQ(m.map_read(32).disk, 0);
+  EXPECT_EQ(m.map_read(32).lba, 8u);  // second row
+  EXPECT_EQ(m.map_read(5).lba, 5u);   // offset within unit preserved
+}
+
+TEST(RaidMapper, Raid0WriteSingleTarget) {
+  RaidMapper m({RaidLevel::kRaid0, 4, 8});
+  EXPECT_EQ(m.write_targets(40).size(), 1u);
+}
+
+TEST(RaidMapper, Raid1MirrorPairs) {
+  RaidMapper m({RaidLevel::kRaid1, 4, 8});  // 2 data columns
+  // Data goes to even disks, mirrors to the adjacent odd disks.
+  EXPECT_EQ(m.map_read(0).disk, 0);
+  EXPECT_EQ(m.map_mirror(0).disk, 1);
+  EXPECT_EQ(m.map_read(8).disk, 2);
+  EXPECT_EQ(m.map_mirror(8).disk, 3);
+  EXPECT_EQ(m.map_mirror(8).lba, m.map_read(8).lba);
+  auto writes = m.write_targets(8);
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_NE(writes[0].disk, writes[1].disk);
+}
+
+TEST(RaidMapper, Raid5ParityRotates) {
+  RaidMapper m({RaidLevel::kRaid5, 4, 8});
+  // Left-symmetric: row 0 parity on disk 3, row 1 on disk 2, ...
+  EXPECT_EQ(m.parity_disk(0), 3);
+  EXPECT_EQ(m.parity_disk(3 * 8), 2);   // row 1 (3 data units per row)
+  EXPECT_EQ(m.parity_disk(6 * 8), 1);
+  EXPECT_EQ(m.parity_disk(9 * 8), 0);
+  EXPECT_EQ(m.parity_disk(12 * 8), 3);  // wraps
+}
+
+TEST(RaidMapper, Raid5DataNeverOnParityDisk) {
+  RaidMapper m({RaidLevel::kRaid5, 5, 8});
+  for (std::uint64_t lba = 0; lba < 5'000; lba += 8) {
+    EXPECT_NE(m.map_read(lba).disk, m.parity_disk(lba)) << "lba " << lba;
+  }
+}
+
+TEST(RaidMapper, Raid5RowUsesEveryDataDisk) {
+  RaidMapper m({RaidLevel::kRaid5, 4, 8});
+  // Each row of 3 data units must land on 3 distinct non-parity disks.
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    std::set<int> disks;
+    for (std::uint64_t c = 0; c < 3; ++c)
+      disks.insert(m.map_read((row * 3 + c) * 8).disk);
+    EXPECT_EQ(disks.size(), 3u) << "row " << row;
+    EXPECT_EQ(disks.count(m.parity_disk(row * 3 * 8)), 0u);
+  }
+}
+
+TEST(RaidMapper, Raid5WriteHitsDataAndParity) {
+  RaidMapper m({RaidLevel::kRaid5, 4, 8});
+  auto writes = m.write_targets(0);
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0].disk, m.map_read(0).disk);
+  EXPECT_EQ(writes[1].disk, m.parity_disk(0));
+}
+
+TEST(RaidMapper, DataDiskCounts) {
+  EXPECT_EQ(RaidMapper({RaidLevel::kRaid0, 4, 8}).data_disks(), 4);
+  EXPECT_EQ(RaidMapper({RaidLevel::kRaid1, 4, 8}).data_disks(), 2);
+  EXPECT_EQ(RaidMapper({RaidLevel::kRaid5, 4, 8}).data_disks(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// RaidQosScheduler end-to-end on member DiskServers.
+
+SimResult run_raid(const Trace& t, RaidGeometry geometry, double admission,
+                   Time delta) {
+  RaidQosScheduler sched(geometry, admission, delta);
+  std::vector<DiskServer> disks(static_cast<std::size_t>(geometry.disks));
+  std::vector<Server*> servers;
+  for (auto& d : disks) servers.push_back(&d);
+  return simulate(t, sched, servers);
+}
+
+TEST(RaidQos, ReadOnlyCompletesExactly) {
+  AddressSpec addr;
+  addr.lba_max = 1'000'000;
+  addr.write_fraction = 0.0;
+  Trace t = generate_poisson(300, 10 * kUsPerSec, 701, addr);
+  SimResult r =
+      run_raid(t, {RaidLevel::kRaid0, 4, 128}, 400, from_ms(50));
+  EXPECT_EQ(r.completions.size(), t.size());  // reads don't fan out
+}
+
+TEST(RaidQos, WritesFanOutOnRaid1) {
+  AddressSpec addr;
+  addr.lba_max = 1'000'000;
+  addr.write_fraction = 1.0;
+  Trace t = generate_poisson(200, 5 * kUsPerSec, 703, addr);
+  SimResult r =
+      run_raid(t, {RaidLevel::kRaid1, 4, 128}, 300, from_ms(50));
+  // Every write produces a mirror companion.
+  EXPECT_EQ(r.completions.size(), 2 * t.size());
+  std::size_t companions = 0;
+  for (const auto& c : r.completions)
+    if (RaidQosScheduler::is_companion(c)) ++companions;
+  EXPECT_EQ(companions, t.size());
+}
+
+TEST(RaidQos, StripingSpreadsLoadAcrossDisks) {
+  AddressSpec addr;
+  addr.lba_max = 8'000'000;
+  addr.write_fraction = 0.0;
+  addr.sequential_prob = 0.0;
+  Trace t = generate_poisson(400, 10 * kUsPerSec, 707, addr);
+  RaidQosScheduler sched({RaidLevel::kRaid0, 4, 128}, 500, from_ms(50));
+  std::vector<DiskServer> disks(4);
+  std::vector<Server*> servers;
+  for (auto& d : disks) servers.push_back(&d);
+  SimResult r = simulate(t, sched, servers);
+  std::size_t per_disk[4] = {0, 0, 0, 0};
+  for (const auto& c : r.completions) ++per_disk[c.server];
+  for (int i = 0; i < 4; ++i)
+    EXPECT_GT(per_disk[i], t.size() / 8) << "disk " << i;
+}
+
+TEST(RaidQos, ArrayOutperformsSingleDiskOnBurst) {
+  // 200 random reads at t=0: 4 striped disks drain ~4x faster.
+  AddressSpec addr;
+  addr.lba_max = 8'000'000;
+  addr.write_fraction = 0.0;
+  std::vector<Request> reqs;
+  Rng rng(709);
+  for (int i = 0; i < 200; ++i) {
+    Request r;
+    r.arrival = 0;
+    r.lba = static_cast<std::uint64_t>(rng.uniform_int(0, 8'000'000));
+    reqs.push_back(r);
+  }
+  Trace t(std::move(reqs));
+
+  SimResult raid =
+      run_raid(t, {RaidLevel::kRaid0, 4, 128}, 10'000, from_ms(1000));
+
+  RaidQosScheduler single_sched({RaidLevel::kRaid0, 2, 1u << 30}, 10'000,
+                                from_ms(1000));
+  // Single-disk comparison via FCFS on one DiskServer:
+  // reuse the fluid comparison instead — all on disk 0 with one huge stripe.
+  std::vector<DiskServer> disks(2);
+  std::vector<Server*> servers;
+  for (auto& d : disks) servers.push_back(&d);
+  SimResult narrow = simulate(t, single_sched, servers);
+
+  EXPECT_LT(raid.makespan(), narrow.makespan() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace qos

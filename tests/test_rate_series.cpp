@@ -1,0 +1,65 @@
+#include "trace/rate_series.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+Trace uniform_trace(int count, Time gap) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < count; ++i) reqs.push_back(Request{.arrival = i * gap});
+  return Trace(std::move(reqs));
+}
+
+TEST(RateSeries, UniformLoad) {
+  // One request per 10 ms => 100 IOPS in every 100 ms window.
+  Trace t = uniform_trace(100, 10'000);
+  auto series = rate_series(t, 100'000);
+  ASSERT_GE(series.size(), 9u);
+  for (std::size_t i = 0; i + 1 < series.size(); ++i)
+    EXPECT_DOUBLE_EQ(series[i].iops, 100.0);
+}
+
+TEST(RateSeries, WindowStartsAreAligned) {
+  Trace t = uniform_trace(10, 50'000);
+  auto series = rate_series(t, 100'000);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    EXPECT_EQ(series[i].window_start, static_cast<Time>(i) * 100'000);
+}
+
+TEST(RateSeries, BurstShowsAsPeak) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 10; ++i) reqs.push_back(Request{.arrival = i * 100'000});
+  for (int i = 0; i < 50; ++i)
+    reqs.push_back(Request{.arrival = 500'000 + i * 100});
+  Trace t(std::move(reqs));
+  auto series = rate_series(t, 100'000);
+  auto summary = summarize(series);
+  EXPECT_DOUBLE_EQ(summary.peak_iops, 510.0);  // 50 burst + 1 steady per 0.1s
+}
+
+TEST(RateSeries, ExplicitHorizonPadsWithZeros) {
+  Trace t = uniform_trace(2, 10'000);
+  auto series = rate_series(t, 100'000, 1'000'000);
+  EXPECT_EQ(series.size(), 10u);
+  EXPECT_DOUBLE_EQ(series.back().iops, 0.0);
+}
+
+TEST(RateSeries, ArrivalVectorOverloadMatchesTrace) {
+  Trace t = uniform_trace(20, 30'000);
+  std::vector<Time> arrivals;
+  for (const auto& r : t) arrivals.push_back(r.arrival);
+  auto a = rate_series(t, 100'000);
+  auto b = rate_series(arrivals, 100'000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].iops, b[i].iops);
+}
+
+TEST(RateSeries, EmptyTrace) {
+  EXPECT_TRUE(rate_series(Trace(), 100'000).empty());
+  EXPECT_DOUBLE_EQ(summarize({}).peak_iops, 0.0);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,116 @@
+#include "analysis/response_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+std::vector<CompletionRecord> completions(
+    std::initializer_list<Time> response_times_ms,
+    ServiceClass klass = ServiceClass::kPrimary) {
+  std::vector<CompletionRecord> out;
+  std::uint64_t seq = 0;
+  for (Time ms : response_times_ms) {
+    CompletionRecord c;
+    c.seq = seq++;
+    c.arrival = 0;
+    c.start = 0;
+    c.finish = from_ms(static_cast<double>(ms));
+    c.klass = klass;
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(ResponseStats, FractionWithin) {
+  auto cs = completions({10, 20, 30, 40});
+  ResponseStats stats(cs);
+  EXPECT_DOUBLE_EQ(stats.fraction_within(from_ms(5)), 0.0);
+  EXPECT_DOUBLE_EQ(stats.fraction_within(from_ms(10)), 0.25);  // inclusive
+  EXPECT_DOUBLE_EQ(stats.fraction_within(from_ms(25)), 0.5);
+  EXPECT_DOUBLE_EQ(stats.fraction_within(from_ms(40)), 1.0);
+}
+
+TEST(ResponseStats, PercentileNearestRank) {
+  auto cs = completions({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  ResponseStats stats(cs);
+  EXPECT_EQ(stats.percentile(0.5), from_ms(50));
+  EXPECT_EQ(stats.percentile(0.9), from_ms(90));
+  EXPECT_EQ(stats.percentile(1.0), from_ms(100));
+  EXPECT_EQ(stats.percentile(0.0), from_ms(10));
+  EXPECT_EQ(stats.percentile(0.05), from_ms(10));  // ceil(0.5) -> rank 1
+}
+
+TEST(ResponseStats, MaxAndMean) {
+  auto cs = completions({10, 20, 60});
+  ResponseStats stats(cs);
+  EXPECT_EQ(stats.max(), from_ms(60));
+  EXPECT_DOUBLE_EQ(stats.mean_us(), 30'000.0);
+}
+
+TEST(ResponseStats, ClassFilter) {
+  auto primary = completions({10, 10}, ServiceClass::kPrimary);
+  auto overflow = completions({500}, ServiceClass::kOverflow);
+  std::vector<CompletionRecord> all(primary);
+  all.insert(all.end(), overflow.begin(), overflow.end());
+  ResponseStats p(all, ServiceClass::kPrimary);
+  ResponseStats o(all, ServiceClass::kOverflow);
+  ResponseStats both(all);
+  EXPECT_EQ(p.count(), 2u);
+  EXPECT_EQ(o.count(), 1u);
+  EXPECT_EQ(both.count(), 3u);
+  EXPECT_EQ(o.max(), from_ms(500));
+}
+
+TEST(ResponseStats, PaperBucketsCumulative) {
+  auto cs = completions({20, 80, 300, 800, 3000});
+  ResponseStats stats(cs);
+  auto b = stats.paper_buckets();
+  EXPECT_DOUBLE_EQ(b.le_50, 0.2);
+  EXPECT_DOUBLE_EQ(b.le_100, 0.4);
+  EXPECT_DOUBLE_EQ(b.le_500, 0.6);
+  EXPECT_DOUBLE_EQ(b.le_1000, 0.8);
+  EXPECT_DOUBLE_EQ(b.gt_1000, 0.2);
+}
+
+TEST(ResponseStats, PaperBucketsDisjoint) {
+  auto cs = completions({20, 80, 300, 800, 3000});
+  ResponseStats stats(cs);
+  auto b = stats.paper_buckets(/*cumulative=*/false);
+  EXPECT_DOUBLE_EQ(b.le_50, 0.2);
+  EXPECT_DOUBLE_EQ(b.le_100, 0.2);
+  EXPECT_DOUBLE_EQ(b.le_500, 0.2);
+  EXPECT_DOUBLE_EQ(b.le_1000, 0.2);
+  EXPECT_DOUBLE_EQ(b.gt_1000, 0.2);
+  EXPECT_NEAR(b.le_50 + b.le_100 + b.le_500 + b.le_1000 + b.gt_1000, 1.0,
+              1e-12);
+}
+
+TEST(ResponseStats, CdfAtBounds) {
+  auto cs = completions({10, 20, 30});
+  ResponseStats stats(cs);
+  const Time bounds[] = {from_ms(10), from_ms(20), from_ms(30)};
+  auto cdf = stats.cdf(bounds);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(ResponseStats, EmptyBehaviour) {
+  ResponseStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_DOUBLE_EQ(stats.fraction_within(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_us(), 0.0);
+}
+
+TEST(ResponseStats, SortedView) {
+  auto cs = completions({30, 10, 20});
+  ResponseStats stats(cs);
+  auto view = stats.sorted();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], from_ms(10));
+  EXPECT_EQ(view[2], from_ms(30));
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,212 @@
+#include "core/rtt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "curves/analysis.h"
+#include "trace/generator.h"
+#include "util/rng.h"
+
+namespace qos {
+namespace {
+
+Trace make_trace(std::initializer_list<Time> arrivals) {
+  std::vector<Request> reqs;
+  for (Time a : arrivals) reqs.push_back(Request{.arrival = a});
+  return Trace(std::move(reqs));
+}
+
+// Maximum number of requests that can all meet their deadline, over every
+// subsequence of the trace, served FIFO at integer-period capacity.
+// Exponential: only for tiny traces.  Independent oracle for RTT optimality.
+std::int64_t brute_force_max_feasible(const Trace& trace,
+                                      double capacity_iops, Time delta) {
+  const Time period = static_cast<Time>(1e6 / capacity_iops);
+  EXPECT_EQ(static_cast<double>(period) * capacity_iops, 1e6)
+      << "test requires integer service period";
+  const std::size_t n = trace.size();
+  std::int64_t best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Time prev_finish = 0;
+    bool feasible = true;
+    std::int64_t count = 0;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      if (!(mask & (1u << i))) continue;
+      const Time start = std::max(trace[i].arrival, prev_finish);
+      const Time finish = start + period;
+      if (finish > trace[i].arrival + delta) {
+        feasible = false;
+        break;
+      }
+      prev_finish = finish;
+      ++count;
+    }
+    if (feasible) best = std::max(best, count);
+  }
+  return best;
+}
+
+TEST(MaxQ1Slots, FloorOfCapacityTimesDelta) {
+  EXPECT_EQ(max_q1_slots(1000, 10'000), 10);   // 1000 IOPS * 10 ms
+  EXPECT_EQ(max_q1_slots(417, 10'000), 4);     // floor(4.17)
+  EXPECT_EQ(max_q1_slots(50, 10'000), 0);      // deadline shorter than slot
+  EXPECT_EQ(max_q1_slots(100, 0), 0);
+}
+
+TEST(RttAdmission, AdmitsBelowLimit) {
+  RttAdmission adm(1000, 10'000);  // maxQ1 = 10
+  EXPECT_TRUE(adm.admit(0));
+  EXPECT_TRUE(adm.admit(9));
+  EXPECT_FALSE(adm.admit(10));
+  EXPECT_FALSE(adm.admit(11));
+}
+
+TEST(RttDecompose, NoOverloadAdmitsEverything) {
+  // 1 request per 10 ms at 1000 IOPS (1 ms service), delta 5 ms.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i) reqs.push_back(Request{.arrival = i * 10'000});
+  Decomposition d = rtt_decompose(Trace(std::move(reqs)), 1000, 5'000);
+  EXPECT_EQ(d.admitted, 100);
+  EXPECT_EQ(d.dropped(), 0);
+  EXPECT_DOUBLE_EQ(d.admitted_fraction(), 1.0);
+}
+
+TEST(RttDecompose, BurstOverflowsToQ2) {
+  // 10 simultaneous requests; C = 1000 IOPS, delta = 5 ms => maxQ1 = 5.
+  Trace t = make_trace({0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  Decomposition d = rtt_decompose(t, 1000, 5'000);
+  EXPECT_EQ(d.admitted, 5);
+  // The first five (in arrival order) are primary.
+  for (std::uint64_t i = 0; i < 5; ++i)
+    EXPECT_EQ(d.klass[i], ServiceClass::kPrimary);
+  for (std::uint64_t i = 5; i < 10; ++i)
+    EXPECT_EQ(d.klass[i], ServiceClass::kOverflow);
+}
+
+TEST(RttDecompose, SlotFreedByServiceReopens) {
+  // maxQ1 = 1 (C = 100, delta = 10 ms).  Request at 0 occupies the slot
+  // until 10 ms; request at 5 ms must overflow, request at 10 ms fits.
+  Trace t = make_trace({0, 5'000, 10'000});
+  Decomposition d = rtt_decompose(t, 100, 10'000);
+  EXPECT_EQ(d.klass[0], ServiceClass::kPrimary);
+  EXPECT_EQ(d.klass[1], ServiceClass::kOverflow);
+  EXPECT_EQ(d.klass[2], ServiceClass::kPrimary);
+}
+
+TEST(RttDecompose, ZeroSlotsDivertsAll) {
+  Trace t = make_trace({0, 1000});
+  Decomposition d = rtt_decompose(t, 50, 10'000);  // maxQ1 = 0
+  EXPECT_EQ(d.admitted, 0);
+  EXPECT_DOUBLE_EQ(d.admitted_fraction(), 0.0);
+}
+
+TEST(RttDecompose, EmptyTrace) {
+  Decomposition d = rtt_decompose(Trace(), 100, 10'000);
+  EXPECT_EQ(d.admitted, 0);
+  EXPECT_DOUBLE_EQ(d.admitted_fraction(), 1.0);
+}
+
+TEST(RttDecompose, AdmittedAlwaysMeetDeadline) {
+  Trace t = generate_poisson(800, 20 * kUsPerSec, 123);
+  const Time delta = 10'000;
+  Decomposition d = rtt_decompose(t, 500, delta);
+  for (const auto& r : t) {
+    if (d.klass[r.seq] != ServiceClass::kPrimary) continue;
+    EXPECT_LE(d.q1_finish[r.seq], r.arrival + delta)
+        << "seq " << r.seq << " arrival " << r.arrival;
+  }
+}
+
+TEST(RttDecompose, DropsAtLeastLowerBound) {
+  Trace t = generate_poisson(2000, 5 * kUsPerSec, 7);
+  const double c = 500;
+  const Time delta = 20'000;
+  Decomposition d = rtt_decompose(t, c, delta);
+  EXPECT_GE(d.dropped(), mandatory_miss_lower_bound(t, c, delta));
+}
+
+struct OptimalityCase {
+  std::uint64_t seed;
+  double capacity;
+  Time delta;
+  Time horizon;
+  double rate;
+};
+
+class RttOptimality : public ::testing::TestWithParam<OptimalityCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallRandomTraces, RttOptimality,
+    ::testing::Values(
+        OptimalityCase{1, 1000, 3'000, 12'000, 900},
+        OptimalityCase{2, 1000, 3'000, 12'000, 900},
+        OptimalityCase{3, 500, 4'000, 20'000, 600},
+        OptimalityCase{4, 500, 4'000, 20'000, 600},
+        OptimalityCase{5, 2000, 2'000, 6'000, 1800},
+        OptimalityCase{6, 2000, 2'000, 6'000, 1800},
+        OptimalityCase{7, 250, 8'000, 40'000, 300},
+        OptimalityCase{8, 250, 8'000, 40'000, 300},
+        OptimalityCase{9, 1000, 1'000, 12'000, 1200},
+        OptimalityCase{10, 1000, 5'000, 12'000, 1500}));
+
+TEST_P(RttOptimality, MatchesBruteForceOptimum) {
+  const auto& param = GetParam();
+  // Draw a small random trace (<= 14 requests) and compare RTT's admitted
+  // count with the brute-force maximum feasible subsequence.
+  Rng rng(param.seed);
+  std::vector<Request> reqs;
+  const auto count = static_cast<std::size_t>(rng.uniform_int(6, 14));
+  for (std::size_t i = 0; i < count; ++i)
+    reqs.push_back(Request{.arrival = rng.uniform_int(0, param.horizon)});
+  Trace t(std::move(reqs));
+
+  Decomposition d = rtt_decompose(t, param.capacity, param.delta);
+  const std::int64_t opt =
+      brute_force_max_feasible(t, param.capacity, param.delta);
+  EXPECT_EQ(d.admitted, opt)
+      << "RTT must admit a maximum feasible set (Lemmas 1-3)";
+}
+
+class RttOptimalityTied : public ::testing::TestWithParam<OptimalityCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    TieHeavyTraces, RttOptimalityTied,
+    ::testing::Values(OptimalityCase{11, 1000, 3'000, 12'000, 0},
+                      OptimalityCase{12, 1000, 3'000, 12'000, 0},
+                      OptimalityCase{13, 500, 4'000, 16'000, 0},
+                      OptimalityCase{14, 500, 4'000, 16'000, 0},
+                      OptimalityCase{15, 250, 8'000, 24'000, 0},
+                      OptimalityCase{16, 2000, 2'000, 8'000, 0}));
+
+TEST_P(RttOptimalityTied, MatchesBruteForceWithSimultaneousArrivals) {
+  const auto& param = GetParam();
+  // Arrivals snapped to a coarse grid so many requests share instants —
+  // stresses the queue-census tie handling (completions before arrivals).
+  Rng rng(param.seed);
+  std::vector<Request> reqs;
+  const auto count = static_cast<std::size_t>(rng.uniform_int(8, 13));
+  const Time grid = 2'000;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Time slot = rng.uniform_int(0, param.horizon / grid);
+    reqs.push_back(Request{.arrival = slot * grid});
+  }
+  Trace t(std::move(reqs));
+  Decomposition d = rtt_decompose(t, param.capacity, param.delta);
+  EXPECT_EQ(d.admitted,
+            brute_force_max_feasible(t, param.capacity, param.delta));
+}
+
+TEST(RttDecompose, FractionMonotoneInCapacity) {
+  Trace t = generate_poisson(1000, 10 * kUsPerSec, 99);
+  double prev = -1;
+  for (double c : {100, 200, 400, 800, 1600, 3200}) {
+    const double f = rtt_decompose(t, c, 10'000).admitted_fraction();
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace qos

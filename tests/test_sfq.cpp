@@ -1,0 +1,98 @@
+#include "fq/sfq.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qos {
+namespace {
+
+TEST(Sfq, RoundRobinForEqualWeights) {
+  SfqScheduler sfq({1.0, 1.0});
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    sfq.enqueue(0, 100 + i, 1.0, 0);
+    sfq.enqueue(1, 200 + i, 1.0, 0);
+  }
+  std::vector<int> order;
+  while (auto d = sfq.dequeue(0)) order.push_back(d->flow);
+  // Equal weights, simultaneous backlog: alternation.
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t i = 2; i < order.size(); ++i)
+    EXPECT_NE(order[i], order[i - 1]);
+}
+
+TEST(Sfq, ProportionalShareUnderBacklog) {
+  // Weights 3:1 — over 40 dispatches flow 0 should get ~30.
+  SfqScheduler sfq({3.0, 1.0});
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    sfq.enqueue(0, i, 1.0, 0);
+    sfq.enqueue(1, 1000 + i, 1.0, 0);
+  }
+  int flow0 = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto d = sfq.dequeue(0);
+    ASSERT_TRUE(d);
+    if (d->flow == 0) ++flow0;
+  }
+  EXPECT_NEAR(flow0, 30, 2);
+}
+
+TEST(Sfq, WorkConservingWhenOneFlowIdle) {
+  SfqScheduler sfq({1.0, 9.0});
+  for (std::uint64_t i = 0; i < 5; ++i) sfq.enqueue(0, i, 1.0, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto d = sfq.dequeue(0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->flow, 0);
+  }
+  EXPECT_TRUE(sfq.empty());
+}
+
+TEST(Sfq, FifoWithinFlow) {
+  SfqScheduler sfq({1.0, 1.0});
+  for (std::uint64_t i = 0; i < 10; ++i) sfq.enqueue(0, i, 1.0, 0);
+  std::uint64_t prev = 0;
+  bool first = true;
+  while (auto d = sfq.dequeue(0)) {
+    if (!first) {
+      EXPECT_EQ(d->handle, prev + 1);
+    }
+    prev = d->handle;
+    first = false;
+  }
+}
+
+TEST(Sfq, NewlyBacklogedFlowJoinsAtVirtualTime) {
+  // Flow 1 idles while flow 0 is served; when flow 1 wakes it must not be
+  // owed the missed history (start tag jumps to current v).
+  SfqScheduler sfq({1.0, 1.0});
+  for (std::uint64_t i = 0; i < 10; ++i) sfq.enqueue(0, i, 1.0, 0);
+  for (int i = 0; i < 10; ++i) (void)sfq.dequeue(0);
+  EXPECT_GT(sfq.virtual_time(), 0.0);
+  sfq.enqueue(1, 99, 1.0, 0);
+  sfq.enqueue(0, 100, 1.0, 0);
+  // Flow 1's fresh request must not pre-empt more than one flow-0 request.
+  auto d1 = sfq.dequeue(0);
+  auto d2 = sfq.dequeue(0);
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_NE(d1->flow, d2->flow);
+}
+
+TEST(Sfq, BacklogCounts) {
+  SfqScheduler sfq({1.0, 1.0});
+  sfq.enqueue(0, 1, 1.0, 0);
+  sfq.enqueue(0, 2, 1.0, 0);
+  EXPECT_EQ(sfq.backlog(0), 2u);
+  EXPECT_EQ(sfq.backlog(1), 0u);
+  (void)sfq.dequeue(0);
+  EXPECT_EQ(sfq.backlog(0), 1u);
+}
+
+TEST(Sfq, EmptyDequeueReturnsNullopt) {
+  SfqScheduler sfq({1.0});
+  EXPECT_FALSE(sfq.dequeue(0).has_value());
+  EXPECT_TRUE(sfq.empty());
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,124 @@
+#include "core/sla.h"
+
+#include <gtest/gtest.h>
+
+#include "core/shaper.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+TEST(GraduatedSla, ValidityRules) {
+  GraduatedSla empty;
+  EXPECT_FALSE(empty.valid());
+
+  GraduatedSla single{{SlaTier{0.9, from_ms(10)}}};
+  EXPECT_TRUE(single.valid());
+
+  // Fractions must increase with the deltas.
+  GraduatedSla good{{SlaTier{0.9, from_ms(10)}, SlaTier{0.99, from_ms(50)}}};
+  EXPECT_TRUE(good.valid());
+
+  GraduatedSla bad_fraction{
+      {SlaTier{0.99, from_ms(10)}, SlaTier{0.9, from_ms(50)}}};
+  EXPECT_FALSE(bad_fraction.valid());
+
+  GraduatedSla bad_delta{
+      {SlaTier{0.9, from_ms(50)}, SlaTier{0.99, from_ms(10)}}};
+  EXPECT_FALSE(bad_delta.valid());
+
+  GraduatedSla bad_range{{SlaTier{1.5, from_ms(10)}}};
+  EXPECT_FALSE(bad_range.valid());
+}
+
+TEST(PlanCapacity, CoversEveryTier) {
+  WorkloadSpec spec;
+  spec.states = {{200, 2.0}, {1200, 0.3}};
+  Trace t = generate_workload(spec, 120 * kUsPerSec, 103);
+  GraduatedSla sla{{SlaTier{0.9, from_ms(10)}, SlaTier{0.99, from_ms(50)}}};
+  ProvisioningPlan plan = plan_capacity(t, sla);
+  for (const auto& tier : sla.tiers)
+    EXPECT_GE(fraction_guaranteed(t, plan.cmin_iops, tier.delta),
+              tier.fraction);
+}
+
+TEST(PlanCapacity, HeadroomFromTightestDelta) {
+  Trace t = generate_poisson(300, 30 * kUsPerSec, 107);
+  GraduatedSla sla{{SlaTier{0.9, from_ms(10)}, SlaTier{0.99, from_ms(50)}}};
+  ProvisioningPlan plan = plan_capacity(t, sla);
+  EXPECT_DOUBLE_EQ(plan.headroom_iops, 100.0);  // 1 / 10 ms
+}
+
+TEST(PlanCapacity, GraduationSavesCapacityOnBurstyLoad) {
+  WorkloadSpec spec;
+  spec.states = {{150, 2.0}};
+  spec.batches = {.batches_per_sec = 0.1,
+                  .mean_size = 15,
+                  .spread_us = 1'000,
+                  .giant_prob = 0,
+                  .giant_factor = 1};
+  Trace t = generate_workload(spec, 120 * kUsPerSec, 109);
+  GraduatedSla sla{{SlaTier{0.95, from_ms(10)}}};
+  ProvisioningPlan plan = plan_capacity(t, sla);
+  EXPECT_LT(plan.saving_ratio(), 0.8)
+      << "graduated provisioning should beat worst-case by >20% here";
+  EXPECT_GT(plan.worst_case_iops, plan.cmin_iops);
+}
+
+TEST(AuditSla, PassAndFail) {
+  // Synthetic completions: 90% at 5 ms, 10% at 80 ms.
+  std::vector<CompletionRecord> cs;
+  for (int i = 0; i < 100; ++i) {
+    CompletionRecord c;
+    c.seq = static_cast<std::uint64_t>(i);
+    c.finish = i < 90 ? from_ms(5) : from_ms(80);
+    cs.push_back(c);
+  }
+  GraduatedSla pass{{SlaTier{0.9, from_ms(10)}, SlaTier{0.99, from_ms(100)}}};
+  SlaAudit a = audit_sla(cs, pass);
+  EXPECT_TRUE(a.satisfied);
+  ASSERT_EQ(a.achieved.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.achieved[0], 0.9);
+  EXPECT_DOUBLE_EQ(a.achieved[1], 1.0);
+  EXPECT_NEAR(a.worst_margin, 0.0, 1e-12);
+
+  GraduatedSla fail{{SlaTier{0.95, from_ms(10)}}};
+  SlaAudit b = audit_sla(cs, fail);
+  EXPECT_FALSE(b.satisfied);
+  EXPECT_NEAR(b.worst_margin, -0.05, 1e-12);
+}
+
+TEST(AuditSla, ShapedRunSatisfiesItsPlan) {
+  // End-to-end: plan a graduated SLA, run Miser at the planned capacity,
+  // audit the simulation against the same SLA.
+  WorkloadSpec spec;
+  spec.states = {{250, 2.0}, {900, 0.4}};
+  Trace t = generate_workload(spec, 60 * kUsPerSec, 113);
+  GraduatedSla sla{{SlaTier{0.90, from_ms(20)}}};
+  ProvisioningPlan plan = plan_capacity(t, sla);
+
+  ShapingConfig config;
+  config.policy = Policy::kMiser;
+  config.fraction = 0.90;
+  config.delta = from_ms(20);
+  config.capacity_override_iops = plan.cmin_iops;
+  ShapingOutcome out = shape_and_run(t, config);
+  SlaAudit audit = audit_sla(out.sim.completions, sla);
+  // Miser may shave a hair off the planned fraction (paper Section 3.2).
+  EXPECT_GT(audit.worst_margin, -0.01);
+}
+
+TEST(PlanCapacity, SmoothLoadSavesLittle) {
+  // A perfectly regular load has no tail to exempt: worst-case and
+  // graduated capacity nearly coincide.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 12'000; ++i)
+    reqs.push_back(Request{.arrival = static_cast<Time>(i) * 10'000});
+  Trace t(std::move(reqs));
+  GraduatedSla sla{{SlaTier{0.95, from_ms(10)}}};
+  ProvisioningPlan plan = plan_capacity(t, sla);
+  EXPECT_GT(plan.saving_ratio(), 0.8);
+}
+
+}  // namespace
+}  // namespace qos

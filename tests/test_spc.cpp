@@ -1,0 +1,81 @@
+#include "trace/spc.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+TEST(Spc, ParsesWellFormedLines) {
+  const std::string text =
+      "0,1234,4096,r,0.000000\n"
+      "1,5678,8192,W,0.125000\n";
+  std::size_t skipped = 99;
+  Trace t = parse_spc(text, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].client, 0u);
+  EXPECT_EQ(t[0].lba, 1234u);
+  EXPECT_EQ(t[0].size_blocks, 8u);  // 4096 / 512
+  EXPECT_FALSE(t[0].is_write);
+  EXPECT_EQ(t[1].arrival, 125'000);
+  EXPECT_TRUE(t[1].is_write);
+}
+
+TEST(Spc, SkipsMalformedLines) {
+  const std::string text =
+      "garbage\n"
+      "0,1,512,x,1.0\n"       // bad opcode
+      "0,1,512,r\n"           // missing timestamp
+      "0,1,512,r,2.0\n";      // good
+  std::size_t skipped = 0;
+  Trace t = parse_spc(text, &skipped);
+  EXPECT_EQ(skipped, 3u);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].arrival, 2'000'000);
+}
+
+TEST(Spc, RoundsSizeUpToBlocks) {
+  Trace t = parse_spc("0,0,513,r,0.0\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].size_blocks, 2u);
+}
+
+TEST(Spc, RoundTrip) {
+  const std::string text =
+      "2,100,1024,w,0.500000\n"
+      "3,200,512,r,1.500000\n";
+  Trace t = parse_spc(text);
+  Trace back = parse_spc(to_spc(t));
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].arrival, t[i].arrival);
+    EXPECT_EQ(back[i].lba, t[i].lba);
+    EXPECT_EQ(back[i].client, t[i].client);
+    EXPECT_EQ(back[i].is_write, t[i].is_write);
+  }
+}
+
+TEST(Spc, SortsOutOfOrderTimestamps) {
+  const std::string text =
+      "0,1,512,r,2.0\n"
+      "0,2,512,r,1.0\n";
+  Trace t = parse_spc(text);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].lba, 2u);
+  EXPECT_EQ(t[1].lba, 1u);
+}
+
+TEST(Spc, EmptyInput) {
+  std::size_t skipped = 0;
+  EXPECT_TRUE(parse_spc("", &skipped).empty());
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(Spc, ToleratesSpacesAroundFields) {
+  Trace t = parse_spc(" 0 , 42 , 512 , r , 1.0 \n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].lba, 42u);
+}
+
+}  // namespace
+}  // namespace qos

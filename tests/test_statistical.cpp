@@ -1,0 +1,99 @@
+#include "core/statistical.h"
+
+#include <gtest/gtest.h>
+
+#include "core/capacity.h"
+#include "trace/generator.h"
+#include "trace/rate_series.h"
+
+namespace qos {
+namespace {
+
+TEST(GaussianQuantile, KnownValues) {
+  EXPECT_NEAR(gaussian_upper_quantile(0.5), 0.0, 1e-3);
+  EXPECT_NEAR(gaussian_upper_quantile(0.1587), 1.0, 2e-3);  // 1 sigma
+  EXPECT_NEAR(gaussian_upper_quantile(0.0228), 2.0, 2e-3);  // 2 sigma
+  EXPECT_NEAR(gaussian_upper_quantile(0.00135), 3.0, 5e-3);
+  EXPECT_NEAR(gaussian_upper_quantile(0.05), 1.6449, 2e-3);
+  EXPECT_NEAR(gaussian_upper_quantile(0.01), 2.3263, 2e-3);
+}
+
+TEST(GaussianQuantile, MonotoneInEps) {
+  double prev = 1e9;
+  for (double eps : {0.001, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+    const double z = gaussian_upper_quantile(eps);
+    EXPECT_LT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(StatisticalCapacity, PoissonWindowStats) {
+  // Poisson at 500 IOPS in 1 s windows: mean ~500, stddev ~sqrt(500)~22.
+  Trace t = generate_poisson(500, 300 * kUsPerSec, 1301);
+  StatisticalEstimate est = statistical_capacity(t, kUsPerSec, 0.05);
+  EXPECT_NEAR(est.mean_iops, 500, 15);
+  EXPECT_NEAR(est.stddev_iops, 22.4, 8);
+  EXPECT_GT(est.capacity_iops, est.mean_iops);
+  // ~5% of windows should exceed the estimate.
+  const auto series = rate_series(t, kUsPerSec);
+  int over = 0;
+  for (const auto& p : series)
+    if (p.iops > est.capacity_iops) ++over;
+  EXPECT_NEAR(static_cast<double>(over) / static_cast<double>(series.size()),
+              0.05, 0.05);
+}
+
+TEST(StatisticalCapacity, TighterEpsMeansMoreCapacity) {
+  Trace t = generate_poisson(400, 120 * kUsPerSec, 1303);
+  const double loose = statistical_capacity(t, kUsPerSec, 0.1).capacity_iops;
+  const double tight =
+      statistical_capacity(t, kUsPerSec, 0.001).capacity_iops;
+  EXPECT_GT(tight, loose);
+}
+
+TEST(StatisticalMultiplex, MeansAddVariancesAdd) {
+  StatisticalEstimate a{100, 30, 0};
+  StatisticalEstimate b{200, 40, 0};
+  StatisticalEstimate m = statistical_multiplex({a, b}, 0.05);
+  EXPECT_DOUBLE_EQ(m.mean_iops, 300);
+  EXPECT_DOUBLE_EQ(m.stddev_iops, 50);  // sqrt(900 + 1600)
+  EXPECT_NEAR(m.capacity_iops, 300 + 1.6449 * 50, 0.2);
+}
+
+TEST(StatisticalMultiplex, GainOverSumOfIndividuals) {
+  // The whole point of statistical multiplexing: the pooled estimate is
+  // below the sum of the individual ones (stddevs add sub-linearly).
+  Trace a = generate_poisson(300, 120 * kUsPerSec, 1305);
+  Trace b = generate_poisson(300, 120 * kUsPerSec, 1307);
+  const auto ea = statistical_capacity(a, kUsPerSec, 0.01);
+  const auto eb = statistical_capacity(b, kUsPerSec, 0.01);
+  const auto pooled = statistical_multiplex({ea, eb}, 0.01);
+  EXPECT_LT(pooled.capacity_iops, ea.capacity_iops + eb.capacity_iops);
+}
+
+TEST(StatisticalCapacity, NoDeadlineSemantics) {
+  // The baseline's known blind spot (why the paper decomposes instead):
+  // sub-window clusters that wreck a 10 ms deadline are invisible to 1 s
+  // window statistics.  RTT's Cmin(100%, 10 ms) sees them.
+  WorkloadSpec spec;
+  spec.states = {{300, 2.0}};
+  spec.batches = {.batches_per_sec = 0.1,
+                  .mean_size = 30,
+                  .spread_us = 1'000,
+                  .giant_prob = 0,
+                  .giant_factor = 1,
+                  .max_size = 40};
+  Trace t = generate_workload(spec, 120 * kUsPerSec, 1309);
+  const double stat = statistical_capacity(t, kUsPerSec, 0.01).capacity_iops;
+  const double rtt = min_capacity(t, 1.0, from_ms(10)).cmin_iops;
+  EXPECT_GT(rtt, 2 * stat);
+}
+
+TEST(StatisticalCapacity, DegenerateShortTrace) {
+  Trace t = generate_poisson(100, kUsPerSec / 2, 1311);
+  StatisticalEstimate est = statistical_capacity(t, kUsPerSec, 0.05);
+  EXPECT_DOUBLE_EQ(est.capacity_iops, 0);  // < 2 windows: no estimate
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,38 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace qos {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t;
+  t.add("a", "bb", "c");
+  t.add("dddd", "e", "f");
+  const std::string s = t.to_string();
+  EXPECT_EQ(s, "a     bb  c\ndddd  e   f\n");
+}
+
+TEST(AsciiTable, MixedTypes) {
+  AsciiTable t;
+  t.add("n", 42, 1.5);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+TEST(AsciiTable, RaggedRows) {
+  AsciiTable t;
+  t.add("header");
+  t.add("a", "b");
+  EXPECT_EQ(t.to_string(), "header\na       b\n");
+}
+
+TEST(FormatDouble, Digits) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace qos

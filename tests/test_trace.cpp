@@ -1,0 +1,129 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qos {
+namespace {
+
+std::vector<Request> make_requests(std::initializer_list<Time> arrivals) {
+  std::vector<Request> out;
+  for (Time a : arrivals) out.push_back(Request{.arrival = a});
+  return out;
+}
+
+TEST(Trace, SortsAndRenumbers) {
+  Trace t(make_requests({300, 100, 200}));
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].arrival, 100);
+  EXPECT_EQ(t[1].arrival, 200);
+  EXPECT_EQ(t[2].arrival, 300);
+  EXPECT_EQ(t[0].seq, 0u);
+  EXPECT_EQ(t[2].seq, 2u);
+}
+
+TEST(Trace, StableForEqualArrivals) {
+  std::vector<Request> reqs = make_requests({100, 100, 100});
+  reqs[0].lba = 1;
+  reqs[1].lba = 2;
+  reqs[2].lba = 3;
+  Trace t(std::move(reqs));
+  EXPECT_EQ(t[0].lba, 1u);
+  EXPECT_EQ(t[1].lba, 2u);
+  EXPECT_EQ(t[2].lba, 3u);
+}
+
+TEST(Trace, StartEndDuration) {
+  Trace t(make_requests({500, 1500, 2500}));
+  EXPECT_EQ(t.start_time(), 500);
+  EXPECT_EQ(t.end_time(), 2500);
+  EXPECT_EQ(t.duration(), 2000);
+}
+
+TEST(Trace, DurationOfSingletonIsZero) {
+  Trace t(make_requests({500}));
+  EXPECT_EQ(t.duration(), 0);
+}
+
+TEST(Trace, MeanRate) {
+  // 11 requests over 1 second: 10 gaps of 100 ms => rate 11 / 1 s.
+  std::vector<Request> reqs;
+  for (int i = 0; i <= 10; ++i)
+    reqs.push_back(Request{.arrival = i * 100'000});
+  Trace t(std::move(reqs));
+  EXPECT_DOUBLE_EQ(t.mean_rate_iops(), 11.0);
+}
+
+TEST(Trace, PeakRateFindsBurst) {
+  // Steady 10 ms spacing plus a burst of 5 requests within 1 ms.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 100; ++i) reqs.push_back(Request{.arrival = i * 10'000});
+  for (int i = 0; i < 5; ++i)
+    reqs.push_back(Request{.arrival = 500'000 + i * 200});
+  Trace t(std::move(reqs));
+  // Window of 1 ms: the burst plus the steady request at 500 ms => 6 in 1 ms.
+  EXPECT_DOUBLE_EQ(t.peak_rate_iops(1'000), 6000.0);
+}
+
+TEST(Trace, ShiftedMovesArrivals) {
+  Trace t(make_requests({100, 200}));
+  Trace s = t.shifted(50);
+  EXPECT_EQ(s[0].arrival, 150);
+  EXPECT_EQ(s[1].arrival, 250);
+}
+
+TEST(Trace, SliceRebasesWindow) {
+  Trace t(make_requests({100, 200, 300, 400}));
+  Trace s = t.slice(150, 350);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].arrival, 50);
+  EXPECT_EQ(s[1].arrival, 150);
+}
+
+TEST(Trace, MergeInterleavesAndTagsClients) {
+  Trace a(make_requests({100, 300}));
+  Trace b(make_requests({200, 400}));
+  const Trace parts[] = {a, b};
+  Trace m = Trace::merge(parts);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m[0].arrival, 100);
+  EXPECT_EQ(m[0].client, 0u);
+  EXPECT_EQ(m[1].arrival, 200);
+  EXPECT_EQ(m[1].client, 1u);
+  EXPECT_EQ(m[3].client, 1u);
+}
+
+TEST(Trace, TimeScaledStretchesGaps) {
+  Trace t(make_requests({100, 200}));
+  Trace s = t.time_scaled(2.0);
+  EXPECT_EQ(s[0].arrival, 200);
+  EXPECT_EQ(s[1].arrival, 400);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  std::vector<Request> reqs = make_requests({10, 20});
+  reqs[0].client = 3;
+  reqs[0].lba = 12345;
+  reqs[0].size_blocks = 16;
+  reqs[0].is_write = true;
+  Trace t(std::move(reqs));
+  Trace back = Trace::from_csv(t.to_csv());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].arrival, 10);
+  EXPECT_EQ(back[0].client, 3u);
+  EXPECT_EQ(back[0].lba, 12345u);
+  EXPECT_EQ(back[0].size_blocks, 16u);
+  EXPECT_TRUE(back[0].is_write);
+  EXPECT_FALSE(back[1].is_write);
+}
+
+TEST(Trace, EmptyTraceBasics) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.mean_rate_iops(), 0.0);
+  EXPECT_TRUE(Trace::merge({}).empty());
+}
+
+}  // namespace
+}  // namespace qos

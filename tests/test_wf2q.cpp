@@ -1,0 +1,96 @@
+#include "fq/wf2q.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qos {
+namespace {
+
+TEST(Wf2q, ProportionalShareUnderBacklog) {
+  Wf2qPlusScheduler wf({2.0, 1.0});
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    wf.enqueue(0, i, 1.0, 0);
+    wf.enqueue(1, 1000 + i, 1.0, 0);
+  }
+  int flow0 = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto d = wf.dequeue(0);
+    ASSERT_TRUE(d);
+    if (d->flow == 0) ++flow0;
+  }
+  EXPECT_NEAR(flow0, 40, 2);
+}
+
+TEST(Wf2q, WorstCaseFairness) {
+  // WF2Q's defining property vs plain WFQ: with equal weights a flow never
+  // runs more than one service quantum ahead of its fluid share.  Count the
+  // maximum lead of either flow over a long fully backlogged run.
+  Wf2qPlusScheduler wf({1.0, 1.0});
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    wf.enqueue(0, i, 1.0, 0);
+    wf.enqueue(1, 1000 + i, 1.0, 0);
+  }
+  int served[2] = {0, 0};
+  for (int i = 0; i < 400; ++i) {
+    auto d = wf.dequeue(0);
+    ASSERT_TRUE(d);
+    ++served[d->flow];
+    EXPECT_LE(std::abs(served[0] - served[1]), 1);
+  }
+}
+
+TEST(Wf2q, WorkConservingWhenOneFlowIdle) {
+  Wf2qPlusScheduler wf({1.0, 99.0});
+  for (std::uint64_t i = 0; i < 7; ++i) wf.enqueue(0, i, 1.0, 0);
+  int count = 0;
+  while (auto d = wf.dequeue(0)) {
+    EXPECT_EQ(d->flow, 0);
+    ++count;
+  }
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Wf2q, FifoWithinFlow) {
+  Wf2qPlusScheduler wf({1.0, 2.0});
+  for (std::uint64_t i = 0; i < 10; ++i) wf.enqueue(1, i, 1.0, 0);
+  std::uint64_t expect = 0;
+  while (auto d = wf.dequeue(0)) {
+    EXPECT_EQ(d->handle, expect);
+    ++expect;
+  }
+}
+
+TEST(Wf2q, VirtualTimeAdvances) {
+  Wf2qPlusScheduler wf({1.0, 1.0});
+  wf.enqueue(0, 1, 1.0, 0);
+  wf.enqueue(0, 2, 1.0, 0);
+  const double v0 = wf.virtual_time();
+  (void)wf.dequeue(0);
+  (void)wf.dequeue(0);
+  EXPECT_GT(wf.virtual_time(), v0);
+}
+
+TEST(Wf2q, HeavierCostsConsumeMoreShare) {
+  // Flow 0 sends cost-2 items, flow 1 cost-1, equal weights: flow 1 should
+  // dispatch ~2 items per flow-0 item.
+  Wf2qPlusScheduler wf({1.0, 1.0});
+  for (std::uint64_t i = 0; i < 20; ++i) wf.enqueue(0, i, 2.0, 0);
+  for (std::uint64_t i = 0; i < 40; ++i) wf.enqueue(1, 100 + i, 1.0, 0);
+  int served[2] = {0, 0};
+  for (int i = 0; i < 30; ++i) {
+    auto d = wf.dequeue(0);
+    ASSERT_TRUE(d);
+    ++served[d->flow];
+  }
+  EXPECT_NEAR(served[1], 2 * served[0], 3);
+}
+
+TEST(Wf2q, EmptySchedulerIdles) {
+  Wf2qPlusScheduler wf({1.0});
+  EXPECT_FALSE(wf.dequeue(0).has_value());
+}
+
+}  // namespace
+}  // namespace qos

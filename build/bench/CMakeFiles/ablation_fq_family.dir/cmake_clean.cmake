@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fq_family.dir/ablation_fq_family.cpp.o"
+  "CMakeFiles/ablation_fq_family.dir/ablation_fq_family.cpp.o.d"
+  "ablation_fq_family"
+  "ablation_fq_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fq_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_miser_dc.dir/ablation_miser_dc.cpp.o"
+  "CMakeFiles/ablation_miser_dc.dir/ablation_miser_dc.cpp.o.d"
+  "ablation_miser_dc"
+  "ablation_miser_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_miser_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

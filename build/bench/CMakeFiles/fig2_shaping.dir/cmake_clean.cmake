@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_shaping.dir/fig2_shaping.cpp.o"
+  "CMakeFiles/fig2_shaping.dir/fig2_shaping.cpp.o.d"
+  "fig2_shaping"
+  "fig2_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_schedulers.dir/fig6_schedulers.cpp.o"
+  "CMakeFiles/fig6_schedulers.dir/fig6_schedulers.cpp.o.d"
+  "fig6_schedulers"
+  "fig6_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

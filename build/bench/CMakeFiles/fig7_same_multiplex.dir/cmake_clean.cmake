@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_same_multiplex.dir/fig7_same_multiplex.cpp.o"
+  "CMakeFiles/fig7_same_multiplex.dir/fig7_same_multiplex.cpp.o.d"
+  "fig7_same_multiplex"
+  "fig7_same_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_same_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_diff_multiplex.dir/fig8_diff_multiplex.cpp.o"
+  "CMakeFiles/fig8_diff_multiplex.dir/fig8_diff_multiplex.cpp.o.d"
+  "fig8_diff_multiplex"
+  "fig8_diff_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_diff_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graduated_sla.dir/graduated_sla.cpp.o"
+  "CMakeFiles/graduated_sla.dir/graduated_sla.cpp.o.d"
+  "graduated_sla"
+  "graduated_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graduated_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

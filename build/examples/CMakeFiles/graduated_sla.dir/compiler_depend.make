@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graduated_sla.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tier_service.dir/multi_tier_service.cpp.o"
+  "CMakeFiles/multi_tier_service.dir/multi_tier_service.cpp.o.d"
+  "multi_tier_service"
+  "multi_tier_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tier_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

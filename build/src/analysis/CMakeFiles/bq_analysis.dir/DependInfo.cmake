@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/bq_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/bq_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/gnuplot.cpp" "src/analysis/CMakeFiles/bq_analysis.dir/gnuplot.cpp.o" "gcc" "src/analysis/CMakeFiles/bq_analysis.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/analysis/response_stats.cpp" "src/analysis/CMakeFiles/bq_analysis.dir/response_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/bq_analysis.dir/response_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

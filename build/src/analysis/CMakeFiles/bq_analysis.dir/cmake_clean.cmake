@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_analysis.dir/burstiness.cpp.o"
+  "CMakeFiles/bq_analysis.dir/burstiness.cpp.o.d"
+  "CMakeFiles/bq_analysis.dir/gnuplot.cpp.o"
+  "CMakeFiles/bq_analysis.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/bq_analysis.dir/response_stats.cpp.o"
+  "CMakeFiles/bq_analysis.dir/response_stats.cpp.o.d"
+  "libbq_analysis.a"
+  "libbq_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

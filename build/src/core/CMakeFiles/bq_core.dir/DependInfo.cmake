@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/bq_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/bq_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/bq_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/consolidation.cpp" "src/core/CMakeFiles/bq_core.dir/consolidation.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/consolidation.cpp.o.d"
+  "/root/repo/src/core/multi_class.cpp" "src/core/CMakeFiles/bq_core.dir/multi_class.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/multi_class.cpp.o.d"
+  "/root/repo/src/core/multi_tenant.cpp" "src/core/CMakeFiles/bq_core.dir/multi_tenant.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/multi_tenant.cpp.o.d"
+  "/root/repo/src/core/rtt.cpp" "src/core/CMakeFiles/bq_core.dir/rtt.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/rtt.cpp.o.d"
+  "/root/repo/src/core/shaper.cpp" "src/core/CMakeFiles/bq_core.dir/shaper.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/shaper.cpp.o.d"
+  "/root/repo/src/core/sla.cpp" "src/core/CMakeFiles/bq_core.dir/sla.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/sla.cpp.o.d"
+  "/root/repo/src/core/statistical.cpp" "src/core/CMakeFiles/bq_core.dir/statistical.cpp.o" "gcc" "src/core/CMakeFiles/bq_core.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/curves/CMakeFiles/bq_curves.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fq/CMakeFiles/bq_fq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_core.dir/adaptive.cpp.o"
+  "CMakeFiles/bq_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/bq_core.dir/admission.cpp.o"
+  "CMakeFiles/bq_core.dir/admission.cpp.o.d"
+  "CMakeFiles/bq_core.dir/capacity.cpp.o"
+  "CMakeFiles/bq_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/bq_core.dir/consolidation.cpp.o"
+  "CMakeFiles/bq_core.dir/consolidation.cpp.o.d"
+  "CMakeFiles/bq_core.dir/multi_class.cpp.o"
+  "CMakeFiles/bq_core.dir/multi_class.cpp.o.d"
+  "CMakeFiles/bq_core.dir/multi_tenant.cpp.o"
+  "CMakeFiles/bq_core.dir/multi_tenant.cpp.o.d"
+  "CMakeFiles/bq_core.dir/rtt.cpp.o"
+  "CMakeFiles/bq_core.dir/rtt.cpp.o.d"
+  "CMakeFiles/bq_core.dir/shaper.cpp.o"
+  "CMakeFiles/bq_core.dir/shaper.cpp.o.d"
+  "CMakeFiles/bq_core.dir/sla.cpp.o"
+  "CMakeFiles/bq_core.dir/sla.cpp.o.d"
+  "CMakeFiles/bq_core.dir/statistical.cpp.o"
+  "CMakeFiles/bq_core.dir/statistical.cpp.o.d"
+  "libbq_core.a"
+  "libbq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_curves.dir/analysis.cpp.o"
+  "CMakeFiles/bq_curves.dir/analysis.cpp.o.d"
+  "CMakeFiles/bq_curves.dir/arrival_curve.cpp.o"
+  "CMakeFiles/bq_curves.dir/arrival_curve.cpp.o.d"
+  "libbq_curves.a"
+  "libbq_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

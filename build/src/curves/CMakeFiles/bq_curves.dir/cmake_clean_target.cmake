@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbq_curves.a"
+)

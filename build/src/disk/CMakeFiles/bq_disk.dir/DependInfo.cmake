@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/cache.cpp" "src/disk/CMakeFiles/bq_disk.dir/cache.cpp.o" "gcc" "src/disk/CMakeFiles/bq_disk.dir/cache.cpp.o.d"
+  "/root/repo/src/disk/disk_model.cpp" "src/disk/CMakeFiles/bq_disk.dir/disk_model.cpp.o" "gcc" "src/disk/CMakeFiles/bq_disk.dir/disk_model.cpp.o.d"
+  "/root/repo/src/disk/raid.cpp" "src/disk/CMakeFiles/bq_disk.dir/raid.cpp.o" "gcc" "src/disk/CMakeFiles/bq_disk.dir/raid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

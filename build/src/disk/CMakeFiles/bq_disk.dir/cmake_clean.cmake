@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_disk.dir/cache.cpp.o"
+  "CMakeFiles/bq_disk.dir/cache.cpp.o.d"
+  "CMakeFiles/bq_disk.dir/disk_model.cpp.o"
+  "CMakeFiles/bq_disk.dir/disk_model.cpp.o.d"
+  "CMakeFiles/bq_disk.dir/raid.cpp.o"
+  "CMakeFiles/bq_disk.dir/raid.cpp.o.d"
+  "libbq_disk.a"
+  "libbq_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fq/drr.cpp" "src/fq/CMakeFiles/bq_fq.dir/drr.cpp.o" "gcc" "src/fq/CMakeFiles/bq_fq.dir/drr.cpp.o.d"
+  "/root/repo/src/fq/pclock.cpp" "src/fq/CMakeFiles/bq_fq.dir/pclock.cpp.o" "gcc" "src/fq/CMakeFiles/bq_fq.dir/pclock.cpp.o.d"
+  "/root/repo/src/fq/sfq.cpp" "src/fq/CMakeFiles/bq_fq.dir/sfq.cpp.o" "gcc" "src/fq/CMakeFiles/bq_fq.dir/sfq.cpp.o.d"
+  "/root/repo/src/fq/wf2q.cpp" "src/fq/CMakeFiles/bq_fq.dir/wf2q.cpp.o" "gcc" "src/fq/CMakeFiles/bq_fq.dir/wf2q.cpp.o.d"
+  "/root/repo/src/fq/wfq.cpp" "src/fq/CMakeFiles/bq_fq.dir/wfq.cpp.o" "gcc" "src/fq/CMakeFiles/bq_fq.dir/wfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_fq.dir/drr.cpp.o"
+  "CMakeFiles/bq_fq.dir/drr.cpp.o.d"
+  "CMakeFiles/bq_fq.dir/pclock.cpp.o"
+  "CMakeFiles/bq_fq.dir/pclock.cpp.o.d"
+  "CMakeFiles/bq_fq.dir/sfq.cpp.o"
+  "CMakeFiles/bq_fq.dir/sfq.cpp.o.d"
+  "CMakeFiles/bq_fq.dir/wf2q.cpp.o"
+  "CMakeFiles/bq_fq.dir/wf2q.cpp.o.d"
+  "CMakeFiles/bq_fq.dir/wfq.cpp.o"
+  "CMakeFiles/bq_fq.dir/wfq.cpp.o.d"
+  "libbq_fq.a"
+  "libbq_fq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_fq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bq_fq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bq_sim.dir/simulator.cpp.o.d"
+  "libbq_sim.a"
+  "libbq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

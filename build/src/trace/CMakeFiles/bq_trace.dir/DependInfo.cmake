@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/bq_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/bq_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/presets.cpp" "src/trace/CMakeFiles/bq_trace.dir/presets.cpp.o" "gcc" "src/trace/CMakeFiles/bq_trace.dir/presets.cpp.o.d"
+  "/root/repo/src/trace/rate_series.cpp" "src/trace/CMakeFiles/bq_trace.dir/rate_series.cpp.o" "gcc" "src/trace/CMakeFiles/bq_trace.dir/rate_series.cpp.o.d"
+  "/root/repo/src/trace/spc.cpp" "src/trace/CMakeFiles/bq_trace.dir/spc.cpp.o" "gcc" "src/trace/CMakeFiles/bq_trace.dir/spc.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/bq_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/bq_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

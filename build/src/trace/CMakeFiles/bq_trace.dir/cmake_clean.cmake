@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_trace.dir/generator.cpp.o"
+  "CMakeFiles/bq_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/bq_trace.dir/presets.cpp.o"
+  "CMakeFiles/bq_trace.dir/presets.cpp.o.d"
+  "CMakeFiles/bq_trace.dir/rate_series.cpp.o"
+  "CMakeFiles/bq_trace.dir/rate_series.cpp.o.d"
+  "CMakeFiles/bq_trace.dir/spc.cpp.o"
+  "CMakeFiles/bq_trace.dir/spc.cpp.o.d"
+  "CMakeFiles/bq_trace.dir/trace.cpp.o"
+  "CMakeFiles/bq_trace.dir/trace.cpp.o.d"
+  "libbq_trace.a"
+  "libbq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bq_util.dir/rng.cpp.o"
+  "CMakeFiles/bq_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bq_util.dir/table.cpp.o"
+  "CMakeFiles/bq_util.dir/table.cpp.o.d"
+  "libbq_util.a"
+  "libbq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrival_curve.dir/test_arrival_curve.cpp.o"
+  "CMakeFiles/test_arrival_curve.dir/test_arrival_curve.cpp.o.d"
+  "test_arrival_curve"
+  "test_arrival_curve.pdb"
+  "test_arrival_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrival_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

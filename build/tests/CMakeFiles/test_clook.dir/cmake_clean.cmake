@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clook.dir/test_clook.cpp.o"
+  "CMakeFiles/test_clook.dir/test_clook.cpp.o.d"
+  "test_clook"
+  "test_clook.pdb"
+  "test_clook[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

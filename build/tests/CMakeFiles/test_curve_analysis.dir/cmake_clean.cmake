@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_curve_analysis.dir/test_curve_analysis.cpp.o"
+  "CMakeFiles/test_curve_analysis.dir/test_curve_analysis.cpp.o.d"
+  "test_curve_analysis"
+  "test_curve_analysis.pdb"
+  "test_curve_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_curve_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

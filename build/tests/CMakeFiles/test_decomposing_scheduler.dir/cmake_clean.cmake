@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decomposing_scheduler.dir/test_decomposing_scheduler.cpp.o"
+  "CMakeFiles/test_decomposing_scheduler.dir/test_decomposing_scheduler.cpp.o.d"
+  "test_decomposing_scheduler"
+  "test_decomposing_scheduler.pdb"
+  "test_decomposing_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decomposing_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_qos.dir/test_disk_qos.cpp.o"
+  "CMakeFiles/test_disk_qos.dir/test_disk_qos.cpp.o.d"
+  "test_disk_qos"
+  "test_disk_qos.pdb"
+  "test_disk_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

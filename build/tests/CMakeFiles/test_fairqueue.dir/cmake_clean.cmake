@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fairqueue.dir/test_fairqueue.cpp.o"
+  "CMakeFiles/test_fairqueue.dir/test_fairqueue.cpp.o.d"
+  "test_fairqueue"
+  "test_fairqueue.pdb"
+  "test_fairqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fairqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

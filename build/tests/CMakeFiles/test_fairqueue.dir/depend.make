@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fairqueue.
+# This may be replaced when dependencies are built.

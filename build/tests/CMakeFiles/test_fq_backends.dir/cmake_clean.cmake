@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fq_backends.dir/test_fq_backends.cpp.o"
+  "CMakeFiles/test_fq_backends.dir/test_fq_backends.cpp.o.d"
+  "test_fq_backends"
+  "test_fq_backends.pdb"
+  "test_fq_backends[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fq_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

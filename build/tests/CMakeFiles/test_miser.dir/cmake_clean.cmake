@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miser.dir/test_miser.cpp.o"
+  "CMakeFiles/test_miser.dir/test_miser.cpp.o.d"
+  "test_miser"
+  "test_miser.pdb"
+  "test_miser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

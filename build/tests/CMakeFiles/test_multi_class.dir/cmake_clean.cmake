@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_class.dir/test_multi_class.cpp.o"
+  "CMakeFiles/test_multi_class.dir/test_multi_class.cpp.o.d"
+  "test_multi_class"
+  "test_multi_class.pdb"
+  "test_multi_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

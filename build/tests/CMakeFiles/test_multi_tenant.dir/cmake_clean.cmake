@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_tenant.dir/test_multi_tenant.cpp.o"
+  "CMakeFiles/test_multi_tenant.dir/test_multi_tenant.cpp.o.d"
+  "test_multi_tenant"
+  "test_multi_tenant.pdb"
+  "test_multi_tenant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

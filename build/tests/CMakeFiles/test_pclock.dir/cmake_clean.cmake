@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pclock.dir/test_pclock.cpp.o"
+  "CMakeFiles/test_pclock.dir/test_pclock.cpp.o.d"
+  "test_pclock"
+  "test_pclock.pdb"
+  "test_pclock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_raid.cpp" "tests/CMakeFiles/test_raid.dir/test_raid.cpp.o" "gcc" "tests/CMakeFiles/test_raid.dir/test_raid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/bq_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fq/CMakeFiles/bq_fq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/curves/CMakeFiles/bq_curves.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

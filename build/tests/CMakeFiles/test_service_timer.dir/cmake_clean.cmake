@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_timer.dir/test_service_timer.cpp.o"
+  "CMakeFiles/test_service_timer.dir/test_service_timer.cpp.o.d"
+  "test_service_timer"
+  "test_service_timer.pdb"
+  "test_service_timer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfq.dir/test_sfq.cpp.o"
+  "CMakeFiles/test_sfq.dir/test_sfq.cpp.o.d"
+  "test_sfq"
+  "test_sfq.pdb"
+  "test_sfq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sla.dir/test_sla.cpp.o"
+  "CMakeFiles/test_sla.dir/test_sla.cpp.o.d"
+  "test_sla"
+  "test_sla.pdb"
+  "test_sla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

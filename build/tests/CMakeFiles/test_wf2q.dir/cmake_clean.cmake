@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wf2q.dir/test_wf2q.cpp.o"
+  "CMakeFiles/test_wf2q.dir/test_wf2q.cpp.o.d"
+  "test_wf2q"
+  "test_wf2q.pdb"
+  "test_wf2q[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wf2q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

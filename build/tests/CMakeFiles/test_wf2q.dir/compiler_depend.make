@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wf2q.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfq_drr.dir/test_wfq_drr.cpp.o"
+  "CMakeFiles/test_wfq_drr.dir/test_wfq_drr.cpp.o.d"
+  "test_wfq_drr"
+  "test_wfq_drr.pdb"
+  "test_wfq_drr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfq_drr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -37,13 +37,10 @@ void run_panel(Time delta) {
               format_double(to_ms(stats.percentile(0.99)), 1));
 
     // Full CDF points (log-spaced) for plotting.
-    std::printf("# cdf %s C=%.0f: resp_ms fraction\n", workload_name(w).c_str(),
-                cmin);
-    for (double ms : {1.0,   2.0,   5.0,   10.0,  20.0,  50.0,  100.0,
-                      200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0}) {
-      std::printf("%.0f %.4f\n", ms, stats.fraction_within(from_ms(ms)));
-    }
-    std::printf("\n");
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s C=%.0f",
+                  workload_name(w).c_str(), cmin);
+    std::printf("%s\n", format_cdf(stats, label, kCdfBoundsMs).c_str());
   }
   std::printf("%s\n", table.to_string().c_str());
 }

@@ -6,6 +6,8 @@
 // the target the decomposed scheduler achieves by construction.
 #include <cstdio>
 
+#include <span>
+
 #include "analysis/response_stats.h"
 #include "core/capacity.h"
 #include "core/fcfs.h"
@@ -33,13 +35,13 @@ void run_panel(double fraction) {
     table.add(workload_name(w), format_double(cmin, 0),
               format_double(100 * stats.fraction_within(delta), 1) + "%",
               format_double(100 * fraction, 1) + "%");
-    std::printf("# cdf %s C=%.0f: resp_ms fraction\n",
-                workload_name(w).c_str(), cmin);
-    for (double ms : {10.0,  20.0,  50.0,   100.0,  200.0,
-                      500.0, 1000.0, 2000.0, 5000.0, 10000.0}) {
-      std::printf("%.0f %.4f\n", ms, stats.fraction_within(from_ms(ms)));
-    }
-    std::printf("\n");
+    // CDF from 10 ms up (the 95/99% panels saturate below that).
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s C=%.0f",
+                  workload_name(w).c_str(), cmin);
+    std::printf("%s\n",
+                format_cdf(stats, label, std::span(kCdfBoundsMs).subspan(3))
+                    .c_str());
   }
   std::printf("%s\n", table.to_string().c_str());
 }

@@ -61,24 +61,30 @@ void run_q2_comparison(const Trace& trace, Time delta) {
     config.delta = delta;
     config.capacity_override_iops = cmin;
 
-    config.policy = Policy::kFairQueue;
-    ResponseStats fq(shape_and_run(trace, config).sim.completions,
-                     ServiceClass::kOverflow);
-    config.policy = Policy::kMiser;
-    ResponseStats miser(shape_and_run(trace, config).sim.completions,
-                        ServiceClass::kOverflow);
-    if (fq.empty() || miser.empty()) {
+    // Per-class stats come from the observability report; a fresh registry
+    // per run keeps the counters per-policy.
+    auto overflow_report = [&](Policy p) {
+      MetricRegistry registry;
+      config.policy = p;
+      config.registry = &registry;
+      ClassReport r = shape_and_run(trace, config).report.overflow;
+      config.registry = nullptr;
+      return r;
+    };
+    const ClassReport fq = overflow_report(Policy::kFairQueue);
+    const ClassReport miser = overflow_report(Policy::kMiser);
+    if (fq.count == 0 || miser.count == 0) {
       std::printf("  (no overflow requests at fraction %.2f)\n", fraction);
       continue;
     }
     table.add(format_double(100 * fraction, 0),
-              format_double(to_ms(static_cast<Time>(fq.mean_us())), 1),
-              format_double(to_ms(static_cast<Time>(miser.mean_us())), 1),
-              format_double(miser.mean_us() / fq.mean_us(), 2),
-              format_double(to_ms(fq.max()), 0),
-              format_double(to_ms(miser.max()), 0),
-              format_double(static_cast<double>(miser.max()) /
-                                static_cast<double>(fq.max()),
+              format_double(fq.mean_us / 1e3, 1),
+              format_double(miser.mean_us / 1e3, 1),
+              format_double(miser.mean_us / fq.mean_us, 2),
+              format_double(to_ms(fq.max), 0),
+              format_double(to_ms(miser.max), 0),
+              format_double(static_cast<double>(miser.max) /
+                                static_cast<double>(fq.max),
                             2));
   }
   std::printf("%s", table.to_string().c_str());

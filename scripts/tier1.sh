@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + test matrix from ROADMAP.md, then
+# the same test suite under ASan+UBSan so the simulator/scheduler hot paths
+# (including the observability hooks) stay sanitizer-clean.
+#
+#   scripts/tier1.sh            # both passes
+#   scripts/tier1.sh --fast     # plain pass only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: plain build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  exit 0
+fi
+
+echo "== tier-1: ASan+UBSan build + ctest (tests only) =="
+cmake -B build-asan -S . -DQOS_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$jobs"
+ctest --test-dir build-asan --output-on-failure -j"$jobs"

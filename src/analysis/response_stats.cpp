@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.h"
 
@@ -51,6 +52,18 @@ std::vector<double> ResponseStats::cdf(std::span<const Time> bounds) const {
   std::vector<double> out;
   out.reserve(bounds.size());
   for (Time b : bounds) out.push_back(fraction_within(b));
+  return out;
+}
+
+std::string format_cdf(const ResponseStats& stats, const std::string& label,
+                       std::span<const double> bounds_ms) {
+  std::string out = "# cdf " + label + ": resp_ms fraction\n";
+  char buf[64];
+  for (double ms : bounds_ms) {
+    std::snprintf(buf, sizeof(buf), "%.0f %.4f\n", ms,
+                  stats.fraction_within(from_ms(ms)));
+    out += buf;
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/completion.h"
@@ -52,5 +53,17 @@ class ResponseStats {
  private:
   std::vector<Time> sorted_us_;
 };
+
+/// Gnuplot-ready CDF dump: one "resp_ms fraction" line per bound, preceded
+/// by a "# cdf <label>: resp_ms fraction" header.  Shared by the Figure 4/5
+/// benches (and anything else plotting compliance curves).
+std::string format_cdf(const ResponseStats& stats, const std::string& label,
+                       std::span<const double> bounds_ms);
+
+/// The log-spaced bounds (ms) the figure benches sample CDFs at.
+inline constexpr double kCdfBoundsMs[] = {1.0,    2.0,    5.0,    10.0,
+                                          20.0,   50.0,   100.0,  200.0,
+                                          500.0,  1000.0, 2000.0, 5000.0,
+                                          10000.0};
 
 }  // namespace qos

@@ -5,11 +5,18 @@
 // the quantity Algorithm 1's proof reasons about (A(t) - S(t) for the
 // primary class).  It is incremented on admission and decremented when a
 // primary request completes service.
+//
+// Observability: attach_observability() wires an optional EventSink (kAdmit /
+// kReject per arrival) and MetricRegistry ("rtt.admitted" / "rtt.rejected"
+// counters, "q1.occupancy" / "q2.occupancy" time-weighted series).  With
+// nothing attached each hook is one null-pointer branch.
 #pragma once
 
 #include <deque>
 
 #include "core/rtt.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/scheduler.h"
 
 namespace qos {
@@ -22,21 +29,56 @@ class DecomposingScheduler : public Scheduler {
   DecomposingScheduler(double admission_capacity_iops, Time delta)
       : admission_(admission_capacity_iops, delta) {}
 
+  void attach_observability(EventSink* sink,
+                            MetricRegistry* registry) override {
+    probe_ = Probe(sink);
+    if (registry != nullptr) {
+      admitted_ = &registry->counter("rtt.admitted");
+      rejected_ = &registry->counter("rtt.rejected");
+      q1_occ_ = &registry->occupancy("q1.occupancy");
+      q2_occ_ = &registry->occupancy("q2.occupancy");
+    }
+  }
+
   void on_arrival(const Request& r, Time now) override {
     if (admission_.admit(len_q1_)) {
       q1_.push_back(r);
       ++len_q1_;
+      if (admitted_ != nullptr) admitted_->add();
+      if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = r.seq,
+                     .a = len_q1_,
+                     .b = admission_.max_q1(),
+                     .client = r.client,
+                     .kind = EventKind::kAdmit,
+                     .klass = ServiceClass::kPrimary});
+      }
       on_classified(r, ServiceClass::kPrimary, now);
     } else {
       q2_.push_back(r);
+      if (rejected_ != nullptr) rejected_->add();
+      if (q2_occ_ != nullptr)
+        q2_occ_->update(now, static_cast<std::int64_t>(q2_.size()));
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = r.seq,
+                     .a = static_cast<std::int64_t>(q2_.size()),
+                     .client = r.client,
+                     .kind = EventKind::kReject,
+                     .klass = ServiceClass::kOverflow});
+      }
       on_classified(r, ServiceClass::kOverflow, now);
     }
   }
 
-  void on_complete(const Request&, ServiceClass klass, int, Time) override {
+  void on_complete(const Request&, ServiceClass klass, int,
+                   Time now) override {
     if (klass == ServiceClass::kPrimary) {
       QOS_CHECK(len_q1_ > 0);
       --len_q1_;
+      if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
     }
   }
 
@@ -51,25 +93,35 @@ class DecomposingScheduler : public Scheduler {
   /// scheduler).  Default: nothing.
   virtual void on_classified(const Request&, ServiceClass, Time) {}
 
-  std::optional<Dispatch> pop_q1() {
+  std::optional<Dispatch> pop_q1(Time) {
     if (q1_.empty()) return std::nullopt;
     Dispatch d{q1_.front(), ServiceClass::kPrimary};
     q1_.pop_front();
     return d;
   }
 
-  std::optional<Dispatch> pop_q2() {
+  std::optional<Dispatch> pop_q2(Time now) {
     if (q2_.empty()) return std::nullopt;
     Dispatch d{q2_.front(), ServiceClass::kOverflow};
     q2_.pop_front();
+    if (q2_occ_ != nullptr)
+      q2_occ_->update(now, static_cast<std::int64_t>(q2_.size()));
     return d;
   }
+
+  const Probe& probe() const { return probe_; }
 
  private:
   RttAdmission admission_;
   std::deque<Request> q1_;
   std::deque<Request> q2_;
   std::int64_t len_q1_ = 0;
+
+  Probe probe_;
+  Counter* admitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  OccupancySeries* q1_occ_ = nullptr;
+  OccupancySeries* q2_occ_ = nullptr;
 };
 
 }  // namespace qos

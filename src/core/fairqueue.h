@@ -31,15 +31,29 @@ class FairQueueScheduler final : public DecomposingScheduler {
 
   int server_count() const override { return 1; }
 
+  void attach_observability(EventSink* sink,
+                            MetricRegistry* registry) override {
+    DecomposingScheduler::attach_observability(sink, registry);
+    if (registry != nullptr) {
+      q1_served_ = &registry->counter("fq.q1_served");
+      q2_served_ = &registry->counter("fq.q2_served");
+    }
+  }
+
   std::optional<Dispatch> next_for(int server, Time now) override {
     QOS_EXPECTS(server == 0);
     auto pick = fair_->dequeue(now);
     if (!pick) return std::nullopt;
     // Per-flow order is FIFO in both the fair scheduler and our queues, so
     // the dispatched handle is necessarily the head of that class's queue.
-    auto d = pick->flow == 0 ? pop_q1() : pop_q2();
+    auto d = pick->flow == 0 ? pop_q1(now) : pop_q2(now);
     QOS_CHECK(d.has_value());
     QOS_CHECK(d->request.seq == pick->handle);
+    if (pick->flow == 0) {
+      if (q1_served_ != nullptr) q1_served_->add();
+    } else {
+      if (q2_served_ != nullptr) q2_served_->add();
+    }
     return d;
   }
 
@@ -51,6 +65,8 @@ class FairQueueScheduler final : public DecomposingScheduler {
 
  private:
   std::unique_ptr<FairScheduler> fair_;
+  Counter* q1_served_ = nullptr;
+  Counter* q2_served_ = nullptr;
 };
 
 }  // namespace qos

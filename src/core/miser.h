@@ -24,6 +24,8 @@
 #include <set>
 
 #include "core/rtt.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/scheduler.h"
 
 namespace qos {
@@ -37,28 +39,75 @@ class MiserScheduler final : public Scheduler {
 
   int server_count() const override { return 1; }
 
-  void on_arrival(const Request& r, Time) override {
+  void attach_observability(EventSink* sink,
+                            MetricRegistry* registry) override {
+    probe_ = Probe(sink);
+    if (registry != nullptr) {
+      admitted_ = &registry->counter("rtt.admitted");
+      rejected_ = &registry->counter("rtt.rejected");
+      q1_occ_ = &registry->occupancy("q1.occupancy");
+      q2_occ_ = &registry->occupancy("q2.occupancy");
+      dispatch_slack_ = &registry->histogram("miser.dispatch_slack");
+    }
+  }
+
+  void on_arrival(const Request& r, Time now) override {
     if (admission_.admit(len_q1_)) {
       ++len_q1_;
       // Paper: slack = maxQ1 - lenQ1 with lenQ1 counted after insertion.
       const std::int64_t slack = admission_.max_q1() - len_q1_;
       q1_.push_back({r, slack + offset_});
       slacks_.insert(slack + offset_);
+      if (admitted_ != nullptr) admitted_->add();
+      if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = r.seq,
+                     .a = len_q1_,
+                     .b = admission_.max_q1(),
+                     .client = r.client,
+                     .kind = EventKind::kAdmit,
+                     .klass = ServiceClass::kPrimary});
+      }
     } else {
       q2_.push_back(r);
+      if (rejected_ != nullptr) rejected_->add();
+      if (q2_occ_ != nullptr)
+        q2_occ_->update(now, static_cast<std::int64_t>(q2_.size()));
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = r.seq,
+                     .a = static_cast<std::int64_t>(q2_.size()),
+                     .client = r.client,
+                     .kind = EventKind::kReject,
+                     .klass = ServiceClass::kOverflow});
+      }
     }
   }
 
-  std::optional<Dispatch> next_for(int server, Time) override {
+  std::optional<Dispatch> next_for(int server, Time now) override {
     QOS_EXPECTS(server == 0);
     const bool q2_eligible =
         !q2_.empty() && (q1_.empty() || min_slack() >= 1);
     if (q2_eligible) {
+      const std::int64_t funding_slack = min_slack();
       Dispatch d{q2_.front(), ServiceClass::kOverflow};
       q2_.pop_front();
       // The dispatched overflow request occupies one slot ahead of every
       // queued primary request.
       ++offset_;
+      if (q2_occ_ != nullptr)
+        q2_occ_->update(now, static_cast<std::int64_t>(q2_.size()));
+      if (dispatch_slack_ != nullptr) dispatch_slack_->record(funding_slack);
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = d.request.seq,
+                     .a = funding_slack,
+                     .b = static_cast<std::int64_t>(q2_.size()),
+                     .client = d.request.client,
+                     .kind = EventKind::kSlackDispatch,
+                     .klass = ServiceClass::kOverflow});
+      }
       return d;
     }
     if (q1_.empty()) return std::nullopt;
@@ -68,10 +117,12 @@ class MiserScheduler final : public Scheduler {
     return d;
   }
 
-  void on_complete(const Request&, ServiceClass klass, int, Time) override {
+  void on_complete(const Request&, ServiceClass klass, int,
+                   Time now) override {
     if (klass == ServiceClass::kPrimary) {
       QOS_CHECK(len_q1_ > 0);
       --len_q1_;
+      if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
     }
   }
 
@@ -97,6 +148,13 @@ class MiserScheduler final : public Scheduler {
   std::multiset<std::int64_t> slacks_;  ///< stored (offset-shifted) slacks
   std::int64_t offset_ = 0;
   std::int64_t len_q1_ = 0;  ///< pending primaries (queued + in service)
+
+  Probe probe_;
+  Counter* admitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  OccupancySeries* q1_occ_ = nullptr;
+  OccupancySeries* q2_occ_ = nullptr;
+  LatencyHistogram* dispatch_slack_ = nullptr;  ///< slack funding each Q2 issue
 };
 
 }  // namespace qos

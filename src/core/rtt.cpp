@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/service_timer.h"
 
 namespace qos {
@@ -13,11 +14,15 @@ std::int64_t max_q1_slots(double capacity_iops, Time delta) {
   return static_cast<std::int64_t>(capacity_iops * to_sec(delta));
 }
 
-Decomposition rtt_decompose(const Trace& trace, double capacity_iops,
-                            Time delta) {
-  QOS_EXPECTS(capacity_iops > 0 && delta >= 0);
-  const std::int64_t max_q1 = max_q1_slots(capacity_iops, delta);
+namespace {
 
+// The admission replay is the kernel of the capacity binary search, so the
+// unobserved instantiation must stay exactly the bare loop: the registry
+// hooks are compiled in (or out) rather than branch-tested per request.
+template <bool kObserved>
+Decomposition decompose_loop(const Trace& trace, double capacity_iops,
+                             std::int64_t max_q1, Counter* admitted,
+                             Counter* rejected, OccupancySeries* q1_occ) {
   Decomposition d;
   d.klass.assign(trace.size(), ServiceClass::kOverflow);
   d.q1_finish.assign(trace.size(), kTimeMax);
@@ -44,9 +49,31 @@ Decomposition rtt_decompose(const Trace& trace, double capacity_iops,
       d.klass[r.seq] = ServiceClass::kPrimary;
       d.q1_finish[r.seq] = last_finish;
       ++d.admitted;
+      if constexpr (kObserved) {
+        admitted->add();
+        q1_occ->update(r.arrival, len_q1 + 1);
+      }
+    } else {
+      if constexpr (kObserved) rejected->add();
     }
   }
   return d;
+}
+
+}  // namespace
+
+Decomposition rtt_decompose(const Trace& trace, double capacity_iops,
+                            Time delta, MetricRegistry* registry) {
+  QOS_EXPECTS(capacity_iops > 0 && delta >= 0);
+  const std::int64_t max_q1 = max_q1_slots(capacity_iops, delta);
+  if (registry == nullptr) {
+    return decompose_loop<false>(trace, capacity_iops, max_q1, nullptr,
+                                 nullptr, nullptr);
+  }
+  return decompose_loop<true>(trace, capacity_iops, max_q1,
+                              &registry->counter("rtt.admitted"),
+                              &registry->counter("rtt.rejected"),
+                              &registry->occupancy("q1.occupancy"));
 }
 
 }  // namespace qos

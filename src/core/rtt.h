@@ -62,9 +62,13 @@ struct Decomposition {
   }
 };
 
+class MetricRegistry;
+
 /// Replay RTT over `trace` at dedicated capacity `capacity_iops` with
-/// deadline `delta`.  O(N).
+/// deadline `delta`.  O(N).  A non-null `registry` additionally accumulates
+/// "rtt.admitted" / "rtt.rejected" counters and the time-weighted
+/// "q1.occupancy" series of the analytic replay.
 Decomposition rtt_decompose(const Trace& trace, double capacity_iops,
-                            Time delta);
+                            Time delta, MetricRegistry* registry = nullptr);
 
 }  // namespace qos

@@ -19,20 +19,38 @@ const char* policy_name(Policy p) {
   QOS_CHECK(false);
 }
 
+std::unique_ptr<Scheduler> make_scheduler(const ShapingConfig& config,
+                                          double cmin_iops) {
+  QOS_EXPECTS(config.delta > 0);
+  std::unique_ptr<Scheduler> scheduler;
+  switch (config.policy) {
+    case Policy::kFcfs:
+      scheduler = std::make_unique<FcfsScheduler>();
+      break;
+    case Policy::kSplit:
+      scheduler = std::make_unique<SplitScheduler>(cmin_iops, config.delta);
+      break;
+    case Policy::kFairQueue:
+      scheduler = std::make_unique<FairQueueScheduler>(
+          cmin_iops, config.delta, config.resolved_headroom_iops());
+      break;
+    case Policy::kMiser:
+      scheduler = std::make_unique<MiserScheduler>(cmin_iops, config.delta);
+      break;
+  }
+  QOS_CHECK(scheduler != nullptr);
+  if (config.observed())
+    scheduler->attach_observability(config.sink, config.registry);
+  return scheduler;
+}
+
 std::unique_ptr<Scheduler> make_scheduler(Policy policy, double cmin_iops,
                                           Time delta, double headroom_iops) {
-  switch (policy) {
-    case Policy::kFcfs:
-      return std::make_unique<FcfsScheduler>();
-    case Policy::kSplit:
-      return std::make_unique<SplitScheduler>(cmin_iops, delta);
-    case Policy::kFairQueue:
-      return std::make_unique<FairQueueScheduler>(cmin_iops, delta,
-                                                  headroom_iops);
-    case Policy::kMiser:
-      return std::make_unique<MiserScheduler>(cmin_iops, delta);
-  }
-  QOS_CHECK(false);
+  ShapingConfig config;
+  config.policy = policy;
+  config.delta = delta;
+  config.headroom_override_iops = headroom_iops;
+  return make_scheduler(config, cmin_iops);
 }
 
 ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config) {
@@ -42,23 +60,22 @@ ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config) {
                       ? config.capacity_override_iops
                       : min_capacity(trace, config.fraction, config.delta)
                             .cmin_iops;
-  out.headroom_iops = config.headroom_override_iops >= 0
-                          ? config.headroom_override_iops
-                          : overflow_headroom_iops(config.delta);
+  out.headroom_iops = config.resolved_headroom_iops();
 
-  auto scheduler = make_scheduler(config.policy, out.cmin_iops, config.delta,
-                                  out.headroom_iops);
+  auto scheduler = make_scheduler(config, out.cmin_iops);
 
   if (config.policy == Policy::kSplit) {
     ConstantRateServer primary(out.cmin_iops);
     ConstantRateServer overflow(out.headroom_iops > 0 ? out.headroom_iops
                                                       : 1.0);
     Server* servers[] = {&primary, &overflow};
-    out.sim = simulate(trace, *scheduler, servers);
+    out.sim = simulate(trace, *scheduler, servers, config.sink);
   } else {
     ConstantRateServer server(out.total_iops());
-    out.sim = simulate(trace, *scheduler, server);
+    out.sim = simulate(trace, *scheduler, server, config.sink);
   }
+  if (config.observed())
+    out.report = build_shaping_report(out.sim, config.delta, config.registry);
   return out;
 }
 

@@ -4,12 +4,22 @@
 // Cmin(f, delta), pick a recombination policy, build the server(s) and run
 // the trace through the event simulator.  Examples and benches use this
 // facade; every piece is also available individually.
+//
+// Observability: set ShapingConfig::registry and/or ::sink and the run is
+// instrumented end to end — RTT admit/reject, scheduler occupancy, slack
+// decisions and simulator events — and ShapingOutcome::report summarises the
+// internal dynamics (per-class percentiles, Q1/Q2 occupancy, deadline-miss
+// run lengths).  With both left null the pipeline pays one branch per hook
+// and no report is built.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/capacity.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/sink.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -33,18 +43,41 @@ struct ShapingConfig {
   double capacity_override_iops = 0;
   /// >= 0 overrides the overflow headroom dC; default is 1/delta.
   double headroom_override_iops = -1;
+
+  /// Optional observability (not owned; must outlive the run).  Attaching
+  /// either enables instrumentation and report building.
+  MetricRegistry* registry = nullptr;
+  EventSink* sink = nullptr;
+
+  /// The headroom this config resolves to: the override when set, else the
+  /// paper's dC = 1/delta.
+  double resolved_headroom_iops() const {
+    return headroom_override_iops >= 0 ? headroom_override_iops
+                                       : overflow_headroom_iops(delta);
+  }
+  bool observed() const { return registry != nullptr || sink != nullptr; }
 };
 
 struct ShapingOutcome {
   double cmin_iops = 0;
   double headroom_iops = 0;
   SimResult sim;
+  /// Populated when the config attached a registry or sink (see
+  /// build_shaping_report to compute one for an unobserved run).
+  ShapingReport report;
 
   double total_iops() const { return cmin_iops + headroom_iops; }
 };
 
-/// Build the scheduler for `policy`.  Exposed so benches can drive policies
-/// directly with custom fair schedulers.
+/// Build the scheduler for `config.policy` with primary capacity
+/// `cmin_iops`, wiring `config.registry` / `config.sink` into it.  Exposed
+/// so benches can drive policies directly without shape_and_run's profiling.
+std::unique_ptr<Scheduler> make_scheduler(const ShapingConfig& config,
+                                          double cmin_iops);
+
+/// Deprecated positional form; forwards to the ShapingConfig overload
+/// (without observability).
+[[deprecated("use make_scheduler(const ShapingConfig&, double cmin_iops)")]]
 std::unique_ptr<Scheduler> make_scheduler(Policy policy, double cmin_iops,
                                           Time delta, double headroom_iops);
 

@@ -16,9 +16,9 @@ class SplitScheduler final : public DecomposingScheduler {
 
   int server_count() const override { return 2; }
 
-  std::optional<Dispatch> next_for(int server, Time) override {
+  std::optional<Dispatch> next_for(int server, Time now) override {
     QOS_EXPECTS(server == 0 || server == 1);
-    return server == 0 ? pop_q1() : pop_q2();
+    return server == 0 ? pop_q1(now) : pop_q2(now);
   }
 };
 

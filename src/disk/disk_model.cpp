@@ -31,6 +31,16 @@ DiskPosition DiskModel::position_of(std::uint64_t lba) const {
   return p;
 }
 
+void DiskModel::attach_observability(EventSink* sink,
+                                     MetricRegistry* registry) {
+  probe_ = Probe(sink);
+  if (registry != nullptr) {
+    seek_hist_ = &registry->histogram("disk.seek_us");
+    rotation_hist_ = &registry->histogram("disk.rotation_us");
+    transfer_hist_ = &registry->histogram("disk.transfer_us");
+  }
+}
+
 Time DiskModel::service_time(const Request& r, Time now) {
   const DiskPosition pos = position_of(r.lba);
   const Time seek = seek_.seek_time(std::llabs(pos.cylinder - cylinder_));
@@ -49,6 +59,20 @@ Time DiskModel::service_time(const Request& r, Time now) {
 
   const Time transfer = static_cast<Time>(r.size_blocks) * period /
                         geometry_.sectors_per_track;
+  if (seek_hist_ != nullptr) {
+    seek_hist_->record(seek);
+    rotation_hist_->record(rotation);
+    transfer_hist_->record(transfer);
+  }
+  if (probe_) {
+    probe_.emit({.time = now,
+                 .seq = r.seq,
+                 .a = seek,
+                 .b = rotation,
+                 .c = transfer,
+                 .client = r.client,
+                 .kind = EventKind::kDiskService});
+  }
   const Time total = seek + rotation + transfer;
   return total > 0 ? total : 1;
 }

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/server.h"
 #include "trace/request.h"
 #include "util/time.h"
@@ -62,6 +64,12 @@ class DiskModel {
 
   const DiskGeometry& geometry() const { return geometry_; }
 
+  /// Attach observability: per-service kDiskService events (a = seek,
+  /// b = rotation, c = transfer, all us) and "disk.seek_us" /
+  /// "disk.rotation_us" / "disk.transfer_us" histograms.  Null pointers
+  /// disable the corresponding output at one branch per service.
+  void attach_observability(EventSink* sink, MetricRegistry* registry);
+
   DiskPosition position_of(std::uint64_t lba) const;
 
   /// Mechanical service time for a request starting at `now`, advancing the
@@ -74,6 +82,11 @@ class DiskModel {
   DiskGeometry geometry_;
   SeekProfile seek_;
   std::int64_t cylinder_ = 0;
+
+  Probe probe_;
+  LatencyHistogram* seek_hist_ = nullptr;
+  LatencyHistogram* rotation_hist_ = nullptr;
+  LatencyHistogram* transfer_hist_ = nullptr;
 };
 
 /// Adapts DiskModel to the simulator's Server interface.
@@ -84,6 +97,10 @@ class DiskServer final : public Server {
 
   Time service_duration(const Request& r, Time now) override {
     return model_.service_time(r, now);
+  }
+
+  void attach_observability(EventSink* sink, MetricRegistry* registry) {
+    model_.attach_observability(sink, registry);
   }
 
   const DiskModel& model() const { return model_; }

@@ -1,0 +1,46 @@
+// Pipeline event model for the observability subsystem.
+//
+// Every interesting transition in the shaping pipeline — arrival, RTT
+// admit/reject, dispatch, completion, a Miser slack-funded Q2 dispatch, a
+// mechanical disk service — is describable as one fixed-size `Event`.  A flat
+// POD (no strings, no allocation) keeps emission cheap enough for the
+// simulator hot path; kind-specific payloads ride in the generic a/b/c slots
+// documented per kind below.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/completion.h"
+#include "util/time.h"
+
+namespace qos {
+
+enum class EventKind : std::uint8_t {
+  kArrival = 0,        ///< request entered the scheduler
+  kAdmit,              ///< RTT admitted to Q1; a = lenQ1 after, b = maxQ1
+  kReject,             ///< RTT overflowed to Q2; a = Q2 backlog after
+  kDispatch,           ///< server started service; a = wait time (us)
+  kCompletion,         ///< service finished; a = response time (us)
+  kSlackDispatch,      ///< Miser spent slack on Q2; a = min slack before,
+                       ///< b = Q2 backlog after
+  kDiskService,        ///< mechanical service; a = seek, b = rotation,
+                       ///< c = transfer (us)
+};
+
+inline constexpr int kEventKindCount = 7;
+
+const char* event_kind_name(EventKind k);
+
+struct Event {
+  Time time = 0;            ///< simulation instant of the transition
+  std::uint64_t seq = 0;    ///< request sequence number
+  std::int64_t a = 0;       ///< kind-specific payload (see EventKind)
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::uint32_t client = 0;
+  EventKind kind = EventKind::kArrival;
+  ServiceClass klass = ServiceClass::kPrimary;
+  std::uint8_t server = 0;
+};
+
+}  // namespace qos

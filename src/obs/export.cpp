@@ -1,0 +1,147 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace qos {
+
+namespace {
+
+const char* class_name(ServiceClass k) {
+  return k == ServiceClass::kPrimary ? "primary" : "overflow";
+}
+
+void append_histogram_stats(std::string& out, const char* fmt,
+                            const std::string& name,
+                            const LatencyHistogram& h) {
+  char buf[128];
+  const struct {
+    const char* stat;
+    double value;
+  } stats[] = {
+      {"count", static_cast<double>(h.count())},
+      {"mean_us", h.mean_us()},
+      {"p50_us", static_cast<double>(h.quantile(0.50))},
+      {"p90_us", static_cast<double>(h.quantile(0.90))},
+      {"p99_us", static_cast<double>(h.quantile(0.99))},
+      {"p999_us", static_cast<double>(h.quantile(0.999))},
+      {"max_us", static_cast<double>(h.max())},
+  };
+  for (const auto& s : stats) {
+    std::snprintf(buf, sizeof(buf), fmt, name.c_str(), "histogram", s.stat,
+                  s.value);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string CsvExporter::events(std::span<const Event> events) {
+  std::string out = "time_us,kind,seq,client,klass,server,a,b,c\n";
+  char buf[192];
+  for (const Event& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%lld,%s,%llu,%u,%s,%u,%lld,%lld,%lld\n",
+                  static_cast<long long>(e.time), event_kind_name(e.kind),
+                  static_cast<unsigned long long>(e.seq), e.client,
+                  class_name(e.klass), e.server, static_cast<long long>(e.a),
+                  static_cast<long long>(e.b), static_cast<long long>(e.c));
+    out += buf;
+  }
+  return out;
+}
+
+std::string JsonExporter::events(std::span<const Event> events) {
+  std::string out = "[\n";
+  char buf[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"time_us\": %lld, \"kind\": \"%s\", \"seq\": %llu, "
+        "\"client\": %u, \"klass\": \"%s\", \"server\": %u, "
+        "\"a\": %lld, \"b\": %lld, \"c\": %lld}%s\n",
+        static_cast<long long>(e.time), event_kind_name(e.kind),
+        static_cast<unsigned long long>(e.seq), e.client,
+        class_name(e.klass), e.server, static_cast<long long>(e.a),
+        static_cast<long long>(e.b), static_cast<long long>(e.c),
+        i + 1 < events.size() ? "," : "");
+    out += buf;
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string CsvExporter::registry(const MetricRegistry& registry) {
+  std::string out = "name,type,stat,value\n";
+  char buf[128];
+  for (const auto& [name, c] : registry.counters()) {
+    std::snprintf(buf, sizeof(buf), "%s,counter,value,%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    std::snprintf(buf, sizeof(buf), "%s,gauge,value,%.6f\n", name.c_str(),
+                  g.value());
+    out += buf;
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    append_histogram_stats(out, "%s,%s,%s,%.3f\n", name, h);
+  }
+  for (const auto& [name, o] : registry.occupancies()) {
+    std::snprintf(buf, sizeof(buf), "%s,occupancy,mean,%.4f\n", name.c_str(),
+                  o.mean());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s,occupancy,max,%lld\n", name.c_str(),
+                  static_cast<long long>(o.max()));
+    out += buf;
+  }
+  return out;
+}
+
+std::string JsonExporter::registry(const MetricRegistry& registry) {
+  std::string out = "{\n";
+  char buf[256];
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& [name, c] : registry.counters()) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %llu", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.6f", name.c_str(),
+                  g.value());
+    out += buf;
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "  \"%s\": {\"count\": %llu, \"mean_us\": %.3f, "
+                  "\"p50_us\": %lld, \"p90_us\": %lld, \"p99_us\": %lld, "
+                  "\"p999_us\": %lld, \"max_us\": %lld}",
+                  name.c_str(),
+                  static_cast<unsigned long long>(h.count()), h.mean_us(),
+                  static_cast<long long>(h.quantile(0.50)),
+                  static_cast<long long>(h.quantile(0.90)),
+                  static_cast<long long>(h.quantile(0.99)),
+                  static_cast<long long>(h.quantile(0.999)),
+                  static_cast<long long>(h.max()));
+    out += buf;
+  }
+  for (const auto& [name, o] : registry.occupancies()) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "  \"%s\": {\"mean\": %.4f, \"max\": %lld}", name.c_str(),
+                  o.mean(), static_cast<long long>(o.max()));
+    out += buf;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace qos

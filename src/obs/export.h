@@ -1,0 +1,30 @@
+// Export recorded events and registry contents as CSV or JSON.
+//
+// Stateless formatters: feed them a RecordingSink's event vector or a
+// MetricRegistry and write the returned string wherever it should go.  The
+// CSV event schema is one row per event
+// (time_us,kind,seq,client,klass,server,a,b,c); registry exports flatten
+// each metric to (name,type,stat,value) rows.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+
+namespace qos {
+
+class CsvExporter {
+ public:
+  static std::string events(std::span<const Event> events);
+  static std::string registry(const MetricRegistry& registry);
+};
+
+class JsonExporter {
+ public:
+  static std::string events(std::span<const Event> events);
+  static std::string registry(const MetricRegistry& registry);
+};
+
+}  // namespace qos

@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/event.h"
+
+namespace qos {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kReject: return "reject";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kCompletion: return "completion";
+    case EventKind::kSlackDispatch: return "slack_dispatch";
+    case EventKind::kDiskService: return "disk_service";
+  }
+  QOS_CHECK(false);
+}
+
+std::size_t LatencyHistogram::bucket_index(Time value_us) {
+  QOS_EXPECTS(value_us >= 0);
+  const auto v = static_cast<std::uint64_t>(value_us);
+  if (v < static_cast<std::uint64_t>(kSubBuckets)) {
+    return static_cast<std::size_t>(v);  // exact unit buckets
+  }
+  // 2^e <= v < 2^(e+1) with e >= kSubBucketBits; the top kSubBucketBits bits
+  // below the leading one select the linear sub-bucket within the octave.
+  const int e = 63 - std::countl_zero(v);
+  const auto sub = static_cast<std::size_t>(
+      (v >> (e - kSubBucketBits)) - static_cast<std::uint64_t>(kSubBuckets));
+  return static_cast<std::size_t>(e - kSubBucketBits + 1) *
+             static_cast<std::size_t>(kSubBuckets) +
+         sub;
+}
+
+Time LatencyHistogram::bucket_lower(std::size_t index) {
+  const auto sub = static_cast<std::int64_t>(
+      index % static_cast<std::size_t>(kSubBuckets));
+  const auto octave =
+      static_cast<int>(index / static_cast<std::size_t>(kSubBuckets));
+  if (octave == 0) return sub;  // unit buckets
+  const int e = kSubBucketBits + octave - 1;
+  return (kSubBuckets + sub) << (e - kSubBucketBits);
+}
+
+Time LatencyHistogram::bucket_upper(std::size_t index) {
+  const auto octave =
+      static_cast<int>(index / static_cast<std::size_t>(kSubBuckets));
+  if (octave == 0) return bucket_lower(index) + 1;
+  const int e = kSubBucketBits + octave - 1;
+  return bucket_lower(index) + (std::int64_t{1} << (e - kSubBucketBits));
+}
+
+void LatencyHistogram::record(Time value_us) {
+  if (value_us < 0) value_us = 0;  // clock skew shouldn't crash metrics
+  const std::size_t idx = bucket_index(value_us);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  if (count_ == 0 || value_us < min_) min_ = value_us;
+  if (count_ == 0 || value_us > max_) max_ = value_us;
+  sum_us_ += static_cast<double>(value_us);
+  ++count_;
+}
+
+Time LatencyHistogram::quantile(double p) const {
+  QOS_EXPECTS(p >= 0 && p <= 1);
+  if (count_ == 0) return 0;
+  if (p == 0) return min_;
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(p * count).
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      // The last bucket's upper bound can overshoot the exact max.
+      const Time upper = bucket_upper(i) - 1;
+      return upper > max_ ? max_ : upper;
+    }
+  }
+  return max_;
+}
+
+const Counter* MetricRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const LatencyHistogram* MetricRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const OccupancySeries* MetricRegistry::find_occupancy(
+    const std::string& name) const {
+  auto it = occupancies_.find(name);
+  return it == occupancies_.end() ? nullptr : &it->second;
+}
+
+}  // namespace qos

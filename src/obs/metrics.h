@@ -1,0 +1,175 @@
+// Metric primitives and the registry that names them.
+//
+//   * Counter / Gauge — trivially cheap scalar metrics;
+//   * LatencyHistogram — log-bucketed (HdrHistogram-style) with 32 linear
+//     sub-buckets per octave, so any quantile is reported with <= 1/32
+//     relative error while record() stays O(1) and allocation-free;
+//   * OccupancySeries — time-weighted statistics of an integer step function
+//     (queue depth over simulated time), the quantity the paper's occupancy
+//     arguments reason about;
+//   * MetricRegistry — owns metrics by name so independent pipeline stages
+//     can share one sink of truth.  Lookup is a map walk: callers cache the
+//     returned reference at attach time and never resolve names on the hot
+//     path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace qos {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Log-bucketed latency histogram over non-negative microsecond values.
+///
+/// Values below 32 get exact unit buckets; above that, each octave
+/// [2^e, 2^(e+1)) is split into 32 linear sub-buckets, bounding the relative
+/// quantile error by 1/32 (~3%).  Min, max and sum are tracked exactly, so
+/// quantile(0), quantile(1) and mean() carry no bucketing error.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;  ///< 32 sub-buckets per octave
+  static constexpr std::int64_t kSubBuckets = std::int64_t{1}
+                                              << kSubBucketBits;
+
+  void record(Time value_us);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  Time min() const { return count_ ? min_ : 0; }
+  Time max() const { return count_ ? max_ : 0; }
+  double mean_us() const {
+    return count_ ? sum_us_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Nearest-rank quantile, p in [0, 1].  Reports the upper bound of the
+  /// containing bucket (never underestimates); p == 0 / p == 1 are exact.
+  Time quantile(double p) const;
+
+  /// Visit non-empty buckets as (lower, upper, count), lower inclusive,
+  /// upper exclusive (equal to lower + 1 for the exact unit buckets).
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      fn(bucket_lower(i), bucket_upper(i), buckets_[i]);
+    }
+  }
+
+  static std::size_t bucket_index(Time value_us);
+  static Time bucket_lower(std::size_t index);
+  static Time bucket_upper(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< grown to the highest index seen
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0;
+  Time min_ = 0;
+  Time max_ = 0;
+};
+
+/// Time-weighted statistics of an integer-valued step function, e.g. queue
+/// occupancy.  `update(t, v)` states that the series takes value `v` from
+/// instant `t` onward; updates must be non-decreasing in time.
+class OccupancySeries {
+ public:
+  void update(Time now, std::int64_t value) {
+    QOS_EXPECTS(!started_ || now >= last_);
+    if (!started_) {
+      started_ = true;
+      first_ = now;
+    } else {
+      weighted_sum_ += static_cast<double>(value_) *
+                       static_cast<double>(now - last_);
+    }
+    last_ = now;
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Time-weighted mean over [first update, last update].
+  double mean() const { return mean_until(last_); }
+
+  /// Time-weighted mean over [first update, until], extending the current
+  /// value to `until` (>= last update).
+  double mean_until(Time until) const {
+    if (!started_ || until <= first_) return 0.0;
+    QOS_EXPECTS(until >= last_);
+    const double extended =
+        weighted_sum_ +
+        static_cast<double>(value_) * static_cast<double>(until - last_);
+    return extended / static_cast<double>(until - first_);
+  }
+
+  std::int64_t max() const { return max_; }
+  std::int64_t current() const { return value_; }
+  Time duration() const { return started_ ? last_ - first_ : 0; }
+  bool empty() const { return !started_; }
+
+ private:
+  bool started_ = false;
+  Time first_ = 0;
+  Time last_ = 0;
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+  double weighted_sum_ = 0;  ///< integral of value over [first_, last_]
+};
+
+/// Named metric store.  References returned by the accessors are stable for
+/// the registry's lifetime (node-based map), so attach-time caching is safe.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+  OccupancySeries& occupancy(const std::string& name) {
+    return occupancies_[name];
+  }
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const LatencyHistogram* find_histogram(const std::string& name) const;
+  const OccupancySeries* find_occupancy(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, OccupancySeries>& occupancies() const {
+    return occupancies_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, OccupancySeries> occupancies_;
+};
+
+}  // namespace qos

@@ -1,0 +1,250 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qos {
+
+namespace {
+
+ClassReport summarize(const LatencyHistogram& h, std::uint64_t within_delta) {
+  ClassReport r;
+  r.count = h.count();
+  if (h.empty()) return r;
+  r.mean_us = h.mean_us();
+  r.p50 = h.quantile(0.50);
+  r.p90 = h.quantile(0.90);
+  r.p99 = h.quantile(0.99);
+  r.p999 = h.quantile(0.999);
+  r.max = h.max();
+  r.fraction_within_delta =
+      static_cast<double>(within_delta) / static_cast<double>(r.count);
+  return r;
+}
+
+std::string format_line(const char* name, const ClassReport& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-9s n=%-7llu mean=%.1fms p50=%.1fms p90=%.1fms p99=%.1fms "
+                "p99.9=%.1fms max=%.1fms within-delta=%.1f%%\n",
+                name, static_cast<unsigned long long>(c.count),
+                c.mean_us / 1e3, to_ms(c.p50), to_ms(c.p90), to_ms(c.p99),
+                to_ms(c.p999), to_ms(c.max), 100 * c.fraction_within_delta);
+  return buf;
+}
+
+void append_class_csv(std::string& out, const char* name,
+                      const ClassReport& c) {
+  char buf[240];
+  std::snprintf(buf, sizeof(buf),
+                "%s,count,%llu\n%s,mean_us,%.3f\n%s,p50_us,%lld\n"
+                "%s,p90_us,%lld\n%s,p99_us,%lld\n%s,p999_us,%lld\n"
+                "%s,max_us,%lld\n%s,fraction_within_delta,%.6f\n",
+                name, static_cast<unsigned long long>(c.count), name,
+                c.mean_us, name, static_cast<long long>(c.p50), name,
+                static_cast<long long>(c.p90), name,
+                static_cast<long long>(c.p99), name,
+                static_cast<long long>(c.p999), name,
+                static_cast<long long>(c.max), name, c.fraction_within_delta);
+  out += buf;
+}
+
+void append_class_json(std::string& out, const char* name,
+                       const ClassReport& c, bool trailing_comma) {
+  char buf[280];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\"count\": %llu, \"mean_us\": %.3f, \"p50_us\": %lld, "
+      "\"p90_us\": %lld, \"p99_us\": %lld, \"p999_us\": %lld, "
+      "\"max_us\": %lld, \"fraction_within_delta\": %.6f}%s\n",
+      name, static_cast<unsigned long long>(c.count), c.mean_us,
+      static_cast<long long>(c.p50), static_cast<long long>(c.p90),
+      static_cast<long long>(c.p99), static_cast<long long>(c.p999),
+      static_cast<long long>(c.max), c.fraction_within_delta,
+      trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+ShapingReport build_shaping_report(const SimResult& sim, Time delta,
+                                   const MetricRegistry* registry) {
+  QOS_EXPECTS(delta > 0);
+  ShapingReport report;
+  report.delta = delta;
+
+  LatencyHistogram all, primary, overflow;
+  std::uint64_t within_all = 0, within_primary = 0, within_overflow = 0;
+  std::uint64_t primary_count = 0;
+  for (const auto& c : sim.completions) {
+    const Time rt = c.response_time();
+    all.record(rt);
+    const bool within = rt <= delta;
+    within_all += within;
+    if (c.klass == ServiceClass::kPrimary) {
+      primary.record(rt);
+      within_primary += within;
+      ++primary_count;
+    } else {
+      overflow.record(rt);
+      within_overflow += within;
+    }
+  }
+  report.all = summarize(all, within_all);
+  report.primary = summarize(primary, within_primary);
+  report.overflow = summarize(overflow, within_overflow);
+
+  // Miss runs are over *arrival* order: sort completion indices by seq.
+  std::vector<const CompletionRecord*> by_seq;
+  by_seq.reserve(sim.completions.size());
+  for (const auto& c : sim.completions) by_seq.push_back(&c);
+  std::sort(by_seq.begin(), by_seq.end(),
+            [](const CompletionRecord* a, const CompletionRecord* b) {
+              return a->seq < b->seq;
+            });
+  std::uint64_t run = 0;
+  auto close_run = [&report](std::uint64_t& r) {
+    if (r == 0) return;
+    if (report.miss_run_lengths.size() < r)
+      report.miss_run_lengths.resize(r, 0);
+    ++report.miss_run_lengths[r - 1];
+    r = 0;
+  };
+  for (const CompletionRecord* c : by_seq) {
+    if (c->response_time() > delta) {
+      ++run;
+      ++report.deadline_misses;
+    } else {
+      close_run(run);
+    }
+  }
+  close_run(run);
+
+  report.admitted = primary_count;
+  report.rejected = report.all.count - primary_count;
+  if (registry != nullptr) {
+    if (const Counter* c = registry->find_counter("rtt.admitted"))
+      report.admitted = c->value();
+    if (const Counter* c = registry->find_counter("rtt.rejected"))
+      report.rejected = c->value();
+    if (const OccupancySeries* s = registry->find_occupancy("q1.occupancy")) {
+      report.q1_occupancy = {s->mean(), s->max(), !s->empty()};
+    }
+    if (const OccupancySeries* s = registry->find_occupancy("q2.occupancy")) {
+      report.q2_occupancy = {s->mean(), s->max(), !s->empty()};
+    }
+  }
+  return report;
+}
+
+std::string ShapingReport::to_string() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ShapingReport (delta = %.1f ms)\n", to_ms(delta));
+  out += buf;
+  out += format_line("all", all);
+  out += format_line("primary", primary);
+  out += format_line("overflow", overflow);
+  std::snprintf(buf, sizeof(buf),
+                "rtt       admitted=%llu rejected=%llu\n",
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(rejected));
+  out += buf;
+  if (q1_occupancy.tracked || q2_occupancy.tracked) {
+    std::snprintf(buf, sizeof(buf),
+                  "occupancy Q1 mean=%.2f max=%lld | Q2 mean=%.2f max=%lld\n",
+                  q1_occupancy.mean,
+                  static_cast<long long>(q1_occupancy.max), q2_occupancy.mean,
+                  static_cast<long long>(q2_occupancy.max));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "misses    total=%llu max-run=%llu runs:",
+                static_cast<unsigned long long>(deadline_misses),
+                static_cast<unsigned long long>(max_miss_run()));
+  out += buf;
+  if (miss_run_lengths.empty()) out += " none";
+  for (std::size_t k = 0; k < miss_run_lengths.size(); ++k) {
+    if (miss_run_lengths[k] == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %zux%llu", k + 1,
+                  static_cast<unsigned long long>(miss_run_lengths[k]));
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string ShapingReport::to_csv() const {
+  std::string out = "section,key,value\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "config,delta_us,%lld\n",
+                static_cast<long long>(delta));
+  out += buf;
+  append_class_csv(out, "all", all);
+  append_class_csv(out, "primary", primary);
+  append_class_csv(out, "overflow", overflow);
+  std::snprintf(buf, sizeof(buf), "rtt,admitted,%llu\nrtt,rejected,%llu\n",
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(rejected));
+  out += buf;
+  auto occ = [&out](const char* name, const OccupancyReport& o) {
+    if (!o.tracked) return;
+    char b[96];
+    std::snprintf(b, sizeof(b), "%s,mean,%.4f\n%s,max,%lld\n", name, o.mean,
+                  name, static_cast<long long>(o.max));
+    out += b;
+  };
+  occ("q1_occupancy", q1_occupancy);
+  occ("q2_occupancy", q2_occupancy);
+  std::snprintf(buf, sizeof(buf), "misses,total,%llu\n",
+                static_cast<unsigned long long>(deadline_misses));
+  out += buf;
+  for (std::size_t k = 0; k < miss_run_lengths.size(); ++k) {
+    if (miss_run_lengths[k] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "miss_run,%zu,%llu\n", k + 1,
+                  static_cast<unsigned long long>(miss_run_lengths[k]));
+    out += buf;
+  }
+  return out;
+}
+
+std::string ShapingReport::to_json() const {
+  std::string out = "{\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  \"delta_us\": %lld,\n",
+                static_cast<long long>(delta));
+  out += buf;
+  append_class_json(out, "all", all, true);
+  append_class_json(out, "primary", primary, true);
+  append_class_json(out, "overflow", overflow, true);
+  std::snprintf(buf, sizeof(buf),
+                "  \"rtt\": {\"admitted\": %llu, \"rejected\": %llu},\n",
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(rejected));
+  out += buf;
+  auto occ = [&out](const char* name, const OccupancyReport& o,
+                    bool comma) {
+    char b[160];
+    std::snprintf(b, sizeof(b),
+                  "  \"%s\": {\"tracked\": %s, \"mean\": %.4f, "
+                  "\"max\": %lld}%s\n",
+                  name, o.tracked ? "true" : "false", o.mean,
+                  static_cast<long long>(o.max), comma ? "," : "");
+    out += b;
+  };
+  occ("q1_occupancy", q1_occupancy, true);
+  occ("q2_occupancy", q2_occupancy, true);
+  std::snprintf(buf, sizeof(buf), "  \"deadline_misses\": %llu,\n",
+                static_cast<unsigned long long>(deadline_misses));
+  out += buf;
+  out += "  \"miss_run_lengths\": [";
+  for (std::size_t k = 0; k < miss_run_lengths.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += std::to_string(miss_run_lengths[k]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace qos

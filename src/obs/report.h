@@ -1,0 +1,67 @@
+// ShapingReport — the pipeline's internal dynamics, summarised.
+//
+// Everything the paper's figures reason about in one value object: per-class
+// response-time distributions (p50/p90/p99/p99.9/max via LatencyHistogram),
+// time-weighted Q1/Q2 occupancy, RTT admit/reject totals, and the
+// deadline-miss *run-length* distribution (how many consecutive requests, in
+// arrival order, missed delta — the "burst of misses" the paper's shaping is
+// designed to prevent).  Built from a SimResult plus, when one was attached,
+// the MetricRegistry the schedulers populated during the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct ClassReport {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  Time p50 = 0, p90 = 0, p99 = 0, p999 = 0, max = 0;
+  double fraction_within_delta = 1.0;
+};
+
+struct OccupancyReport {
+  double mean = 0;       ///< time-weighted mean queue depth
+  std::int64_t max = 0;  ///< peak queue depth
+  bool tracked = false;  ///< false when no registry was attached
+};
+
+struct ShapingReport {
+  Time delta = 0;  ///< deadline the miss statistics are measured against
+
+  ClassReport all, primary, overflow;
+  OccupancyReport q1_occupancy, q2_occupancy;
+
+  /// RTT decisions (from the registry when attached, else from completion
+  /// classes — the two must agree, which tests assert).
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+
+  /// miss_run_lengths[k] = number of maximal runs of exactly k+1 consecutive
+  /// requests (arrival order) whose response time exceeded delta.
+  std::vector<std::uint64_t> miss_run_lengths;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t max_miss_run() const {
+    return static_cast<std::uint64_t>(miss_run_lengths.size());
+  }
+
+  std::string to_string() const;  ///< human-readable multi-line summary
+  std::string to_csv() const;     ///< one "section,key,value" row per stat
+  std::string to_json() const;
+};
+
+/// Summarise `sim` against deadline `delta`.  When `registry` carries the
+/// facade's standard metrics ("rtt.admitted", "rtt.rejected",
+/// "q1.occupancy", "q2.occupancy") they are folded in; otherwise admit /
+/// reject totals fall back to completion classes and occupancy is marked
+/// untracked.
+ShapingReport build_shaping_report(const SimResult& sim, Time delta,
+                                   const MetricRegistry* registry = nullptr);
+
+}  // namespace qos

@@ -1,0 +1,89 @@
+// EventSink — where pipeline events go — and Probe, the hot-path guard.
+//
+// Instrumented code holds a `Probe` (a nullable sink pointer).  When no sink
+// is attached the probe is falsy and the emission site skips even building
+// the Event, so a disabled pipeline pays exactly one predictable branch per
+// hook.  Sinks are synchronous and single-threaded, matching the simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace qos {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+/// Swallows everything.  Attaching a NullSink is equivalent to attaching
+/// nothing except that `Probe::enabled()` stays true — useful for measuring
+/// emission overhead in isolation.
+class NullSink final : public EventSink {
+ public:
+  void on_event(const Event&) override {}
+};
+
+/// Counts events per kind without storing them: O(1) memory.
+class CountingSink : public EventSink {
+ public:
+  void on_event(const Event& e) override {
+    ++counts_[static_cast<std::size_t>(e.kind)];
+  }
+
+  std::uint64_t count(EventKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+ private:
+  std::array<std::uint64_t, kEventKindCount> counts_{};
+};
+
+/// Stores the full event stream (plus per-kind counts) for later inspection
+/// or export.  Memory is proportional to the event count — fine for traces,
+/// not for unbounded production runs.
+class RecordingSink final : public CountingSink {
+ public:
+  void on_event(const Event& e) override {
+    CountingSink::on_event(e);
+    events_.push_back(e);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Hot-path guard: instrumentation sites write
+///
+///   if (probe_) probe_.emit({.time = now, ...});
+///
+/// so that with no sink attached the Event is never even constructed.
+class Probe {
+ public:
+  Probe() = default;
+  explicit Probe(EventSink* sink) : sink_(sink) {}
+
+  explicit operator bool() const { return sink_ != nullptr; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  void emit(const Event& e) const {
+    if (sink_ != nullptr) sink_->on_event(e);
+  }
+
+ private:
+  EventSink* sink_ = nullptr;
+};
+
+}  // namespace qos

@@ -18,9 +18,21 @@
 
 namespace qos {
 
+class EventSink;
+class MetricRegistry;
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
+
+  /// Attach observability before the run.  Either pointer may be null; a
+  /// scheduler must keep its hot path to a single predictable branch per
+  /// hook when nothing is attached.  Default: not instrumented.
+  virtual void attach_observability(EventSink* sink,
+                                    MetricRegistry* registry) {
+    (void)sink;
+    (void)registry;
+  }
 
   /// Number of physical servers this policy drives (1 for everything except
   /// Split, which uses a dedicated overflow server).

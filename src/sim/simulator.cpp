@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/sink.h"
 #include "util/check.h"
 
 namespace qos {
@@ -31,10 +32,11 @@ struct InService {
 }  // namespace
 
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
-                   std::span<Server* const> servers) {
+                   std::span<Server* const> servers, EventSink* sink) {
   QOS_EXPECTS(static_cast<int>(servers.size()) == scheduler.server_count());
   QOS_EXPECTS(!servers.empty());
 
+  const Probe probe(sink);
   SimResult result;
   result.completions.reserve(trace.size());
 
@@ -64,6 +66,15 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
             .klass = d->klass,
             .server = static_cast<std::uint8_t>(s),
         };
+        if (probe) {
+          probe.emit({.time = now,
+                      .seq = d->request.seq,
+                      .a = now - d->request.arrival,
+                      .client = d->request.client,
+                      .kind = EventKind::kDispatch,
+                      .klass = d->klass,
+                      .server = static_cast<std::uint8_t>(s)});
+        }
         progress = true;
       }
     }
@@ -87,6 +98,15 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
         if (!slot[s].busy || slot[s].record.finish != now) continue;
         slot[s].busy = false;
         result.completions.push_back(slot[s].record);
+        if (probe) {
+          probe.emit({.time = now,
+                      .seq = slot[s].record.seq,
+                      .a = slot[s].record.response_time(),
+                      .client = slot[s].record.client,
+                      .kind = EventKind::kCompletion,
+                      .klass = slot[s].record.klass,
+                      .server = static_cast<std::uint8_t>(s)});
+        }
         scheduler.on_complete(
             Request{.arrival = slot[s].record.arrival,
                     .seq = slot[s].record.seq,
@@ -98,6 +118,12 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     // Then all arrivals at `now`.
     while (next_arrival < trace.size() &&
            trace[next_arrival].arrival == now) {
+      if (probe) {
+        probe.emit({.time = now,
+                    .seq = trace[next_arrival].seq,
+                    .client = trace[next_arrival].client,
+                    .kind = EventKind::kArrival});
+      }
       scheduler.on_arrival(trace[next_arrival], now);
       ++next_arrival;
     }
@@ -112,9 +138,10 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
   return result;
 }
 
-SimResult simulate(const Trace& trace, Scheduler& scheduler, Server& server) {
+SimResult simulate(const Trace& trace, Scheduler& scheduler, Server& server,
+                   EventSink* sink) {
   Server* servers[] = {&server};
-  return simulate(trace, scheduler, servers);
+  return simulate(trace, scheduler, servers, sink);
 }
 
 }  // namespace qos

@@ -32,10 +32,17 @@ struct SimResult {
 /// Every request the scheduler eventually dispatches is recorded; the
 /// scheduler must not drop requests (overflow goes to Q2, not away), and the
 /// simulator checks that all requests complete.
+///
+/// When `sink` is non-null the engine emits kArrival / kDispatch /
+/// kCompletion events to it (scheduler-internal events require attaching the
+/// sink to the scheduler too, via Scheduler::attach_observability).  A null
+/// sink costs one branch per event.
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
-                   std::span<Server* const> servers);
+                   std::span<Server* const> servers,
+                   EventSink* sink = nullptr);
 
 /// Convenience overload for single-server policies.
-SimResult simulate(const Trace& trace, Scheduler& scheduler, Server& server);
+SimResult simulate(const Trace& trace, Scheduler& scheduler, Server& server,
+                   EventSink* sink = nullptr);
 
 }  // namespace qos

@@ -18,9 +18,9 @@ class ProbeScheduler final : public DecomposingScheduler {
 
   int server_count() const override { return 1; }
 
-  std::optional<Dispatch> next_for(int, Time) override {
-    if (auto d = pop_q1()) return d;
-    return pop_q2();
+  std::optional<Dispatch> next_for(int, Time now) override {
+    if (auto d = pop_q1(now)) return d;
+    return pop_q2(now);
   }
 
   std::vector<std::pair<std::uint64_t, ServiceClass>> classified;

@@ -1,0 +1,225 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/sink.h"
+
+namespace qos {
+namespace {
+
+TEST(CounterGauge, Basics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.set(1.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (Time v = 0; v < LatencyHistogram::kSubBuckets; ++v) h.record(v);
+  // Unit buckets: every quantile is an exactly recorded value.
+  EXPECT_EQ(h.quantile(0), 0);
+  EXPECT_EQ(h.quantile(0.5), 15);
+  EXPECT_EQ(h.quantile(1.0), 31);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(LatencyHistogram, BucketBoundsContainValue) {
+  for (Time v : {0, 1, 31, 32, 33, 100, 1023, 1024, 65537, 1'000'000'000}) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_LE(LatencyHistogram::bucket_lower(idx), v) << v;
+    EXPECT_LT(v, LatencyHistogram::bucket_upper(idx)) << v;
+  }
+  // Bucket boundaries tile the line: upper(i) == lower(i+1).
+  for (std::size_t i = 0; i < 400; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_upper(i),
+              LatencyHistogram::bucket_lower(i + 1))
+        << i;
+  }
+}
+
+TEST(LatencyHistogram, QuantileAccuracyWithinBucketResolution) {
+  // Deterministic pseudo-uniform values across several octaves.
+  std::vector<Time> values;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 20'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(static_cast<Time>(x % 5'000'000));  // up to 5 s in us
+  }
+  LatencyHistogram h;
+  for (Time v : values) h.record(v);
+  std::sort(values.begin(), values.end());
+
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.min(), values.front());
+  EXPECT_EQ(h.max(), values.back());
+
+  double sum = 0;
+  for (Time v : values) sum += static_cast<double>(v);
+  EXPECT_NEAR(h.mean_us(), sum / static_cast<double>(values.size()), 1e-6);
+
+  for (double p : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(values.size())));
+    const Time exact = values[rank == 0 ? 0 : rank - 1];
+    const Time approx = h.quantile(p);
+    // Reported value never under-estimates and stays within one sub-bucket
+    // (1/32 relative) of the exact order statistic.
+    EXPECT_GE(approx, exact) << p;
+    EXPECT_LE(approx - exact,
+              exact / LatencyHistogram::kSubBuckets + 1)
+        << p;
+  }
+}
+
+TEST(LatencyHistogram, EmptyAndNegative) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.max(), 0);
+  h.record(-5);  // clamped, not fatal
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(OccupancySeries, TimeWeightedMean) {
+  OccupancySeries s;
+  EXPECT_TRUE(s.empty());
+  s.update(0, 2);
+  s.update(10, 5);
+  s.update(20, 0);
+  // value 2 over [0,10), value 5 over [10,20): mean = (20 + 50) / 20.
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.max(), 5);
+  EXPECT_EQ(s.current(), 0);
+  EXPECT_EQ(s.duration(), 20);
+  // Extending to t=40 adds 20 ticks of value 0.
+  EXPECT_DOUBLE_EQ(s.mean_until(40), 70.0 / 40.0);
+}
+
+TEST(OccupancySeries, SpikesBetweenUpdatesAreWeightedByDuration) {
+  OccupancySeries s;
+  s.update(0, 0);
+  s.update(100, 1000);  // brief spike...
+  s.update(101, 0);     // ...lasting one tick
+  s.update(201, 0);
+  EXPECT_EQ(s.max(), 1000);
+  EXPECT_NEAR(s.mean(), 1000.0 / 201.0, 1e-9);
+}
+
+TEST(MetricRegistry, NamesAreStableIdentities) {
+  MetricRegistry r;
+  Counter& a = r.counter("x");
+  a.add(3);
+  // Same name, same instance — even after unrelated insertions.
+  r.counter("y").add(1);
+  r.histogram("h").record(7);
+  r.occupancy("o").update(0, 1);
+  EXPECT_EQ(&r.counter("x"), &a);
+  EXPECT_EQ(r.counter("x").value(), 3u);
+
+  EXPECT_EQ(r.find_counter("x"), &a);
+  EXPECT_EQ(r.find_counter("absent"), nullptr);
+  EXPECT_EQ(r.find_gauge("absent"), nullptr);
+  EXPECT_EQ(r.find_histogram("absent"), nullptr);
+  EXPECT_EQ(r.find_occupancy("absent"), nullptr);
+}
+
+TEST(Sinks, CountingAndRecording) {
+  RecordingSink sink;
+  Probe probe(&sink);
+  ASSERT_TRUE(probe.enabled());
+  probe.emit({.time = 5, .seq = 1, .kind = EventKind::kAdmit});
+  probe.emit({.time = 6, .seq = 2, .kind = EventKind::kReject});
+  probe.emit({.time = 7, .seq = 1, .kind = EventKind::kDispatch});
+  EXPECT_EQ(sink.count(EventKind::kAdmit), 1u);
+  EXPECT_EQ(sink.count(EventKind::kReject), 1u);
+  EXPECT_EQ(sink.count(EventKind::kCompletion), 0u);
+  EXPECT_EQ(sink.total(), 3u);
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[1].seq, 2u);
+
+  Probe disabled;
+  EXPECT_FALSE(disabled.enabled());
+  disabled.emit({.time = 1});  // must be a no-op
+}
+
+TEST(Exporters, CsvAndJsonCarryTheData) {
+  RecordingSink sink;
+  sink.on_event({.time = 42,
+                 .seq = 7,
+                 .a = 3,
+                 .client = 1,
+                 .kind = EventKind::kAdmit});
+  const std::string csv = CsvExporter::events(sink.events());
+  EXPECT_NE(csv.find("time_us,kind,seq"), std::string::npos);
+  EXPECT_NE(csv.find("42,admit,7,1,primary"), std::string::npos);
+  const std::string json = JsonExporter::events(sink.events());
+  EXPECT_NE(json.find("\"kind\": \"admit\""), std::string::npos);
+
+  MetricRegistry r;
+  r.counter("rtt.admitted").add(12);
+  r.histogram("lat").record(100);
+  r.occupancy("q").update(0, 2);
+  r.occupancy("q").update(10, 2);
+  const std::string rcsv = CsvExporter::registry(r);
+  EXPECT_NE(rcsv.find("rtt.admitted,counter,value,12"), std::string::npos);
+  EXPECT_NE(rcsv.find("lat,histogram,count"), std::string::npos);
+  EXPECT_NE(rcsv.find("q,occupancy,mean,2.0000"), std::string::npos);
+  const std::string rjson = JsonExporter::registry(r);
+  EXPECT_NE(rjson.find("\"rtt.admitted\": 12"), std::string::npos);
+}
+
+TEST(ShapingReportTest, MissRunsAndClassSplit) {
+  // Hand-built result: seq order response times (ms):
+  //   5, 15, 20, 5, 30  with delta = 10 ms
+  // -> misses at seq 1,2 (one run of 2) and seq 4 (one run of 1).
+  SimResult sim;
+  const Time rts[] = {from_ms(5), from_ms(15), from_ms(20), from_ms(5),
+                      from_ms(30)};
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    CompletionRecord c;
+    c.seq = seq;
+    c.arrival = 0;
+    c.start = 0;
+    c.finish = rts[seq];
+    c.klass = seq == 2 ? ServiceClass::kOverflow : ServiceClass::kPrimary;
+    sim.completions.push_back(c);
+  }
+  const ShapingReport report = build_shaping_report(sim, from_ms(10));
+  EXPECT_EQ(report.all.count, 5u);
+  EXPECT_EQ(report.primary.count, 4u);
+  EXPECT_EQ(report.overflow.count, 1u);
+  EXPECT_EQ(report.deadline_misses, 3u);
+  ASSERT_EQ(report.max_miss_run(), 2u);
+  EXPECT_EQ(report.miss_run_lengths[0], 1u);  // one isolated miss
+  EXPECT_EQ(report.miss_run_lengths[1], 1u);  // one run of two
+  EXPECT_DOUBLE_EQ(report.all.fraction_within_delta, 2.0 / 5.0);
+  EXPECT_EQ(report.all.max, from_ms(30));
+  // Without a registry the admit/reject totals fall back to classes.
+  EXPECT_EQ(report.admitted, 4u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_FALSE(report.q1_occupancy.tracked);
+
+  // Exports render without blowing up and carry the headline numbers.
+  EXPECT_NE(report.to_string().find("misses"), std::string::npos);
+  EXPECT_NE(report.to_csv().find("misses,total,3"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"deadline_misses\": 3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qos

@@ -1,0 +1,140 @@
+// End-to-end observability: the event stream and metric registry produced by
+// an instrumented run must reconcile exactly with the SimResult the
+// simulator returns — admits with Q1 completions, rejects with Q2, and the
+// analytic rtt_decompose replay with its own counters.
+#include <gtest/gtest.h>
+
+#include "core/rtt.h"
+#include "core/shaper.h"
+#include "disk/disk_model.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "sim/simulator.h"
+#include "trace/presets.h"
+
+namespace qos {
+namespace {
+
+class ObsReconciliationTest : public ::testing::TestWithParam<Policy> {};
+
+INSTANTIATE_TEST_SUITE_P(DecomposingPolicies, ObsReconciliationTest,
+                         ::testing::Values(Policy::kSplit, Policy::kFairQueue,
+                                           Policy::kMiser),
+                         [](const auto& info) {
+                           return policy_name(info.param);
+                         });
+
+TEST_P(ObsReconciliationTest, EventCountsMatchSimResultClassTotals) {
+  const Trace trace = preset_trace(Workload::kWebSearch, 60 * kUsPerSec);
+  MetricRegistry registry;
+  RecordingSink sink;
+  ShapingConfig config;
+  config.policy = GetParam();
+  config.fraction = 0.90;
+  config.delta = from_ms(10);
+  config.registry = &registry;
+  config.sink = &sink;
+  const ShapingOutcome out = shape_and_run(trace, config);
+
+  std::uint64_t q1 = 0, q2 = 0;
+  for (const auto& c : out.sim.completions) {
+    (c.klass == ServiceClass::kPrimary ? q1 : q2) += 1;
+  }
+
+  // RTT admit/reject events == Q1/Q2 completion totals.
+  EXPECT_EQ(sink.count(EventKind::kAdmit), q1);
+  EXPECT_EQ(sink.count(EventKind::kReject), q2);
+  // The registry counters saw the same decisions.
+  EXPECT_EQ(registry.counter("rtt.admitted").value(), q1);
+  EXPECT_EQ(registry.counter("rtt.rejected").value(), q2);
+  // Every request arrived, dispatched and completed exactly once.
+  EXPECT_EQ(sink.count(EventKind::kArrival), trace.size());
+  EXPECT_EQ(sink.count(EventKind::kDispatch), trace.size());
+  EXPECT_EQ(sink.count(EventKind::kCompletion), trace.size());
+  EXPECT_EQ(q1 + q2, trace.size());
+
+  // The report folds the same totals in.
+  EXPECT_EQ(out.report.admitted, q1);
+  EXPECT_EQ(out.report.rejected, q2);
+  EXPECT_EQ(out.report.primary.count, q1);
+  EXPECT_EQ(out.report.overflow.count, q2);
+}
+
+TEST_P(ObsReconciliationTest, OccupancyStaysWithinRttBound) {
+  const Trace trace = preset_trace(Workload::kWebSearch, 60 * kUsPerSec);
+  MetricRegistry registry;
+  ShapingConfig config;
+  config.policy = GetParam();
+  config.fraction = 0.90;
+  config.delta = from_ms(10);
+  config.registry = &registry;
+  const ShapingOutcome out = shape_and_run(trace, config);
+
+  // lenQ1 is capped by RTT at maxQ1 = floor(Cmin * delta).
+  const auto max_q1 = max_q1_slots(out.cmin_iops, config.delta);
+  const OccupancySeries& q1 = registry.occupancy("q1.occupancy");
+  ASSERT_FALSE(q1.empty());
+  EXPECT_LE(q1.max(), max_q1);
+  EXPECT_GT(q1.max(), 0);
+  EXPECT_GE(q1.mean(), 0.0);
+}
+
+TEST(ObsIntegration, MiserEmitsSlackDispatchPerOverflowService) {
+  const Trace trace = preset_trace(Workload::kOpenMail, 30 * kUsPerSec);
+  MetricRegistry registry;
+  RecordingSink sink;
+  ShapingConfig config;
+  config.policy = Policy::kMiser;
+  config.fraction = 0.90;
+  config.delta = from_ms(10);
+  config.registry = &registry;
+  config.sink = &sink;
+  const ShapingOutcome out = shape_and_run(trace, config);
+
+  std::uint64_t q2 = 0;
+  for (const auto& c : out.sim.completions)
+    q2 += c.klass == ServiceClass::kOverflow;
+  // Every overflow service was funded by a slack decision, and each carried
+  // the minimum primary slack at that instant (>= 1 whenever Q1 was backlogged).
+  EXPECT_EQ(sink.count(EventKind::kSlackDispatch), q2);
+  EXPECT_EQ(registry.histogram("miser.dispatch_slack").count(), q2);
+  for (const Event& e : sink.events()) {
+    if (e.kind == EventKind::kSlackDispatch) {
+      EXPECT_GE(e.a, 1);
+    }
+  }
+}
+
+TEST(ObsIntegration, RttDecomposeFillsRegistry) {
+  const Trace trace = preset_trace(Workload::kFinTrans, 60 * kUsPerSec);
+  MetricRegistry registry;
+  const Decomposition d =
+      rtt_decompose(trace, 200.0, from_ms(10), &registry);
+  EXPECT_EQ(registry.counter("rtt.admitted").value(),
+            static_cast<std::uint64_t>(d.admitted));
+  EXPECT_EQ(registry.counter("rtt.rejected").value(),
+            static_cast<std::uint64_t>(d.dropped()));
+  const OccupancySeries& q1 = registry.occupancy("q1.occupancy");
+  EXPECT_LE(q1.max(), max_q1_slots(200.0, from_ms(10)));
+}
+
+TEST(ObsIntegration, DiskModelReportsServiceBreakdown) {
+  MetricRegistry registry;
+  RecordingSink sink;
+  DiskModel model;
+  model.attach_observability(&sink, &registry);
+  Request r;
+  r.lba = 123'456'789;
+  r.size_blocks = 8;
+  const Time total = model.service_time(r, 0);
+  ASSERT_EQ(sink.events().size(), 1u);
+  const Event& e = sink.events().front();
+  EXPECT_EQ(e.kind, EventKind::kDiskService);
+  EXPECT_EQ(e.a + e.b + e.c, total);  // seek + rotation + transfer
+  EXPECT_EQ(registry.histogram("disk.seek_us").count(), 1u);
+  EXPECT_EQ(registry.histogram("disk.rotation_us").count(), 1u);
+  EXPECT_EQ(registry.histogram("disk.transfer_us").count(), 1u);
+}
+
+}  // namespace
+}  // namespace qos

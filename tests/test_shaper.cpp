@@ -95,10 +95,67 @@ TEST(Shaper, ShapedMeetsTargetFraction) {
 }
 
 TEST(Shaper, MakeSchedulerProducesDistinctTypes) {
-  auto fcfs = make_scheduler(Policy::kFcfs, 100, from_ms(10), 20);
-  auto split = make_scheduler(Policy::kSplit, 100, from_ms(10), 20);
+  ShapingConfig config;
+  config.delta = from_ms(10);
+  config.headroom_override_iops = 20;
+  config.policy = Policy::kFcfs;
+  auto fcfs = make_scheduler(config, 100);
+  config.policy = Policy::kSplit;
+  auto split = make_scheduler(config, 100);
   EXPECT_EQ(fcfs->server_count(), 1);
   EXPECT_EQ(split->server_count(), 2);
+}
+
+TEST(Shaper, DeprecatedMakeSchedulerStillWorks) {
+  // The positional signature must keep building the same policies until
+  // callers are gone.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto split = make_scheduler(Policy::kSplit, 100, from_ms(10), 20);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(split->server_count(), 2);
+}
+
+TEST(Shaper, ObservedRunBuildsReportAndReconciles) {
+  Trace t = bursty_trace(137);
+  MetricRegistry registry;
+  RecordingSink sink;
+  ShapingConfig config;
+  config.fraction = 0.9;
+  config.delta = from_ms(10);
+  config.policy = Policy::kMiser;
+  config.registry = &registry;
+  config.sink = &sink;
+  ShapingOutcome out = shape_and_run(t, config);
+
+  // Report totals match the simulation.
+  EXPECT_EQ(out.report.all.count, out.sim.completions.size());
+  EXPECT_EQ(out.report.admitted + out.report.rejected,
+            out.sim.completions.size());
+  EXPECT_EQ(out.report.primary.count + out.report.overflow.count,
+            out.report.all.count);
+  EXPECT_TRUE(out.report.q1_occupancy.tracked);
+
+  // Sink events reconcile with the registry and the completions.
+  EXPECT_EQ(sink.count(EventKind::kAdmit),
+            registry.counter("rtt.admitted").value());
+  EXPECT_EQ(sink.count(EventKind::kReject),
+            registry.counter("rtt.rejected").value());
+  EXPECT_EQ(sink.count(EventKind::kArrival), t.size());
+  EXPECT_EQ(sink.count(EventKind::kCompletion), out.sim.completions.size());
+  EXPECT_EQ(sink.count(EventKind::kDispatch), out.sim.completions.size());
+}
+
+TEST(Shaper, UnobservedRunSkipsReport) {
+  Trace t = bursty_trace(139);
+  ShapingConfig config;
+  config.fraction = 0.9;
+  config.delta = from_ms(10);
+  ShapingOutcome out = shape_and_run(t, config);
+  EXPECT_EQ(out.report.all.count, 0u);  // not built without registry/sink
+  // But one can always be derived after the fact.
+  ShapingReport report = build_shaping_report(out.sim, config.delta);
+  EXPECT_EQ(report.all.count, out.sim.completions.size());
 }
 
 }  // namespace

@@ -21,7 +21,15 @@ int main(int argc, char** argv) {
   Trace trace;
   if (argc > 1) {
     std::printf("loading SPC trace %s\n", argv[1]);
-    trace = load_spc_file(argv[1]);
+    std::size_t skipped = 0;
+    auto loaded = try_load_spc_file(argv[1], &skipped);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    if (skipped > 0)
+      std::printf("skipped %zu malformed line(s)\n", skipped);
+    trace = *std::move(loaded);
   } else {
     std::printf("no trace given; using the OpenMail preset (pass an SPC "
                 "file to inspect your own)\n");

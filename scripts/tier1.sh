@@ -13,7 +13,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 echo "== tier-1: plain build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$jobs"
-ctest --test-dir build --output-on-failure -j"$jobs"
+ctest --test-dir build --output-on-failure --timeout 120 -j"$jobs"
 
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0
@@ -22,4 +22,4 @@ fi
 echo "== tier-1: ASan+UBSan build + ctest (tests only) =="
 cmake -B build-asan -S . -DQOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$jobs"
-ctest --test-dir build-asan --output-on-failure -j"$jobs"
+ctest --test-dir build-asan --output-on-failure --timeout 300 -j"$jobs"

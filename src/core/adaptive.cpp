@@ -32,9 +32,7 @@ void OnlineCapacityEstimator::reprofile(Time now) {
   last_raw_ =
       min_capacity(Trace(std::move(reqs)), config_.fraction, config_.delta)
           .cmin_iops;
-  const double gain =
-      last_raw_ > smoothed_ ? config_.rise_gain : config_.decay_gain;
-  smoothed_ += gain * (last_raw_ - smoothed_);
+  smoothed_.observe(last_raw_);
 }
 
 }  // namespace qos

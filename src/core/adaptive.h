@@ -18,6 +18,39 @@
 
 namespace qos {
 
+/// EWMA with direction-dependent gain — the rise/decay idiom shared by the
+/// online capacity estimator here (follow load up fast, release slowly) and
+/// the fault-path capacity monitor (follow a capacity *drop* fast, trust a
+/// recovery slowly).  Which direction gets the fast gain is the caller's
+/// choice of constructor arguments.
+class AsymmetricEwma {
+ public:
+  /// `up_gain` applies when a raw sample exceeds the current value,
+  /// `down_gain` when it is below.  Both in (0, 1].
+  AsymmetricEwma(double up_gain, double down_gain)
+      : up_gain_(up_gain), down_gain_(down_gain) {
+    QOS_EXPECTS(up_gain > 0 && up_gain <= 1);
+    QOS_EXPECTS(down_gain > 0 && down_gain <= 1);
+  }
+
+  /// Fold in one raw sample; returns the new smoothed value.
+  double observe(double raw) {
+    const double gain = raw > value_ ? up_gain_ : down_gain_;
+    value_ += gain * (raw - value_);
+    return value_;
+  }
+
+  /// Restart the series from `v` (e.g. a known nominal value).
+  void reset(double v) { value_ = v; }
+
+  double value() const { return value_; }
+
+ private:
+  double up_gain_;
+  double down_gain_;
+  double value_ = 0;
+};
+
 struct AdaptiveConfig {
   double fraction = 0.90;
   Time delta = from_ms(10);
@@ -29,12 +62,11 @@ struct AdaptiveConfig {
 
 class OnlineCapacityEstimator {
  public:
-  explicit OnlineCapacityEstimator(AdaptiveConfig config) : config_(config) {
+  explicit OnlineCapacityEstimator(AdaptiveConfig config)
+      : config_(config), smoothed_(config.rise_gain, config.decay_gain) {
     QOS_EXPECTS(config.window > 0);
     QOS_EXPECTS(config.reprofile_interval > 0);
     QOS_EXPECTS(config.fraction >= 0 && config.fraction <= 1);
-    QOS_EXPECTS(config.rise_gain > 0 && config.rise_gain <= 1);
-    QOS_EXPECTS(config.decay_gain > 0 && config.decay_gain <= 1);
   }
 
   /// Feed one arrival (non-decreasing times).  Returns true when this call
@@ -42,7 +74,7 @@ class OnlineCapacityEstimator {
   bool observe(Time arrival);
 
   /// Current smoothed capacity estimate (IOPS); 0 until first re-profile.
-  double capacity_iops() const { return smoothed_; }
+  double capacity_iops() const { return smoothed_.value(); }
 
   /// Last raw (unsmoothed) window measurement.
   double last_window_iops() const { return last_raw_; }
@@ -59,7 +91,7 @@ class OnlineCapacityEstimator {
   std::deque<Time> window_;
   Time last_arrival_ = -1;
   Time next_reprofile_ = 0;
-  double smoothed_ = 0;
+  AsymmetricEwma smoothed_;
   double last_raw_ = 0;
   int reprofiles_ = 0;
 };

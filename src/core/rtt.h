@@ -42,6 +42,16 @@ class RttAdmission {
 
   std::int64_t max_q1() const { return max_q1_; }
 
+  /// Re-tighten (or relax) the bound to `max_q1` slots, e.g. when a
+  /// capacity monitor observes the server delivering Ĉ < C and the Q1
+  /// guarantee only holds for maxQ1 = Ĉ·δ (see fault/degraded_rtt.h).
+  /// Already-admitted requests are unaffected; only future admits see the
+  /// new bound.
+  void set_max_q1(std::int64_t max_q1) {
+    QOS_EXPECTS(max_q1 >= 0);
+    max_q1_ = max_q1;
+  }
+
  private:
   std::int64_t max_q1_;
 };

@@ -64,15 +64,19 @@ ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config) {
 
   auto scheduler = make_scheduler(config, out.cmin_iops);
 
+  auto decorated = [&](Server* s, int index) {
+    return config.server_decorator ? config.server_decorator(s, index) : s;
+  };
   if (config.policy == Policy::kSplit) {
     ConstantRateServer primary(out.cmin_iops);
     ConstantRateServer overflow(out.headroom_iops > 0 ? out.headroom_iops
                                                       : 1.0);
-    Server* servers[] = {&primary, &overflow};
+    Server* servers[] = {decorated(&primary, 0), decorated(&overflow, 1)};
     out.sim = simulate(trace, *scheduler, servers, config.sink);
   } else {
     ConstantRateServer server(out.total_iops());
-    out.sim = simulate(trace, *scheduler, server, config.sink);
+    Server* servers[] = {decorated(&server, 0)};
+    out.sim = simulate(trace, *scheduler, servers, config.sink);
   }
   if (config.observed())
     out.report = build_shaping_report(out.sim, config.delta, config.registry);

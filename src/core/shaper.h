@@ -13,6 +13,7 @@
 // and no report is built.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -48,6 +49,13 @@ struct ShapingConfig {
   /// either enables instrumentation and report building.
   MetricRegistry* registry = nullptr;
   EventSink* sink = nullptr;
+
+  /// Optional decorator applied to each backing server just before the run
+  /// — the hook fault injection uses to interpose a FaultyServer without
+  /// the facade depending on the fault layer.  Called once per server with
+  /// (server, server index); the returned server is used for the run and
+  /// anything it wraps or allocates must outlive it (the caller owns it).
+  std::function<Server*(Server*, int)> server_decorator;
 
   /// The headroom this config resolves to: the override when set, else the
   /// paper's dC = 1/delta.

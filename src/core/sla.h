@@ -23,6 +23,11 @@ namespace qos {
 struct SlaTier {
   double fraction = 0.9;
   Time delta = from_ms(10);
+
+  /// True when a response time satisfies this tier's bound.  The single
+  /// definition shared by the offline audit and the live breach detector
+  /// (fault/sla_breach.h) so "within delta" can never drift between them.
+  bool within(Time response_time) const { return response_time <= delta; }
 };
 
 /// A graduated SLA: ordered tiers, tightest first, with an implicit final

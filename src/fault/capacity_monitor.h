@@ -1,0 +1,99 @@
+// CapacityMonitor — estimates the IOPS a server is actually delivering.
+//
+// Demand-independent: instead of counting completions per wall-clock second
+// (which collapses when the queue is empty), the monitor averages *service
+// durations* over a sliding window of recent completions.  For a server
+// delivering rate R every service occupies ~1/R, so 1/mean(duration) tracks
+// delivered capacity whether the queue is deep or shallow — it only needs
+// traffic, not saturation.
+//
+// The raw windowed estimate is smoothed with the asymmetric-EWMA idiom from
+// core/adaptive.h, with the gains flipped: a capacity *drop* is followed
+// fast (the Q1 guarantee is already in danger) while a recovery is trusted
+// slowly (a brownout often flickers before it clears).
+#pragma once
+
+#include <deque>
+
+#include "core/adaptive.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct CapacityMonitorConfig {
+  Time window = kUsPerSec / 2;  ///< completion window for the raw estimate
+  double tighten_gain = 0.8;    ///< EWMA gain when the estimate falls
+  double relax_gain = 0.1;      ///< EWMA gain when it recovers
+  std::size_t min_samples = 8;  ///< below this, report the reference rate
+};
+
+class CapacityMonitor {
+ public:
+  /// `reference_iops` is the rate the server is provisioned to deliver; the
+  /// estimate starts there and is reported until enough samples arrive.
+  CapacityMonitor(double reference_iops, CapacityMonitorConfig config = {})
+      : config_(config),
+        reference_(reference_iops),
+        smoothed_(config.relax_gain, config.tighten_gain) {
+    QOS_EXPECTS(reference_iops > 0);
+    QOS_EXPECTS(config.window > 0);
+    QOS_EXPECTS(config.min_samples > 0);
+    smoothed_.reset(reference_iops);
+  }
+
+  /// Record one completed service: occupied the server for `duration`
+  /// ending at `finish`.  Calls must have non-decreasing `finish`.
+  void on_service(Time finish, Time duration) {
+    QOS_EXPECTS(duration > 0);
+    QOS_EXPECTS(samples_.empty() || finish >= samples_.back().finish);
+    samples_.push_back({finish, duration});
+    duration_sum_ += duration;
+    evict(finish);
+    const double raw = raw_estimate();
+    if (raw > 0) smoothed_.observe(raw);
+  }
+
+  /// Current smoothed delivered-capacity estimate (IOPS).
+  double estimate_iops() const { return smoothed_.value(); }
+
+  /// Unsmoothed window estimate; `reference_iops` until min_samples seen.
+  double raw_estimate() const {
+    if (samples_.size() < config_.min_samples || duration_sum_ <= 0)
+      return reference_;
+    const double mean_duration_sec =
+        to_sec(duration_sum_) / static_cast<double>(samples_.size());
+    return 1.0 / mean_duration_sec;
+  }
+
+  /// estimate / reference, clamped to [0, 1]: the fraction of provisioned
+  /// capacity currently believed delivered.
+  double health() const {
+    const double h = smoothed_.value() / reference_;
+    return h < 0 ? 0 : (h > 1 ? 1 : h);
+  }
+
+  double reference_iops() const { return reference_; }
+  std::size_t window_size() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    Time finish = 0;
+    Time duration = 0;
+  };
+
+  void evict(Time now) {
+    while (!samples_.empty() && samples_.front().finish < now - config_.window) {
+      duration_sum_ -= samples_.front().duration;
+      samples_.pop_front();
+    }
+  }
+
+  CapacityMonitorConfig config_;
+  double reference_;
+  std::deque<Sample> samples_;
+  Time duration_sum_ = 0;
+  AsymmetricEwma smoothed_;  ///< up = relax (slow), down = tighten (fast)
+};
+
+}  // namespace qos

@@ -1,0 +1,102 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/capacity.h"
+#include "fault/degraded_scheduler.h"
+#include "fault/faulty_server.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace qos {
+
+namespace {
+
+void fill_degradation_metrics(const ChaosConfig& config, ChaosOutcome& out) {
+  const ShapingReport& report = out.shaping.report;
+  out.q1_miss_fraction = 1.0 - report.primary.fraction_within_delta;
+  const std::size_t total = out.shaping.sim.completions.size();
+  out.demotion_rate =
+      total == 0 ? 0.0
+                 : static_cast<double>(out.demotions) /
+                       static_cast<double>(total);
+
+  // Recovery: the last Q1 deadline miss finishing after the final fault
+  // window closed bounds how long degraded service lingered.  Without any
+  // fault there is nothing to recover from — tail misses are plain
+  // overload, not lingering degradation.
+  if (config.faults.empty()) {
+    out.time_to_recover = 0;
+    return;
+  }
+  const Time fault_end = config.faults.horizon();
+  Time last_miss_finish = 0;
+  for (const CompletionRecord& c : out.shaping.sim.completions) {
+    if (c.klass != ServiceClass::kPrimary) continue;
+    if (c.finish <= fault_end) continue;
+    if (c.response_time() > config.shaping.delta)
+      last_miss_finish = std::max(last_miss_finish, c.finish);
+  }
+  out.time_to_recover =
+      last_miss_finish > fault_end ? last_miss_finish - fault_end : 0;
+}
+
+ChaosOutcome run_degraded(const Trace& trace, const ChaosConfig& config) {
+  const ShapingConfig& shaping = config.shaping;
+  ChaosOutcome out;
+  out.shaping.cmin_iops =
+      shaping.capacity_override_iops > 0
+          ? shaping.capacity_override_iops
+          : min_capacity(trace, shaping.fraction, shaping.delta).cmin_iops;
+  out.shaping.headroom_iops = shaping.resolved_headroom_iops();
+
+  DegradedRttScheduler scheduler(out.shaping.cmin_iops, shaping.delta,
+                                 out.shaping.total_iops(), config.degraded);
+  scheduler.attach_observability(shaping.sink, shaping.registry);
+
+  ConstantRateServer server(out.shaping.total_iops());
+  FaultyServer faulty(server, config.faults);
+  Server* servers[] = {&faulty};
+  out.shaping.sim = simulate(trace, scheduler, servers, shaping.sink);
+  faulty.flush_events(out.shaping.sim.makespan());
+
+  out.shaping.report = build_shaping_report(out.shaping.sim, shaping.delta,
+                                            shaping.registry);
+  out.demotions = scheduler.demotions();
+  fill_degradation_metrics(config, out);
+  return out;
+}
+
+}  // namespace
+
+ChaosOutcome run_chaos(const Trace& trace, const ChaosConfig& config) {
+  QOS_EXPECTS(config.faults.validate());
+  if (config.use_degraded_admission) return run_degraded(trace, config);
+
+  // Standard policies ride through shape_and_run, with the fault layer
+  // interposed via the server-decorator hook.  One FaultyServer per backing
+  // server, each with its own copy of the schedule (servers track window
+  // announcements independently).
+  std::vector<std::unique_ptr<FaultyServer>> faulty;
+  ShapingConfig shaping = config.shaping;
+  shaping.server_decorator = [&](Server* s, int) -> Server* {
+    faulty.push_back(std::make_unique<FaultyServer>(*s, config.faults));
+    return faulty.back().get();
+  };
+
+  ChaosOutcome out;
+  out.shaping = shape_and_run(trace, shaping);
+  const Time makespan = out.shaping.sim.makespan();
+  for (auto& f : faulty) f->flush_events(makespan);
+  if (!shaping.observed()) {
+    out.shaping.report = build_shaping_report(out.shaping.sim, shaping.delta,
+                                              shaping.registry);
+  }
+  fill_degradation_metrics(config, out);
+  return out;
+}
+
+}  // namespace qos

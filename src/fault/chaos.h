@@ -1,0 +1,52 @@
+// Chaos harness — run any shaping configuration under a fault schedule and
+// measure how gracefully it degrades.
+//
+// run_chaos is shape_and_run plus fault plumbing: every backing server is
+// wrapped in a FaultyServer (via ShapingConfig::server_decorator for the
+// standard policies), and with `use_degraded_admission` the recombination
+// is the DegradedRttScheduler, whose admission re-tightens to the monitored
+// capacity.  The outcome carries the standard ShapingReport plus the three
+// degradation headline numbers the paper's story needs: the Q1 deadline-
+// miss fraction, the demotion count, and the time the Q1 class needed to
+// recover after the last fault cleared.
+#pragma once
+
+#include "core/shaper.h"
+#include "fault/degraded_rtt.h"
+#include "fault/fault_schedule.h"
+
+namespace qos {
+
+struct ChaosConfig {
+  ShapingConfig shaping;
+  FaultySchedule faults;        ///< empty = fault-free run (bit-identical
+                                ///< to shape_and_run, tests assert)
+  /// Replace the policy's static RTT admission with DegradedRtt on a
+  /// single shared server (strict-priority recombination).  The
+  /// `shaping.policy` field is ignored in this mode.
+  bool use_degraded_admission = false;
+  DegradedRttConfig degraded;   ///< monitor/hysteresis parameters
+};
+
+struct ChaosOutcome {
+  ShapingOutcome shaping;
+
+  /// Fraction of Q1-classified completions missing the deadline.
+  double q1_miss_fraction = 0;
+  /// Arrivals sent to Q2 that nominal-capacity RTT would have admitted
+  /// (only the degraded-admission mode demotes; 0 otherwise).
+  std::uint64_t demotions = 0;
+  /// Demotions / total requests.
+  double demotion_rate = 0;
+  /// Finish instant of the last Q1 deadline miss after the final fault
+  /// window closed, minus that close instant: how long Q1 service took to
+  /// re-converge.  0 when no miss follows the last fault (or no faults).
+  Time time_to_recover = 0;
+};
+
+/// Run `trace` through `config` with fault injection.  Always builds the
+/// ShapingReport (observed or not) since the degradation metrics derive
+/// from it.
+ChaosOutcome run_chaos(const Trace& trace, const ChaosConfig& config);
+
+}  // namespace qos

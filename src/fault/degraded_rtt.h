@@ -1,0 +1,109 @@
+// DegradedRtt — RTT admission that survives a server not delivering C.
+//
+// Plain RttAdmission admits into Q1 while occupancy < maxQ1 = C·δ, which
+// keeps the guarantee exactly as long as the server really drains a slot
+// every 1/C.  During a brownout the slots stretch, the bound is too loose,
+// and every admitted request misses — for as long as the fault lasts.
+//
+// DegradedRtt wraps RttAdmission with a CapacityMonitor: before each
+// admission decision it re-tightens maxQ1 to Ĉ_q1·δ where Ĉ_q1 is the
+// monitored delivered capacity scaled back to the admission share
+// (Cmin / (Cmin + headroom) of the total server rate).  Overload then
+// demotes arrivals to Q2 — a softer guarantee, kept honestly — instead of
+// piling up Q1 misses.  The monitor's asymmetric EWMA gives hysteresis:
+// fast tighten on a capacity drop, slow relax on recovery.
+//
+// With `enabled = false` the wrapper degenerates to plain static RTT — the
+// baseline the chaos harness compares against.
+#pragma once
+
+#include "core/rtt.h"
+#include "fault/capacity_monitor.h"
+
+namespace qos {
+
+struct DegradedRttConfig {
+  CapacityMonitorConfig monitor;
+  /// Health deadband: estimates above 1 - tolerance are treated as fully
+  /// healthy.  Service durations are integer microseconds, so the windowed
+  /// estimate jitters ~0.1% around the reference; without the deadband that
+  /// noise can shave a slot off maxQ1 at the floor() boundary.
+  double tolerance = 0.02;
+  bool enabled = true;  ///< false: behave exactly like static RttAdmission
+};
+
+class DegradedRtt {
+ public:
+  /// `admission_iops` is Cmin (what maxQ1 is provisioned from);
+  /// `server_iops` is the total rate of the backing server (Cmin + dC),
+  /// i.e. what the monitor observes when the server is healthy.
+  DegradedRtt(double admission_iops, Time delta, double server_iops,
+              DegradedRttConfig config = {})
+      : admission_(admission_iops, delta),
+        monitor_(server_iops, config.monitor),
+        delta_(delta),
+        admission_iops_(admission_iops),
+        nominal_max_q1_(admission_.max_q1()),
+        tolerance_(config.tolerance),
+        enabled_(config.enabled) {
+    QOS_EXPECTS(server_iops >= admission_iops);
+    QOS_EXPECTS(config.tolerance >= 0 && config.tolerance < 1);
+  }
+
+  /// Feed one completed service (server occupancy [start, finish)).
+  void on_service(Time start, Time finish) {
+    QOS_EXPECTS(finish > start);
+    if (enabled_) monitor_.on_service(finish, finish - start);
+  }
+
+  /// Admission bound from the current capacity estimate:
+  /// floor(health · Cmin · δ), never above the nominal bound.
+  std::int64_t max_q1() {
+    if (!enabled_) return nominal_max_q1_;
+    const double health = monitor_.health();
+    const std::int64_t tightened =
+        health >= 1.0 - tolerance_
+            ? nominal_max_q1_
+            : max_q1_slots(health * admission_iops_, delta_);
+    admission_.set_max_q1(tightened < nominal_max_q1_ ? tightened
+                                                      : nominal_max_q1_);
+    return admission_.max_q1();
+  }
+
+  /// True iff a request arriving with `len_q1` pending primaries may join
+  /// Q1 under the *current* (possibly tightened) bound.
+  bool admit(std::int64_t len_q1) {
+    max_q1();  // refresh the wrapped bound from the monitor
+    return admission_.admit(len_q1);
+  }
+
+  /// True when the request would have been admitted at nominal capacity —
+  /// i.e. rejecting it now is a *demotion* caused by degradation, not a
+  /// plain RTT overflow.
+  bool is_demotion(std::int64_t len_q1) const {
+    return len_q1 < nominal_max_q1_;
+  }
+
+  std::int64_t nominal_max_q1() const { return nominal_max_q1_; }
+  double capacity_estimate_iops() const { return monitor_.estimate_iops(); }
+  double health() const { return monitor_.health(); }
+  bool enabled() const { return enabled_; }
+  const CapacityMonitor& monitor() const { return monitor_; }
+
+ private:
+  // max_q1_slots requires capacity > 0; clamp the degenerate all-stalled
+  // estimate to "admit nothing" without tripping the precondition.
+  static std::int64_t max_q1_slots(double capacity_iops, Time delta) {
+    return capacity_iops <= 0 ? 0 : qos::max_q1_slots(capacity_iops, delta);
+  }
+
+  RttAdmission admission_;
+  CapacityMonitor monitor_;
+  Time delta_;
+  double admission_iops_;
+  std::int64_t nominal_max_q1_;
+  double tolerance_;
+  bool enabled_;
+};
+
+}  // namespace qos

@@ -1,0 +1,138 @@
+// DegradedRttScheduler — single-server RTT recombination with graceful
+// degradation.
+//
+// Strict-priority recombination (Q1 FIFO ahead of Q2 FIFO, work-conserving
+// on one server of Cmin + dC) whose admission is a DegradedRtt: every
+// completion feeds the capacity monitor, and when the server stops
+// delivering C the admission bound re-tightens to Ĉ·δ so overload demotes
+// to Q2 instead of accumulating Q1 deadline misses.  Construct with
+// `config.enabled = false` for the plain static-RTT baseline the chaos
+// harness compares against — the code path is otherwise identical, which is
+// what makes the comparison fair.
+#pragma once
+
+#include <deque>
+
+#include "fault/degraded_rtt.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "sim/scheduler.h"
+#include "util/check.h"
+
+namespace qos {
+
+class DegradedRttScheduler final : public Scheduler {
+ public:
+  /// `admission_capacity_iops` is Cmin; `server_iops` the backing server's
+  /// total rate (Cmin + dC), which the monitor treats as healthy.
+  DegradedRttScheduler(double admission_capacity_iops, Time delta,
+                       double server_iops, DegradedRttConfig config = {})
+      : admission_(admission_capacity_iops, delta, server_iops, config) {}
+
+  int server_count() const override { return 1; }
+
+  void attach_observability(EventSink* sink,
+                            MetricRegistry* registry) override {
+    probe_ = Probe(sink);
+    if (registry != nullptr) {
+      admitted_ = &registry->counter("rtt.admitted");
+      rejected_ = &registry->counter("rtt.rejected");
+      demoted_ = &registry->counter("degraded.demotions");
+      capacity_estimate_ = &registry->gauge("degraded.capacity_estimate");
+      q1_occ_ = &registry->occupancy("q1.occupancy");
+      q2_occ_ = &registry->occupancy("q2.occupancy");
+    }
+  }
+
+  void on_arrival(const Request& r, Time now) override {
+    if (admission_.admit(len_q1_)) {
+      ++len_q1_;
+      q1_.push_back(r);
+      if (admitted_ != nullptr) admitted_->add();
+      if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = r.seq,
+                     .a = len_q1_,
+                     .b = admission_.max_q1(),
+                     .client = r.client,
+                     .kind = EventKind::kAdmit,
+                     .klass = ServiceClass::kPrimary});
+      }
+    } else {
+      const bool demotion = admission_.is_demotion(len_q1_);
+      q2_.push_back(r);
+      if (demotion) {
+        ++demotions_;
+        if (demoted_ != nullptr) demoted_->add();
+      }
+      if (rejected_ != nullptr) rejected_->add();
+      if (q2_occ_ != nullptr)
+        q2_occ_->update(now, static_cast<std::int64_t>(q2_.size()));
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = r.seq,
+                     .a = demotion ? admission_.max_q1()
+                                   : static_cast<std::int64_t>(q2_.size()),
+                     .b = admission_.nominal_max_q1(),
+                     .client = r.client,
+                     .kind = demotion ? EventKind::kDemote
+                                      : EventKind::kReject,
+                     .klass = ServiceClass::kOverflow});
+      }
+    }
+  }
+
+  std::optional<Dispatch> next_for(int server, Time now) override {
+    QOS_EXPECTS(server == 0);
+    if (!q1_.empty()) {
+      Dispatch d{q1_.front(), ServiceClass::kPrimary};
+      q1_.pop_front();
+      service_start_ = now;
+      return d;
+    }
+    if (!q2_.empty()) {
+      Dispatch d{q2_.front(), ServiceClass::kOverflow};
+      q2_.pop_front();
+      service_start_ = now;
+      return d;
+    }
+    return std::nullopt;
+  }
+
+  void on_complete(const Request&, ServiceClass klass, int,
+                   Time now) override {
+    // One server => at most one request in service; the pair
+    // (service_start_, now) is exactly its occupancy span.
+    admission_.on_service(service_start_, now);
+    if (capacity_estimate_ != nullptr)
+      capacity_estimate_->set(admission_.capacity_estimate_iops());
+    if (klass == ServiceClass::kPrimary) {
+      QOS_CHECK(len_q1_ > 0);
+      --len_q1_;
+      if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
+    }
+  }
+
+  std::int64_t len_q1() const { return len_q1_; }
+  std::uint64_t demotions() const { return demotions_; }
+  DegradedRtt& admission() { return admission_; }
+
+ private:
+  DegradedRtt admission_;
+  std::deque<Request> q1_;
+  std::deque<Request> q2_;
+  std::int64_t len_q1_ = 0;  ///< pending primaries (queued + in service)
+  Time service_start_ = 0;
+  std::uint64_t demotions_ = 0;
+
+  Probe probe_;
+  Counter* admitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* demoted_ = nullptr;
+  Gauge* capacity_estimate_ = nullptr;
+  OccupancySeries* q1_occ_ = nullptr;
+  OccupancySeries* q2_occ_ = nullptr;
+};
+
+}  // namespace qos

@@ -1,0 +1,130 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qos {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCapacityLoss: return "capacity_loss";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kLatencySpike: return "latency_spike";
+  }
+  QOS_CHECK(false);
+}
+
+namespace {
+
+bool severity_in_range(const FaultWindow& w) {
+  switch (w.kind) {
+    case FaultKind::kCapacityLoss:
+      return w.severity >= 0 && w.severity < 1;
+    case FaultKind::kStall:
+      return true;
+    case FaultKind::kLatencySpike:
+      return w.severity >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultySchedule::FaultySchedule(std::vector<FaultWindow> windows) {
+  std::erase_if(windows, [](const FaultWindow& w) { return w.empty(); });
+  std::sort(windows.begin(), windows.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              return a.begin < b.begin;
+            });
+  windows_ = std::move(windows);
+  QOS_EXPECTS(validate());
+}
+
+void FaultySchedule::insert(FaultWindow w) {
+  if (w.empty()) return;  // zero-length windows are no-ops, not errors
+  windows_.push_back(w);
+  std::sort(windows_.begin(), windows_.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              return a.begin < b.begin;
+            });
+  QOS_EXPECTS(validate());
+}
+
+FaultySchedule& FaultySchedule::brownout(Time begin, Time end,
+                                         double capacity_loss) {
+  insert({begin, end, FaultKind::kCapacityLoss, capacity_loss});
+  return *this;
+}
+
+FaultySchedule& FaultySchedule::stall(Time begin, Time end) {
+  insert({begin, end, FaultKind::kStall, 0});
+  return *this;
+}
+
+FaultySchedule& FaultySchedule::latency_spike(Time begin, Time end,
+                                              Time extra_us) {
+  insert({begin, end, FaultKind::kLatencySpike,
+          static_cast<double>(extra_us)});
+  return *this;
+}
+
+FaultySchedule FaultySchedule::random(const RandomFaultSpec& spec,
+                                      std::uint64_t seed) {
+  QOS_EXPECTS(spec.count >= 0);
+  QOS_EXPECTS(spec.min_duration > 0 &&
+              spec.min_duration <= spec.max_duration);
+  QOS_EXPECTS(spec.min_severity >= 0 && spec.min_severity < 1);
+  QOS_EXPECTS(spec.max_severity >= spec.min_severity &&
+              spec.max_severity < 1);
+  QOS_EXPECTS(spec.stall_prob + spec.spike_prob <= 1.0);
+
+  Rng rng(seed);
+  std::vector<FaultWindow> windows;
+  Time cursor = 0;
+  for (int i = 0; i < spec.count; ++i) {
+    // Leave a random healthy gap, then place the next window; stop once the
+    // horizon is exhausted rather than overlapping.
+    const Time gap = rng.uniform_int(1, std::max<Time>(1, spec.horizon /
+                                                              (2 * spec.count)));
+    const Time begin = cursor + gap;
+    const Time duration =
+        rng.uniform_int(spec.min_duration, spec.max_duration);
+    if (begin + duration > spec.horizon) break;
+    FaultWindow w{begin, begin + duration, FaultKind::kCapacityLoss, 0};
+    const double kind_draw = rng.next_double();
+    if (kind_draw < spec.stall_prob) {
+      w.kind = FaultKind::kStall;
+    } else if (kind_draw < spec.stall_prob + spec.spike_prob) {
+      w.kind = FaultKind::kLatencySpike;
+      w.severity = static_cast<double>(spec.spike_extra_us);
+    } else {
+      w.severity = rng.uniform(spec.min_severity, spec.max_severity);
+    }
+    windows.push_back(w);
+    cursor = w.end;
+  }
+  return FaultySchedule(std::move(windows));
+}
+
+const FaultWindow* FaultySchedule::active_at(Time t) const {
+  // First window with begin > t, then step back one.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t,
+      [](Time value, const FaultWindow& w) { return value < w.begin; });
+  if (it == windows_.begin()) return nullptr;
+  --it;
+  return it->contains(t) ? &*it : nullptr;
+}
+
+bool FaultySchedule::validate() const {
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const FaultWindow& w = windows_[i];
+    if (w.empty() || w.begin < 0) return false;
+    if (!severity_in_range(w)) return false;
+    if (i > 0 && w.begin < windows_[i - 1].end) return false;
+  }
+  return true;
+}
+
+}  // namespace qos

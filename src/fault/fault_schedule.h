@@ -1,0 +1,101 @@
+// Deterministic fault-injection schedules.
+//
+// The paper's guarantees assume the provisioned capacity C is actually
+// delivered; real arrays dip below it (RAID rebuilds, scrubs, cache-miss
+// storms).  A FaultySchedule is a declarative, fully deterministic list of
+// windows in simulated time during which a server misbehaves — capacity
+// brownouts, full stalls, per-request latency spikes.  FaultyServer applies
+// a schedule to any Server; the chaos harness (fault/chaos.h) sweeps
+// schedules against recombination policies.  Random schedules are seeded
+// through util/rng so every chaos run is replayable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace qos {
+
+enum class FaultKind : std::uint8_t {
+  kCapacityLoss = 0,  ///< server delivers (1 - severity) of its rate
+  kStall,             ///< server delivers nothing until the window closes
+  kLatencySpike,      ///< every service started in the window is lengthened
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One fault window [begin, end).  `severity` is kind-specific: for
+/// kCapacityLoss the fraction of capacity lost in [0, 1); for kLatencySpike
+/// the extra service time in microseconds; ignored for kStall.
+struct FaultWindow {
+  Time begin = 0;
+  Time end = 0;
+  FaultKind kind = FaultKind::kCapacityLoss;
+  double severity = 0;
+
+  Time duration() const { return end - begin; }
+  bool contains(Time t) const { return t >= begin && t < end; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Parameters for FaultySchedule::random.
+struct RandomFaultSpec {
+  int count = 4;                      ///< windows to generate
+  Time horizon = 60 * kUsPerSec;      ///< windows fall within [0, horizon)
+  Time min_duration = kUsPerSec;      ///< per-window duration bounds
+  Time max_duration = 5 * kUsPerSec;
+  double min_severity = 0.1;          ///< capacity-loss fraction bounds
+  double max_severity = 0.5;
+  double stall_prob = 0.1;            ///< P(window is a kStall)
+  double spike_prob = 0.2;            ///< P(window is a kLatencySpike)
+  Time spike_extra_us = 5'000;        ///< severity used for spike windows
+};
+
+/// An ordered, non-overlapping set of fault windows.  Empty schedules are
+/// valid and mean "no faults": FaultyServer with an empty schedule is
+/// behaviourally identical to the server it wraps (tests assert this
+/// bit-for-bit).
+class FaultySchedule {
+ public:
+  FaultySchedule() = default;
+
+  /// Takes windows in arbitrary order; sorts by begin and drops empty
+  /// (zero-length) windows.  The result must validate().
+  explicit FaultySchedule(std::vector<FaultWindow> windows);
+
+  /// Fluent builders, chainable: schedule.brownout(...).stall(...).
+  FaultySchedule& brownout(Time begin, Time end, double capacity_loss);
+  FaultySchedule& stall(Time begin, Time end);
+  FaultySchedule& latency_spike(Time begin, Time end, Time extra_us);
+
+  /// Deterministic random schedule: same (spec, seed) => same windows.
+  /// Windows are placed left to right with at least one tick between them,
+  /// so the result always validates.
+  static FaultySchedule random(const RandomFaultSpec& spec,
+                               std::uint64_t seed);
+
+  /// Window active at instant `t`, or nullptr.  O(log n).
+  const FaultWindow* active_at(Time t) const;
+
+  /// True when windows are sorted, non-empty per window, non-overlapping,
+  /// and severities are in range for their kind.
+  bool validate() const;
+
+  bool empty() const { return windows_.empty(); }
+  std::size_t size() const { return windows_.size(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// End of the last window; 0 for an empty schedule.
+  Time horizon() const {
+    return windows_.empty() ? 0 : windows_.back().end;
+  }
+
+ private:
+  void insert(FaultWindow w);
+
+  std::vector<FaultWindow> windows_;  ///< sorted by begin, non-overlapping
+};
+
+}  // namespace qos

@@ -1,0 +1,120 @@
+// FaultyServer — applies a FaultySchedule to any Server.
+//
+// A decorator: every service_duration call is forwarded to the wrapped
+// server first (so the inner server's state — error-diffusion phase, head
+// position — advances exactly as it would fault-free), then the duration is
+// inflated according to the window active at dispatch time:
+//
+//   * kCapacityLoss s: duration / (1 - s), the server running at (1-s)·C;
+//   * kStall: the request additionally waits out the rest of the window —
+//     duration + (window.end - now);
+//   * kLatencySpike: duration + severity microseconds.
+//
+// Only the window active at the service *start* applies; a window opening
+// mid-service does not retroactively stretch it (matching how a dispatched
+// disk op runs to completion).  With an empty schedule the decorator is
+// bit-identical to the wrapped server.
+//
+// Observability: with a sink attached (the simulator forwards its own at
+// run start), the server emits kFaultBegin/kFaultEnd as the dispatch clock
+// crosses window edges, and kSlowService for every inflated request.
+// Emission is lazy — edges are announced at the first dispatch at or after
+// them — so call flush_events(makespan) after a run to close any windows
+// the last dispatches never reached.
+#pragma once
+
+#include <cmath>
+
+#include "fault/fault_schedule.h"
+#include "obs/sink.h"
+#include "sim/server.h"
+#include "util/check.h"
+
+namespace qos {
+
+class FaultyServer final : public Server {
+ public:
+  /// Neither pointer-like argument is owned: `inner` must outlive this
+  /// decorator.
+  FaultyServer(Server& inner, FaultySchedule schedule)
+      : inner_(&inner), schedule_(std::move(schedule)) {
+    QOS_EXPECTS(schedule_.validate());
+  }
+
+  Time service_duration(const Request& r, Time now) override {
+    // Always consult the inner server exactly once so its internal state
+    // stream is identical with and without faults.
+    const Time base = inner_->service_duration(r, now);
+    if (schedule_.empty()) return base;
+    announce_until(now);
+    const FaultWindow* w = schedule_.active_at(now);
+    if (w == nullptr) return base;
+    Time inflated = base;
+    switch (w->kind) {
+      case FaultKind::kCapacityLoss:
+        inflated = static_cast<Time>(
+            std::ceil(static_cast<double>(base) / (1.0 - w->severity)));
+        break;
+      case FaultKind::kStall:
+        inflated = base + (w->end - now);
+        break;
+      case FaultKind::kLatencySpike:
+        inflated = base + static_cast<Time>(w->severity);
+        break;
+    }
+    QOS_CHECK(inflated >= base);
+    if (probe_ && inflated != base) {
+      probe_.emit({.time = now,
+                   .seq = r.seq,
+                   .a = base,
+                   .b = inflated,
+                   .c = static_cast<std::int64_t>(w->kind),
+                   .client = r.client,
+                   .kind = EventKind::kSlowService});
+    }
+    return inflated;
+  }
+
+  void attach_observability(EventSink* sink) override { probe_ = Probe(sink); }
+
+  /// Emit kFaultBegin/kFaultEnd for every window edge at or before `until`
+  /// that has not been announced yet (the run's makespan, typically).
+  void flush_events(Time until) { announce_until(until); }
+
+  const FaultySchedule& schedule() const { return schedule_; }
+  Server& inner() { return *inner_; }
+
+ private:
+  void announce_until(Time now) {
+    if (!probe_) return;
+    const auto& windows = schedule_.windows();
+    while (announced_ < windows.size()) {
+      const FaultWindow& w = windows[announced_];
+      if (!begin_emitted_ && w.begin <= now) {
+        probe_.emit({.time = w.begin,
+                     .a = static_cast<std::int64_t>(w.kind),
+                     .b = static_cast<std::int64_t>(w.severity * 1e6),
+                     .c = w.end,
+                     .kind = EventKind::kFaultBegin});
+        begin_emitted_ = true;
+      }
+      if (begin_emitted_ && w.end <= now) {
+        probe_.emit({.time = w.end,
+                     .a = static_cast<std::int64_t>(w.kind),
+                     .kind = EventKind::kFaultEnd});
+        begin_emitted_ = false;
+        ++announced_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  Server* inner_;
+  FaultySchedule schedule_;
+  Probe probe_;
+  std::size_t announced_ = 0;   ///< windows fully announced (begin and end)
+  bool begin_emitted_ = false;  ///< kFaultBegin sent for windows_[announced_]
+};
+
+}  // namespace qos

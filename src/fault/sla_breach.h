@@ -1,0 +1,144 @@
+// SlaBreachDetector — turns GraduatedSla tiers into live breach/recovery
+// signals.
+//
+// The offline audit (core/sla.h) answers "did the run satisfy the SLA";
+// operators need the online version: *when* did tier i fall below target,
+// and when did it come back.  The detector keeps, per tier, a ring of the
+// most recent completions' tier verdicts and compares the windowed achieved
+// fraction against the tier target.  Hysteresis avoids flapping: a breach
+// opens when achieved < fraction and only closes once achieved climbs back
+// above fraction + recover_margin.  Each transition emits a
+// kSlaBreach / kSlaRecover event and updates breach counters plus
+// accumulated time-in-breach.
+//
+// Feed it directly via on_completion(), or attach it as an EventSink after
+// the simulator (kCompletion events carry the response time in `a`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sla.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "util/check.h"
+
+namespace qos {
+
+struct SlaBreachConfig {
+  std::size_t window = 256;      ///< completions per evaluation window
+  std::size_t min_samples = 32;  ///< verdicts withheld before this
+  double recover_margin = 0.02;  ///< achieved must exceed target by this
+};
+
+class SlaBreachDetector final : public EventSink {
+ public:
+  explicit SlaBreachDetector(GraduatedSla sla, SlaBreachConfig config = {})
+      : sla_(std::move(sla)), config_(config), tiers_(sla_.tiers.size()) {
+    QOS_EXPECTS(sla_.valid());
+    QOS_EXPECTS(config.window > 0);
+    QOS_EXPECTS(config.min_samples > 0 && config.min_samples <= config.window);
+    QOS_EXPECTS(config.recover_margin >= 0);
+  }
+
+  /// Where breach/recovery events go (optional; may be null).  Not owned.
+  void attach_observability(EventSink* sink, MetricRegistry* registry) {
+    probe_ = Probe(sink);
+    if (registry != nullptr) {
+      breaches_ = &registry->counter("sla.breaches");
+      recoveries_ = &registry->counter("sla.recoveries");
+    }
+  }
+
+  /// Record one completion finishing at `now` with the given response time.
+  /// Calls must have non-decreasing `now`.
+  void on_completion(Time now, Time response_time) {
+    for (std::size_t i = 0; i < tiers_.size(); ++i)
+      observe_tier(i, now, sla_.tiers[i].within(response_time));
+  }
+
+  /// EventSink adaptor: consumes kCompletion events (payload a = response
+  /// time), ignores everything else — safe to attach to the full stream.
+  void on_event(const Event& e) override {
+    if (e.kind == EventKind::kCompletion) on_completion(e.time, e.a);
+  }
+
+  bool in_breach(std::size_t tier) const { return tiers_.at(tier).in_breach; }
+  std::uint64_t breach_count(std::size_t tier) const {
+    return tiers_.at(tier).breach_count;
+  }
+
+  /// Accumulated breach time for `tier` up to `now` (extends an open breach
+  /// to `now`).
+  Time time_in_breach(std::size_t tier, Time now) const {
+    const TierState& t = tiers_.at(tier);
+    return t.breach_time + (t.in_breach ? now - t.breach_start : 0);
+  }
+
+  /// Windowed achieved fraction for `tier` (1.0 until any samples arrive).
+  double achieved(std::size_t tier) const {
+    const TierState& t = tiers_.at(tier);
+    if (t.verdicts.empty()) return 1.0;
+    return static_cast<double>(t.within_count) /
+           static_cast<double>(t.verdicts.size());
+  }
+
+  const GraduatedSla& sla() const { return sla_; }
+
+ private:
+  struct TierState {
+    std::vector<bool> verdicts;  ///< ring of recent within-delta verdicts
+    std::size_t head = 0;
+    std::uint64_t within_count = 0;
+    bool in_breach = false;
+    Time breach_start = 0;
+    Time breach_time = 0;
+    std::uint64_t breach_count = 0;
+  };
+
+  void observe_tier(std::size_t i, Time now, bool within) {
+    TierState& t = tiers_[i];
+    if (t.verdicts.size() < config_.window) {
+      t.verdicts.push_back(within);
+    } else {
+      if (t.verdicts[t.head]) --t.within_count;
+      t.verdicts[t.head] = within;
+      t.head = (t.head + 1) % config_.window;
+    }
+    if (within) ++t.within_count;
+    if (t.verdicts.size() < config_.min_samples) return;
+
+    const double frac = achieved(i);
+    const SlaTier& tier = sla_.tiers[i];
+    if (!t.in_breach && frac < tier.fraction) {
+      t.in_breach = true;
+      t.breach_start = now;
+      ++t.breach_count;
+      if (breaches_ != nullptr) breaches_->add();
+      emit(EventKind::kSlaBreach, i, now, frac);
+    } else if (t.in_breach &&
+               frac >= tier.fraction + config_.recover_margin) {
+      t.in_breach = false;
+      t.breach_time += now - t.breach_start;
+      if (recoveries_ != nullptr) recoveries_->add();
+      emit(EventKind::kSlaRecover, i, now, frac);
+    }
+  }
+
+  void emit(EventKind kind, std::size_t tier, Time now, double frac) {
+    if (!probe_) return;
+    probe_.emit({.time = now,
+                 .a = static_cast<std::int64_t>(tier),
+                 .b = static_cast<std::int64_t>(frac * 1e6),
+                 .kind = kind});
+  }
+
+  GraduatedSla sla_;
+  SlaBreachConfig config_;
+  std::vector<TierState> tiers_;
+  Probe probe_;
+  Counter* breaches_ = nullptr;
+  Counter* recoveries_ = nullptr;
+};
+
+}  // namespace qos

@@ -25,9 +25,20 @@ enum class EventKind : std::uint8_t {
                        ///< b = Q2 backlog after
   kDiskService,        ///< mechanical service; a = seek, b = rotation,
                        ///< c = transfer (us)
+  kFaultBegin,         ///< fault window opened; a = FaultKind, b = severity
+                       ///< in ppm, c = window end (us)
+  kFaultEnd,           ///< fault window closed; a = FaultKind
+  kSlowService,        ///< fault inflated a service; a = base duration,
+                       ///< b = inflated duration (us), c = FaultKind
+  kDemote,             ///< degraded admission sent a nominally-admittable
+                       ///< request to Q2; a = degraded maxQ1, b = nominal
+  kSlaBreach,          ///< SLA tier fell below target; a = tier index,
+                       ///< b = achieved fraction in ppm
+  kSlaRecover,         ///< SLA tier back above target; a = tier index,
+                       ///< b = achieved fraction in ppm
 };
 
-inline constexpr int kEventKindCount = 7;
+inline constexpr int kEventKindCount = 13;
 
 const char* event_kind_name(EventKind k);
 

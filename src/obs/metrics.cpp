@@ -16,6 +16,12 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCompletion: return "completion";
     case EventKind::kSlackDispatch: return "slack_dispatch";
     case EventKind::kDiskService: return "disk_service";
+    case EventKind::kFaultBegin: return "fault_begin";
+    case EventKind::kFaultEnd: return "fault_end";
+    case EventKind::kSlowService: return "slow_service";
+    case EventKind::kDemote: return "demote";
+    case EventKind::kSlaBreach: return "sla_breach";
+    case EventKind::kSlaRecover: return "sla_recover";
   }
   QOS_CHECK(false);
 }

@@ -12,6 +12,8 @@
 
 namespace qos {
 
+class EventSink;
+
 class Server {
  public:
   virtual ~Server() = default;
@@ -19,6 +21,11 @@ class Server {
   /// Duration the given request will occupy the server when started at
   /// `now`.  Must be > 0.
   virtual Time service_duration(const Request& r, Time now) = 0;
+
+  /// Attach an event sink for server-side events (fault injection, slow
+  /// service).  The simulator forwards its sink here at the start of a run;
+  /// plain servers emit nothing and ignore it.
+  virtual void attach_observability(EventSink* sink) { (void)sink; }
 };
 
 /// Fixed-capacity server: every request takes 1/C seconds (error-diffused to

@@ -35,8 +35,11 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
                    std::span<Server* const> servers, EventSink* sink) {
   QOS_EXPECTS(static_cast<int>(servers.size()) == scheduler.server_count());
   QOS_EXPECTS(!servers.empty());
+  QOS_EXPECTS(trace.validate());
 
   const Probe probe(sink);
+  if (sink != nullptr)
+    for (Server* s : servers) s->attach_observability(sink);
   SimResult result;
   result.completions.reserve(trace.size());
 

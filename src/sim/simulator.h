@@ -34,9 +34,11 @@ struct SimResult {
 /// simulator checks that all requests complete.
 ///
 /// When `sink` is non-null the engine emits kArrival / kDispatch /
-/// kCompletion events to it (scheduler-internal events require attaching the
-/// sink to the scheduler too, via Scheduler::attach_observability).  A null
-/// sink costs one branch per event.
+/// kCompletion events to it, and forwards the sink to every server via
+/// Server::attach_observability so server-side events (fault injection)
+/// share the stream (scheduler-internal events require attaching the sink
+/// to the scheduler too, via Scheduler::attach_observability).  A null sink
+/// costs one branch per event.  The trace must satisfy Trace::validate().
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
                    std::span<Server* const> servers,
                    EventSink* sink = nullptr);

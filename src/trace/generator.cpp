@@ -40,6 +40,15 @@ std::uint64_t hash_node(std::uint64_t seed, std::uint64_t node) {
   return z ^ (z >> 31);
 }
 
+// All generators funnel through here so every synthetic trace is checked
+// against the central invariants (a zero size_blocks in an AddressSpec
+// would otherwise only surface at simulate() entry).
+Trace finalize(std::vector<Request> out) {
+  Trace trace(std::move(out));
+  QOS_ENSURES(trace.validate());
+  return trace;
+}
+
 }  // namespace
 
 Trace generate_workload(const WorkloadSpec& spec, Time duration,
@@ -129,7 +138,7 @@ Trace generate_workload(const WorkloadSpec& spec, Time duration,
     }
   }
 
-  return Trace(std::move(out));
+  return finalize(std::move(out));
 }
 
 Trace generate_poisson(double rate_iops, Time duration, std::uint64_t seed,
@@ -149,7 +158,7 @@ Trace generate_poisson(double rate_iops, Time duration, std::uint64_t seed,
     addr.fill(r);
     out.push_back(r);
   }
-  return Trace(std::move(out));
+  return finalize(std::move(out));
 }
 
 Trace generate_bmodel(double mean_rate_iops, double b, int levels,
@@ -184,7 +193,7 @@ Trace generate_bmodel(double mean_rate_iops, double b, int levels,
     addr.fill(r);
     out.push_back(r);
   }
-  return Trace(std::move(out));
+  return finalize(std::move(out));
 }
 
 Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
@@ -217,7 +226,7 @@ Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
     }
     on = !on;
   }
-  return Trace(std::move(out));
+  return finalize(std::move(out));
 }
 
 }  // namespace qos

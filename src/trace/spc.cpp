@@ -1,8 +1,11 @@
 #include "trace/spc.h"
 
 #include <charconv>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/check.h"
@@ -47,7 +50,7 @@ Trace parse_spc(const std::string& text, std::size_t* skipped_lines) {
     Request r;
     unsigned asu = 0;
     unsigned long long lba = 0;
-    unsigned long size_bytes = 0;
+    unsigned long long size_bytes = 0;
     double ts = 0;
     auto ok = [](auto& field, auto& val) {
       auto [p, ec] =
@@ -59,10 +62,22 @@ Trace parse_spc(const std::string& text, std::size_t* skipped_lines) {
       ++skipped;
       continue;
     }
+    // A zero-byte request would violate the Trace positive-size invariant;
+    // a size whose block count overflows uint32 would silently wrap.
+    constexpr auto kMaxBytes =
+        std::uint64_t{std::numeric_limits<std::uint32_t>::max()} * 512;
+    if (size_bytes == 0 || size_bytes > kMaxBytes) {
+      ++skipped;
+      continue;
+    }
     // Timestamps are decimal seconds; std::from_chars(double) is not
     // universally available for floats pre-GCC11, but we target GCC with
-    // C++20 where it is.
-    if (!ok(f[4], ts) || ts < 0) {
+    // C++20 where it is.  Reject non-finite values (NaN compares false
+    // against every bound) and values whose microsecond conversion would
+    // overflow Time.
+    constexpr double kMaxSeconds =
+        static_cast<double>(kTimeMax / kUsPerSec);
+    if (!ok(f[4], ts) || !std::isfinite(ts) || ts < 0 || ts > kMaxSeconds) {
       ++skipped;
       continue;
     }
@@ -94,12 +109,20 @@ std::string to_spc(const Trace& trace) {
   return out;
 }
 
-Trace load_spc_file(const std::string& path) {
+std::optional<Trace> try_load_spc_file(const std::string& path,
+                                       std::size_t* skipped_lines) {
   std::ifstream in(path, std::ios::binary);
-  QOS_EXPECTS(in.good());
+  if (!in.good()) return std::nullopt;
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_spc(ss.str());
+  if (in.bad()) return std::nullopt;
+  return parse_spc(ss.str(), skipped_lines);
+}
+
+Trace load_spc_file(const std::string& path) {
+  auto trace = try_load_spc_file(path);
+  QOS_EXPECTS(trace.has_value());
+  return *std::move(trace);
 }
 
 }  // namespace qos

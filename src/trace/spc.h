@@ -11,20 +11,32 @@
 // trace/presets.h stand in for them offline.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "trace/trace.h"
 
 namespace qos {
 
-/// Parse SPC trace text.  Malformed lines are skipped; a count of skipped
-/// lines can be retrieved via the optional out-param.
+/// Parse SPC trace text.  Malformed lines — wrong field count, unparsable
+/// numbers, zero or uint32-overflowing block counts, negative / non-finite /
+/// unrepresentably large timestamps, unknown opcodes — are skipped; a count
+/// of skipped lines can be retrieved via the optional out-param.  The
+/// returned trace always satisfies Trace::validate() (non-monotonic input
+/// timestamps are sorted by the Trace constructor).
 Trace parse_spc(const std::string& text, std::size_t* skipped_lines = nullptr);
 
 /// Serialize a trace to SPC text (one line per request).
 std::string to_spc(const Trace& trace);
 
-/// Load and parse an SPC trace file.  Aborts if the file cannot be read.
+/// Load and parse an SPC trace file.  Returns nullopt when the file cannot
+/// be opened or read (the error path callers must handle); `skipped_lines`
+/// reports malformed lines as in parse_spc.
+std::optional<Trace> try_load_spc_file(const std::string& path,
+                                       std::size_t* skipped_lines = nullptr);
+
+/// Deprecated forwarding shim: aborts if the file cannot be read.
+[[deprecated("use try_load_spc_file and handle the nullopt failure path")]]
 Trace load_spc_file(const std::string& path);
 
 }  // namespace qos

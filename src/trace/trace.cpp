@@ -19,6 +19,16 @@ Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests)) {
   }
 }
 
+bool Trace::validate() const {
+  Time prev = 0;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    if (r.arrival < prev || r.seq != i || r.size_blocks == 0) return false;
+    prev = r.arrival;
+  }
+  return true;
+}
+
 Time Trace::start_time() const {
   QOS_EXPECTS(!empty());
   return requests_.front().arrival;

@@ -37,6 +37,13 @@ class Trace {
   /// end_time() - start_time(); zero for traces with < 2 requests.
   Time duration() const;
 
+  /// True when the trace invariants hold: arrivals non-negative and
+  /// non-decreasing, sequence numbers dense from 0, sizes positive.  The
+  /// constructor establishes ordering/numbering, so this can only fail on
+  /// zero-size requests slipping through a generator or parser; simulate()
+  /// checks it at entry so bad inputs fail loudly instead of downstream.
+  bool validate() const;
+
   /// Long-run average arrival rate in IOPS (over `duration()`).
   double mean_rate_iops() const;
 

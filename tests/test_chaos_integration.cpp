@@ -1,0 +1,196 @@
+// Chaos-harness integration tests: the graceful-degradation acceptance
+// story end to end.
+//
+//   * Under a 30% capacity brownout, static RTT admission keeps admitting
+//     maxQ1 = C·δ pending primaries that the slowed server cannot drain in
+//     δ, so its Q1 miss fraction grows with brownout length.  DegradedRtt
+//     re-tightens maxQ1 = Ĉ·δ from the monitored rate and demotes the
+//     overload to Q2, keeping the Q1 miss fraction pinned near its
+//     fault-free value regardless of brownout length.
+//   * With an empty FaultySchedule the whole fault layer is a strict no-op:
+//     run_chaos reproduces shape_and_run's completions bit for bit.
+#include <gtest/gtest.h>
+
+#include "core/shaper.h"
+#include "fault/chaos.h"
+#include "fault/sla_breach.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+constexpr Time kDelta = from_ms(10);
+constexpr double kCmin = 1'000;  // admission capacity (IOPS)
+constexpr double kRate = 800;    // offered load (IOPS)
+constexpr std::uint64_t kSeed = 99;
+constexpr Time kHorizon = 30 * kUsPerSec;
+constexpr Time kFaultStart = 5 * kUsPerSec;
+
+Trace chaos_trace() { return generate_poisson(kRate, kHorizon, kSeed); }
+
+ChaosOutcome run_rtt(const Trace& trace, Time brownout_length,
+                     bool degraded) {
+  ChaosConfig config;
+  config.shaping.delta = kDelta;
+  config.shaping.capacity_override_iops = kCmin;
+  config.use_degraded_admission = true;
+  config.degraded.enabled = degraded;
+  if (brownout_length > 0) {
+    config.faults.brownout(kFaultStart, kFaultStart + brownout_length, 0.30);
+  }
+  return run_chaos(trace, config);
+}
+
+TEST(ChaosIntegration, DegradedRttKeepsQ1MissFractionUnderBrownout) {
+  const Trace trace = chaos_trace();
+
+  const double fault_free = run_rtt(trace, 0, true).q1_miss_fraction;
+  const double static_short =
+      run_rtt(trace, 4 * kUsPerSec, false).q1_miss_fraction;
+  const double static_long =
+      run_rtt(trace, 16 * kUsPerSec, false).q1_miss_fraction;
+  const ChaosOutcome degraded_short = run_rtt(trace, 4 * kUsPerSec, true);
+  const ChaosOutcome degraded_long = run_rtt(trace, 16 * kUsPerSec, true);
+
+  // Static RTT degrades with brownout length: the longer the fault, the
+  // larger the fraction of Q1 completions that miss.
+  EXPECT_GT(static_short, fault_free + 0.01);
+  EXPECT_GT(static_long, 2 * static_short);
+
+  // Degraded admission pins the Q1 miss fraction near the fault-free value
+  // (within 2x plus a small monitor-lag allowance), independent of length.
+  const double bound = 2 * fault_free + 0.02;
+  EXPECT_LE(degraded_short.q1_miss_fraction, bound);
+  EXPECT_LE(degraded_long.q1_miss_fraction, bound);
+  EXPECT_NEAR(degraded_long.q1_miss_fraction,
+              degraded_short.q1_miss_fraction, 0.02);
+
+  // The protection is paid for in demotions, which scale with the fault.
+  EXPECT_GT(degraded_short.demotions, 0u);
+  EXPECT_GT(degraded_long.demotions, degraded_short.demotions);
+
+  // And the static curve is far worse than the degraded one.
+  EXPECT_GT(static_long, 5 * degraded_long.q1_miss_fraction);
+}
+
+TEST(ChaosIntegration, CurvesEmittedViaShapingReport) {
+  const Trace trace = chaos_trace();
+  MetricRegistry registry;
+  ChaosConfig config;
+  config.shaping.delta = kDelta;
+  config.shaping.capacity_override_iops = kCmin;
+  config.shaping.registry = &registry;
+  config.use_degraded_admission = true;
+  config.faults.brownout(kFaultStart, kFaultStart + 8 * kUsPerSec, 0.30);
+  const ChaosOutcome out = run_chaos(trace, config);
+
+  // The report carries both classes; the headline numbers derive from it.
+  EXPECT_GT(out.shaping.report.primary.count, 0u);
+  EXPECT_GT(out.shaping.report.overflow.count, 0u);
+  EXPECT_DOUBLE_EQ(
+      out.q1_miss_fraction,
+      1.0 - out.shaping.report.primary.fraction_within_delta);
+  EXPECT_EQ(registry.counter("degraded.demotions").value(), out.demotions);
+  EXPECT_GT(registry.counter("rtt.admitted").value(), 0u);
+  // Recovery happens within a bounded tail after the fault clears.
+  EXPECT_LT(out.time_to_recover, 2 * kUsPerSec);
+}
+
+TEST(ChaosIntegration, FaultEventsReachTheSink) {
+  const Trace trace = chaos_trace();
+  RecordingSink sink;
+  ChaosConfig config;
+  config.shaping.delta = kDelta;
+  config.shaping.capacity_override_iops = kCmin;
+  config.shaping.sink = &sink;
+  config.use_degraded_admission = true;
+  config.faults.brownout(kFaultStart, kFaultStart + 4 * kUsPerSec, 0.30);
+  run_chaos(trace, config);
+  EXPECT_EQ(sink.count(EventKind::kFaultBegin), 1u);
+  EXPECT_EQ(sink.count(EventKind::kFaultEnd), 1u);
+  EXPECT_GT(sink.count(EventKind::kSlowService), 0u);
+  EXPECT_GT(sink.count(EventKind::kDemote), 0u);
+}
+
+TEST(ChaosIntegration, BreachDetectorSeesBrownoutOnLiveStream) {
+  // Wire the breach detector as the simulator sink: completions stream in
+  // live, the 95%-within-delta tier breaches during the brownout and
+  // recovers after it.
+  const Trace trace = chaos_trace();
+  GraduatedSla sla;
+  sla.tiers.push_back({0.95, kDelta});
+  SlaBreachDetector detector(sla);
+  MetricRegistry registry;
+  detector.attach_observability(nullptr, &registry);
+
+  ChaosConfig config;
+  config.shaping.delta = kDelta;
+  config.shaping.capacity_override_iops = kCmin;
+  config.shaping.sink = &detector;
+  config.use_degraded_admission = true;
+  config.degraded.enabled = false;  // static RTT: misses pile up
+  config.faults.brownout(kFaultStart, kFaultStart + 10 * kUsPerSec, 0.30);
+  run_chaos(trace, config);
+
+  EXPECT_GE(registry.counter("sla.breaches").value(), 1u);
+  EXPECT_GE(registry.counter("sla.recoveries").value(), 1u);
+  EXPECT_FALSE(detector.in_breach(0));  // recovered by end of trace
+  EXPECT_GT(detector.time_in_breach(0, kHorizon), kUsPerSec);
+}
+
+TEST(ChaosIntegration, EmptyScheduleBitIdenticalAcrossPolicies) {
+  const Trace trace = chaos_trace();
+  for (Policy policy : {Policy::kFcfs, Policy::kSplit, Policy::kFairQueue,
+                        Policy::kMiser}) {
+    ShapingConfig shaping;
+    shaping.policy = policy;
+    shaping.delta = kDelta;
+    shaping.capacity_override_iops = kCmin;
+    const ShapingOutcome plain = shape_and_run(trace, shaping);
+
+    ChaosConfig config;
+    config.shaping = shaping;  // empty FaultySchedule
+    const ChaosOutcome chaos = run_chaos(trace, config);
+
+    ASSERT_EQ(chaos.shaping.sim.completions.size(),
+              plain.sim.completions.size())
+        << policy_name(policy);
+    for (std::size_t i = 0; i < plain.sim.completions.size(); ++i) {
+      const CompletionRecord& a = plain.sim.completions[i];
+      const CompletionRecord& b = chaos.shaping.sim.completions[i];
+      ASSERT_EQ(a.seq, b.seq) << policy_name(policy) << " at " << i;
+      ASSERT_EQ(a.start, b.start) << policy_name(policy) << " at " << i;
+      ASSERT_EQ(a.finish, b.finish) << policy_name(policy) << " at " << i;
+      ASSERT_EQ(a.klass, b.klass) << policy_name(policy) << " at " << i;
+      ASSERT_EQ(a.server, b.server) << policy_name(policy) << " at " << i;
+    }
+    EXPECT_EQ(chaos.demotions, 0u);
+    EXPECT_EQ(chaos.time_to_recover, 0);
+  }
+}
+
+TEST(ChaosIntegration, StandardPoliciesRunUnderFaults) {
+  // The decorator path: every recombination policy survives a mid-trace
+  // brownout with all requests completing.
+  const Trace trace = generate_poisson(kRate, 10 * kUsPerSec, kSeed);
+  for (Policy policy : {Policy::kFcfs, Policy::kSplit, Policy::kFairQueue,
+                        Policy::kMiser}) {
+    ChaosConfig config;
+    config.shaping.policy = policy;
+    config.shaping.delta = kDelta;
+    config.shaping.capacity_override_iops = kCmin;
+    config.faults.brownout(2 * kUsPerSec, 6 * kUsPerSec, 0.30);
+    const ChaosOutcome out = run_chaos(trace, config);
+    EXPECT_EQ(out.shaping.sim.completions.size(), trace.size())
+        << policy_name(policy);
+    // A brownout strictly hurts: miss fraction at least the fault-free one.
+    ChaosConfig clean = config;
+    clean.faults = FaultySchedule{};
+    const ChaosOutcome base = run_chaos(trace, clean);
+    EXPECT_GE(out.q1_miss_fraction, base.q1_miss_fraction)
+        << policy_name(policy);
+  }
+}
+
+}  // namespace
+}  // namespace qos

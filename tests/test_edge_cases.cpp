@@ -114,16 +114,44 @@ TEST(EdgeCases, LoadSpcFileRoundTrip) {
     std::ofstream out(path);
     out << "0,100,4096,r,0.5\n0,200,4096,w,1.5\n";
   }
+  // The deprecated shim must keep working until callers migrate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Trace t = load_spc_file(path);
+#pragma GCC diagnostic pop
   ASSERT_EQ(t.size(), 2u);
   EXPECT_EQ(t[0].arrival, 500'000);
   EXPECT_TRUE(t[1].is_write);
   std::remove(path);
 }
 
+TEST(EdgeCases, TryLoadSpcFileReportsMissingFile) {
+  EXPECT_EQ(try_load_spc_file("/nonexistent/definitely_missing.spc"),
+            std::nullopt);
+}
+
+TEST(EdgeCases, TryLoadSpcFileCountsSkippedLines) {
+  const char* path = "/tmp/burstqos_test_skipped.spc";
+  {
+    std::ofstream out(path);
+    out << "0,100,4096,r,0.5\n"
+        << "garbage line\n"
+        << "0,200,4096,w,1.5\n";
+  }
+  std::size_t skipped = 0;
+  auto t = try_load_spc_file(path, &skipped);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->size(), 2u);
+  EXPECT_EQ(skipped, 1u);
+  std::remove(path);
+}
+
 TEST(EdgeCasesDeath, LoadMissingSpcFileAborts) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_DEATH(load_spc_file("/nonexistent/definitely_missing.spc"),
                "Precondition");
+#pragma GCC diagnostic pop
 }
 
 TEST(EdgeCasesDeath, NegativeArrivalRejected) {
@@ -136,6 +164,15 @@ TEST(EdgeCasesDeath, SimulatorRejectsWrongServerCount) {
   SplitScheduler split(100, 10'000);  // wants 2 servers
   ConstantRateServer only(100);
   EXPECT_DEATH(simulate(t, split, only), "Precondition");
+}
+
+TEST(EdgeCasesDeath, SimulatorRejectsInvalidTrace) {
+  std::vector<Request> reqs = {Request{.arrival = 0, .size_blocks = 0}};
+  Trace t(std::move(reqs));
+  ASSERT_FALSE(t.validate());
+  FcfsScheduler fcfs;
+  ConstantRateServer server(100);
+  EXPECT_DEATH(simulate(t, fcfs, server), "Precondition");
 }
 
 TEST(EdgeCases, BackToBackBusyPeriods) {

@@ -1,0 +1,400 @@
+// Unit tests for the fault-injection subsystem: FaultySchedule windows,
+// FaultyServer duration inflation + events, CapacityMonitor estimation and
+// hysteresis, DegradedRtt re-tightening, SlaBreachDetector transitions.
+#include <gtest/gtest.h>
+
+#include "core/fcfs.h"
+#include "fault/capacity_monitor.h"
+#include "fault/degraded_rtt.h"
+#include "fault/degraded_scheduler.h"
+#include "fault/fault_schedule.h"
+#include "fault/faulty_server.h"
+#include "fault/sla_breach.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+// ---------------------------------------------------------------- schedule
+
+TEST(FaultSchedule, EmptyIsValidAndInactive) {
+  FaultySchedule s;
+  EXPECT_TRUE(s.validate());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.active_at(0), nullptr);
+  EXPECT_EQ(s.horizon(), 0);
+}
+
+TEST(FaultSchedule, BuildersSortAndLookup) {
+  FaultySchedule s;
+  s.brownout(2'000, 3'000, 0.5).stall(500, 1'000).latency_spike(5'000, 6'000,
+                                                                250);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.validate());
+  EXPECT_EQ(s.windows()[0].kind, FaultKind::kStall);
+  EXPECT_EQ(s.active_at(499), nullptr);
+  ASSERT_NE(s.active_at(500), nullptr);
+  EXPECT_EQ(s.active_at(500)->kind, FaultKind::kStall);
+  EXPECT_EQ(s.active_at(1'000), nullptr);  // end is exclusive
+  ASSERT_NE(s.active_at(2'500), nullptr);
+  EXPECT_DOUBLE_EQ(s.active_at(2'500)->severity, 0.5);
+  EXPECT_EQ(s.horizon(), 6'000);
+}
+
+TEST(FaultSchedule, ZeroLengthWindowsAreDropped) {
+  FaultySchedule s;
+  s.brownout(1'000, 1'000, 0.3);  // empty window: a no-op
+  EXPECT_TRUE(s.empty());
+  FaultySchedule from_vector(
+      {{1'000, 1'000, FaultKind::kStall, 0}, {2'000, 2'500, FaultKind::kStall, 0}});
+  EXPECT_EQ(from_vector.size(), 1u);
+}
+
+TEST(FaultSchedule, BackToBackWindowsValidate) {
+  FaultySchedule s;
+  s.brownout(1'000, 2'000, 0.2).brownout(2'000, 3'000, 0.4);
+  EXPECT_TRUE(s.validate());
+  EXPECT_DOUBLE_EQ(s.active_at(1'999)->severity, 0.2);
+  EXPECT_DOUBLE_EQ(s.active_at(2'000)->severity, 0.4);
+}
+
+TEST(FaultScheduleDeath, OverlappingWindowsRejected) {
+  EXPECT_DEATH(FaultySchedule({{0, 2'000, FaultKind::kStall, 0},
+                               {1'000, 3'000, FaultKind::kStall, 0}}),
+               "Precondition");
+}
+
+TEST(FaultScheduleDeath, CapacityLossSeverityRange) {
+  FaultySchedule s;
+  EXPECT_DEATH(s.brownout(0, 1'000, 1.0), "Precondition");
+}
+
+TEST(FaultSchedule, RandomIsDeterministicInSeed) {
+  RandomFaultSpec spec;
+  spec.count = 8;
+  const FaultySchedule a = FaultySchedule::random(spec, 42);
+  const FaultySchedule b = FaultySchedule::random(spec, 42);
+  const FaultySchedule c = FaultySchedule::random(spec, 43);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_TRUE(a.validate());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.windows()[i].begin, b.windows()[i].begin);
+    EXPECT_EQ(a.windows()[i].end, b.windows()[i].end);
+    EXPECT_EQ(a.windows()[i].kind, b.windows()[i].kind);
+    EXPECT_DOUBLE_EQ(a.windows()[i].severity, b.windows()[i].severity);
+  }
+  // Different seed => different placement (overwhelmingly likely).
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; !any_diff && i < a.size() && i < c.size(); ++i)
+    any_diff = a.windows()[i].begin != c.windows()[i].begin;
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------ FaultyServer
+
+TEST(FaultyServer, NoFaultsIsByteIdenticalToWrapped) {
+  // Property: with an empty schedule the decorated server produces the
+  // exact duration sequence of an identically-seeded bare server.
+  ConstantRateServer bare(733);
+  ConstantRateServer inner(733);
+  FaultyServer faulty(inner, FaultySchedule{});
+  Request r;
+  Time now = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const Time expect = bare.service_duration(r, now);
+    const Time got = faulty.service_duration(r, now);
+    ASSERT_EQ(got, expect) << "diverged at call " << i;
+    now += got;
+  }
+}
+
+TEST(FaultyServer, CapacityLossInflatesDurations) {
+  ConstantRateServer inner(1'000);  // 1 ms slots
+  FaultySchedule s;
+  s.brownout(10'000, 20'000, 0.5);
+  FaultyServer faulty(inner, s);
+  Request r;
+  EXPECT_EQ(faulty.service_duration(r, 0), 1'000);
+  EXPECT_EQ(faulty.service_duration(r, 10'000), 2'000);  // 1/(1-0.5)
+  EXPECT_EQ(faulty.service_duration(r, 20'000), 1'000);  // window closed
+}
+
+TEST(FaultyServer, StallHoldsUntilWindowEnd) {
+  ConstantRateServer inner(1'000);
+  FaultySchedule s;
+  s.stall(5'000, 9'000);
+  FaultyServer faulty(inner, s);
+  Request r;
+  // Started 1 ms into the stall: waits out the remaining 3 ms, then serves.
+  EXPECT_EQ(faulty.service_duration(r, 6'000), 3'000 + 1'000);
+}
+
+TEST(FaultyServer, LatencySpikeAddsConstant) {
+  ConstantRateServer inner(1'000);
+  FaultySchedule s;
+  s.latency_spike(0, 2'000, 750);
+  FaultyServer faulty(inner, s);
+  Request r;
+  EXPECT_EQ(faulty.service_duration(r, 0), 1'750);
+  EXPECT_EQ(faulty.service_duration(r, 2'000), 1'000);
+}
+
+TEST(FaultyServer, EmitsFaultAndSlowServiceEvents) {
+  ConstantRateServer inner(1'000);
+  FaultySchedule s;
+  s.brownout(3'000, 6'000, 0.5);
+  FaultyServer faulty(inner, s);
+  RecordingSink sink;
+  faulty.attach_observability(&sink);
+  Request r;
+  faulty.service_duration(r, 0);      // healthy
+  faulty.service_duration(r, 4'000);  // inside the window
+  faulty.flush_events(10'000);        // past the end
+  EXPECT_EQ(sink.count(EventKind::kFaultBegin), 1u);
+  EXPECT_EQ(sink.count(EventKind::kFaultEnd), 1u);
+  EXPECT_EQ(sink.count(EventKind::kSlowService), 1u);
+  const auto& events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kFaultBegin);
+  EXPECT_EQ(events[0].time, 3'000);
+  EXPECT_EQ(events[0].c, 6'000);  // window end rides in c
+  EXPECT_EQ(events[1].kind, EventKind::kSlowService);
+  EXPECT_EQ(events[1].a, 1'000);
+  EXPECT_EQ(events[1].b, 2'000);
+  EXPECT_EQ(events[2].kind, EventKind::kFaultEnd);
+  EXPECT_EQ(events[2].time, 6'000);
+}
+
+TEST(FaultyServer, WindowCoveringWholeRunStillCompletes) {
+  // Degradation edge: the fault spans the entire trace; every request is
+  // slowed but all of them complete.
+  const Trace trace = generate_poisson(200, 5 * kUsPerSec, 7);
+  FaultySchedule s;
+  s.brownout(0, 100 * kUsPerSec, 0.5);
+  ConstantRateServer inner(1'000);
+  FaultyServer faulty(inner, s);
+  FcfsScheduler fcfs;
+  const SimResult result = simulate(trace, fcfs, faulty);
+  EXPECT_EQ(result.completions.size(), trace.size());
+  for (const auto& c : result.completions)
+    EXPECT_GE(c.finish - c.start, 2'000);  // all slots inflated to 2 ms
+}
+
+TEST(FaultyServer, BackToBackWindowsBothAnnounced) {
+  ConstantRateServer inner(1'000);
+  FaultySchedule s;
+  s.brownout(1'000, 2'000, 0.2).stall(2'000, 3'000);
+  FaultyServer faulty(inner, s);
+  RecordingSink sink;
+  faulty.attach_observability(&sink);
+  Request r;
+  faulty.service_duration(r, 1'500);
+  faulty.service_duration(r, 2'500);
+  faulty.flush_events(5'000);
+  EXPECT_EQ(sink.count(EventKind::kFaultBegin), 2u);
+  EXPECT_EQ(sink.count(EventKind::kFaultEnd), 2u);
+  // Edge ordering: begin(1000) .. end(2000), begin(2000) .. end(3000).
+  std::vector<Time> edges;
+  for (const auto& e : sink.events())
+    if (e.kind != EventKind::kSlowService) edges.push_back(e.time);
+  EXPECT_EQ(edges, (std::vector<Time>{1'000, 2'000, 2'000, 3'000}));
+}
+
+// -------------------------------------------------------- CapacityMonitor
+
+TEST(CapacityMonitor, ReportsReferenceUntilPrimed) {
+  CapacityMonitorConfig config;
+  config.min_samples = 4;
+  CapacityMonitor monitor(1'000, config);
+  EXPECT_DOUBLE_EQ(monitor.estimate_iops(), 1'000);
+  monitor.on_service(1'000, 1'000);
+  EXPECT_DOUBLE_EQ(monitor.raw_estimate(), 1'000);  // below min_samples
+}
+
+TEST(CapacityMonitor, TracksDeliveredRate) {
+  CapacityMonitor monitor(1'000);
+  Time t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += 1'000;
+    monitor.on_service(t, 1'000);  // healthy: 1 ms per op
+  }
+  EXPECT_NEAR(monitor.estimate_iops(), 1'000, 1);
+  for (int i = 0; i < 500; ++i) {
+    t += 2'000;
+    monitor.on_service(t, 2'000);  // brownout: 2 ms per op
+  }
+  EXPECT_NEAR(monitor.estimate_iops(), 500, 25);
+  EXPECT_NEAR(monitor.health(), 0.5, 0.03);
+}
+
+TEST(CapacityMonitor, HysteresisTightensFastRelaxesSlowly) {
+  CapacityMonitorConfig config;
+  config.tighten_gain = 0.8;
+  config.relax_gain = 0.1;
+  config.min_samples = 1;
+  config.window = 100 * kUsPerSec;  // keep every sample
+  CapacityMonitor monitor(1'000, config);
+  // One degraded window-full drags the estimate down hard...
+  Time t = 0;
+  for (int i = 0; i < 20; ++i) {
+    t += 4'000;
+    monitor.on_service(t, 4'000);
+  }
+  const double after_drop = monitor.estimate_iops();
+  EXPECT_LT(after_drop, 500);
+  // ...but a single healthy burst only climbs back a fraction of the gap.
+  for (int i = 0; i < 3; ++i) {
+    t += 1'000;
+    monitor.on_service(t, 1'000);
+  }
+  const double after_recovery = monitor.estimate_iops();
+  EXPECT_GT(after_recovery, after_drop);
+  EXPECT_LT(after_recovery, 700);  // nowhere near healthy yet
+}
+
+// ------------------------------------------------------------- DegradedRtt
+
+TEST(DegradedRtt, NominalBoundWhenHealthy) {
+  DegradedRtt rtt(1'000, from_ms(10), 1'100);
+  EXPECT_EQ(rtt.nominal_max_q1(), 10);
+  EXPECT_EQ(rtt.max_q1(), 10);
+  EXPECT_TRUE(rtt.admit(9));
+  EXPECT_FALSE(rtt.admit(10));
+}
+
+TEST(DegradedRtt, TightensUnderDegradedServiceAndRelaxesAfter) {
+  DegradedRttConfig config;
+  config.monitor.min_samples = 8;
+  config.monitor.relax_gain = 0.5;  // recover fast enough to test
+  DegradedRtt rtt(1'000, from_ms(10), 1'000, config);
+  Time t = 0;
+  // Server delivering only 40%: 2.5 ms per op.
+  for (int i = 0; i < 200; ++i) {
+    rtt.on_service(t, t + 2'500);
+    t += 2'500;
+  }
+  EXPECT_LT(rtt.max_q1(), 6);
+  EXPECT_GT(rtt.health(), 0.0);
+  EXPECT_FALSE(rtt.admit(6));
+  // A nominally-admittable request rejected now is a demotion.
+  EXPECT_TRUE(rtt.is_demotion(6));
+  EXPECT_FALSE(rtt.is_demotion(10));
+  // Healthy again: the bound relaxes back to nominal.
+  for (int i = 0; i < 2'000; ++i) {
+    rtt.on_service(t, t + 1'000);
+    t += 1'000;
+  }
+  EXPECT_EQ(rtt.max_q1(), 10);
+}
+
+TEST(DegradedRtt, DisabledBehavesStatically) {
+  DegradedRttConfig config;
+  config.enabled = false;
+  DegradedRtt rtt(1'000, from_ms(10), 1'000, config);
+  Time t = 0;
+  for (int i = 0; i < 500; ++i) {
+    rtt.on_service(t, t + 10'000);  // catastrophic degradation, ignored
+    t += 10'000;
+  }
+  EXPECT_EQ(rtt.max_q1(), 10);
+  EXPECT_TRUE(rtt.admit(9));
+}
+
+// ------------------------------------------------------ DegradedScheduler
+
+TEST(DegradedRttScheduler, CountsDemotionsUnderDegradation) {
+  const Trace trace = generate_poisson(800, 10 * kUsPerSec, 11);
+  DegradedRttConfig config;
+  DegradedRttScheduler scheduler(1'000, from_ms(10), 1'100, config);
+  ConstantRateServer inner(1'100);
+  FaultySchedule faults;
+  faults.brownout(2 * kUsPerSec, 8 * kUsPerSec, 0.4);
+  FaultyServer faulty(inner, faults);
+  const SimResult result = simulate(trace, scheduler, faulty);
+  EXPECT_EQ(result.completions.size(), trace.size());
+  EXPECT_GT(scheduler.demotions(), 0u);
+}
+
+TEST(DegradedRttScheduler, NoDemotionsWithoutFaults) {
+  const Trace trace = generate_poisson(800, 10 * kUsPerSec, 11);
+  DegradedRttScheduler scheduler(1'000, from_ms(10), 1'100);
+  ConstantRateServer server(1'100);
+  const SimResult result = simulate(trace, scheduler, server);
+  EXPECT_EQ(result.completions.size(), trace.size());
+  EXPECT_EQ(scheduler.demotions(), 0u);
+}
+
+// --------------------------------------------------------- breach detector
+
+GraduatedSla one_tier_sla(double fraction, Time delta) {
+  GraduatedSla sla;
+  sla.tiers.push_back({fraction, delta});
+  return sla;
+}
+
+TEST(SlaBreachDetector, BreachesAndRecoversWithHysteresis) {
+  SlaBreachConfig config;
+  config.window = 50;
+  config.min_samples = 10;
+  config.recover_margin = 0.05;
+  SlaBreachDetector detector(one_tier_sla(0.9, from_ms(10)), config);
+  RecordingSink sink;
+  MetricRegistry registry;
+  detector.attach_observability(&sink, &registry);
+
+  Time t = 0;
+  // Healthy: everything within delta.
+  for (int i = 0; i < 50; ++i) detector.on_completion(t += 1'000, 5'000);
+  EXPECT_FALSE(detector.in_breach(0));
+  // Degraded: everything misses; the windowed fraction falls below 0.9.
+  for (int i = 0; i < 20; ++i) detector.on_completion(t += 1'000, 50'000);
+  EXPECT_TRUE(detector.in_breach(0));
+  EXPECT_EQ(detector.breach_count(0), 1u);
+  EXPECT_EQ(sink.count(EventKind::kSlaBreach), 1u);
+  const Time breach_so_far = detector.time_in_breach(0, t);
+  EXPECT_GT(breach_so_far, 0);
+  // Recovery requires fraction + margin, so a long healthy run.
+  for (int i = 0; i < 60; ++i) detector.on_completion(t += 1'000, 5'000);
+  EXPECT_FALSE(detector.in_breach(0));
+  EXPECT_EQ(sink.count(EventKind::kSlaRecover), 1u);
+  EXPECT_EQ(registry.counter("sla.breaches").value(), 1u);
+  EXPECT_EQ(registry.counter("sla.recoveries").value(), 1u);
+  EXPECT_GE(detector.time_in_breach(0, t), breach_so_far);
+}
+
+TEST(SlaBreachDetector, ConsumesCompletionEvents) {
+  SlaBreachConfig config;
+  config.window = 20;
+  config.min_samples = 5;
+  SlaBreachDetector detector(one_tier_sla(0.9, from_ms(1)), config);
+  Time t = 0;
+  for (int i = 0; i < 20; ++i) {
+    detector.on_event({.time = t += 1'000,
+                       .a = 50'000,  // response time payload
+                       .kind = EventKind::kCompletion});
+  }
+  EXPECT_TRUE(detector.in_breach(0));
+  // Non-completion events are ignored.
+  detector.on_event({.time = t, .kind = EventKind::kArrival});
+  EXPECT_TRUE(detector.in_breach(0));
+}
+
+TEST(SlaBreachDetector, MultiTierIndependence) {
+  GraduatedSla sla;
+  sla.tiers.push_back({0.5, from_ms(1)});
+  sla.tiers.push_back({0.95, from_ms(100)});
+  SlaBreachConfig config;
+  config.window = 20;
+  config.min_samples = 5;
+  SlaBreachDetector detector(sla, config);
+  Time t = 0;
+  // 10 ms responses: tier 0 (1 ms) breaches, tier 1 (100 ms) holds.
+  for (int i = 0; i < 20; ++i) detector.on_completion(t += 1'000, 10'000);
+  EXPECT_TRUE(detector.in_breach(0));
+  EXPECT_FALSE(detector.in_breach(1));
+}
+
+}  // namespace
+}  // namespace qos

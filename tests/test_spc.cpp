@@ -77,5 +77,80 @@ TEST(Spc, ToleratesSpacesAroundFields) {
   EXPECT_EQ(t[0].lba, 42u);
 }
 
+// -------------------------------------------- malformed-input hardening
+
+TEST(Spc, SkipsTruncatedLines) {
+  const std::string text =
+      "0\n"
+      "0,1\n"
+      "0,1,512\n"
+      "0,1,512,r\n"
+      "0,1,512,r,1.0\n";  // the only complete line
+  std::size_t skipped = 0;
+  Trace t = parse_spc(text, &skipped);
+  EXPECT_EQ(skipped, 4u);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(Spc, SkipsNegativeTimestamps) {
+  std::size_t skipped = 0;
+  Trace t = parse_spc("0,1,512,r,-1.0\n0,1,512,r,1.0\n", &skipped);
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].arrival, 1'000'000);
+}
+
+TEST(Spc, SkipsNonFiniteTimestamps) {
+  std::size_t skipped = 0;
+  Trace t = parse_spc("0,1,512,r,nan\n0,1,512,r,inf\n0,1,512,r,1.0\n",
+                      &skipped);
+  EXPECT_EQ(skipped, 2u);
+  ASSERT_EQ(t.size(), 1u);
+}
+
+TEST(Spc, SkipsTimestampsBeyondTimeRange) {
+  // Seconds value whose microsecond conversion would overflow Time.
+  std::size_t skipped = 0;
+  Trace t = parse_spc("0,1,512,r,1e30\n0,1,512,r,1.0\n", &skipped);
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(t.size(), 1u);
+}
+
+TEST(Spc, SkipsZeroAndHugeSizes) {
+  // Zero bytes would make a zero-block request (invalid per
+  // Trace::validate); a size whose block count overflows 32 bits is junk.
+  std::size_t skipped = 0;
+  Trace t = parse_spc(
+      "0,1,0,r,0.5\n"
+      "0,1,99999999999999999999,r,0.5\n"
+      "0,1,512,r,1.0\n",
+      &skipped);
+  EXPECT_EQ(skipped, 2u);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(Spc, NonMonotonicTimesYieldValidTrace) {
+  // Out-of-order timestamps are legal in SPC files; the parser sorts, so
+  // the result must always satisfy the simulator's validate() contract.
+  Trace t = parse_spc(
+      "0,1,512,r,3.0\n"
+      "0,2,512,r,1.0\n"
+      "0,3,512,r,2.0\n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t[0].lba, 2u);
+  EXPECT_EQ(t[2].lba, 1u);
+}
+
+TEST(Spc, AllLinesMalformedIsEmptyButLoadable) {
+  std::size_t skipped = 0;
+  Trace t = parse_spc("junk\nmore junk\n", &skipped);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.validate());
+}
+
 }  // namespace
 }  // namespace qos

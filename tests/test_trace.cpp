@@ -125,5 +125,20 @@ TEST(Trace, EmptyTraceBasics) {
   EXPECT_TRUE(Trace::merge({}).empty());
 }
 
+TEST(Trace, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(Trace{}.validate());
+  Trace t(make_requests({0, 0, 5, 5, 9}));  // equal arrivals are fine
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(Trace, ValidateCatchesZeroSizeRequests) {
+  // The constructor establishes ordering and numbering, so the only
+  // invariant a parser or generator can still break is a zero-size request.
+  std::vector<Request> reqs = make_requests({0, 5, 9});
+  reqs[1].size_blocks = 0;
+  Trace t(std::move(reqs));
+  EXPECT_FALSE(t.validate());
+}
+
 }  // namespace
 }  // namespace qos

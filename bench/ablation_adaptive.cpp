@@ -9,11 +9,19 @@
 //   adaptive       : OnlineCapacityEstimator re-profiled every 5 s.
 // The adaptive policy approaches the offline oracle without ever seeing the
 // future, and dominates the stale profile.
+//
+// Execution engine: this bench is not a shaping sweep — the adaptive
+// trajectory is a stateful sequential replay, so SweepRunner does not apply.
+// It still rides the runner for the two independent offline Cmin searches
+// (ThreadPool + min_capacity_cached) and the shared BENCH json/flags.
 #include <cstdio>
 
 #include "core/adaptive.h"
 #include "core/capacity.h"
 #include "core/rtt.h"
+#include "runner/bench_io.h"
+#include "runner/parallel_capacity.h"
+#include "runner/thread_pool.h"
 #include "trace/generator.h"
 #include "util/table.h"
 
@@ -72,7 +80,8 @@ PolicyOutcome evaluate(const Trace& trace, Time delta, CapacityAt at) {
   return out;
 }
 
-void run() {
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
   const Time delta = from_ms(10);
   const double fraction = 0.95;
   const Trace trace = drifting_trace();
@@ -80,10 +89,20 @@ void run() {
               "(quiet 150 -> busy ~700)\n\n",
               trace.size(), trace.mean_rate_iops());
 
-  const double offline = min_capacity(trace, fraction, delta).cmin_iops;
-  const double quiet_only =
-      min_capacity(trace.slice(0, 600 * kUsPerSec), fraction, delta)
-          .cmin_iops;
+  // The offline and quiet-prefix profiles are independent searches — the
+  // only fan-out this bench has.
+  ThreadPool pool(options.threads);
+  auto cache = options.make_cache();
+  const Trace quiet_prefix = trace.slice(0, 600 * kUsPerSec);
+  const Trace* search_traces[] = {&trace, &quiet_prefix};
+  const std::vector<double> cmins = pool.parallel_map(2, [&](std::size_t i) {
+    const Digest digest = cache ? hash_trace(*search_traces[i]) : Digest{};
+    return min_capacity_cached(*search_traces[i], fraction, delta,
+                               cache.get(), cache ? &digest : nullptr)
+        .cmin_iops;
+  });
+  const double offline = cmins[0];
+  const double quiet_only = cmins[1];
 
   // Adaptive reservation: capacity trajectory sampled as the estimator runs.
   AdaptiveConfig config;
@@ -120,12 +139,21 @@ void run() {
          evaluate(trace, delta, [&](Time) { return quiet_only; }));
   report("adaptive (5 s reprofile)", evaluate(trace, delta, adaptive_at));
   std::printf("%s", table.to_string().c_str());
+
+  BenchTiming timing;
+  timing.name = options.bench_name;
+  timing.wall_seconds = bench_now_seconds() - t0;
+  timing.cells = 2;  // the two offline searches; the replay is sequential
+  timing.cache_hits = cache ? cache->stats().hits : 0;
+  timing.rows = 3;
+  timing.threads = pool.thread_count();
+  write_bench_json(options, timing);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: adaptive vs static capacity provisioning\n\n");
-  run();
+  run(parse_bench_args(argc, argv, "ablation_adaptive"));
   return 0;
 }

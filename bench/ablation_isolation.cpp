@@ -10,12 +10,17 @@
 // The victim tenant 0's compliance collapses under FCFS and stays ~constant
 // under the shaping scheduler; the flood is confined to the flooder's
 // overflow class.
+//
+// Execution engine: each (flood rate, scheduler) pair is a custom-factory
+// SweepRunner cell; the per-tenant compliance numbers are extracted on the
+// worker via the cell's annotate hook and ride in the row extras, so the
+// whole 8-cell sweep runs concurrently and caches like any other.
 #include <cstdio>
 
 #include "analysis/response_stats.h"
 #include "core/fcfs.h"
 #include "core/multi_tenant.h"
-#include "sim/simulator.h"
+#include "runner/bench_io.h"
 #include "trace/generator.h"
 #include "util/table.h"
 
@@ -25,6 +30,8 @@ using namespace qos;
 
 constexpr Time kDelta = from_ms(10);
 constexpr Time kHorizon = 120 * kUsPerSec;
+constexpr double kCapacity = 1000;
+constexpr double kFloods[] = {400.0, 800.0, 1600.0, 2400.0};
 
 Trace mixed_trace(double victim_rate, double flooder_rate,
                   std::uint64_t seed) {
@@ -34,58 +41,94 @@ Trace mixed_trace(double victim_rate, double flooder_rate,
   return Trace::merge(parts);
 }
 
-struct VictimStats {
-  double within_primary = 0;  ///< victim requests within delta (all classes)
-  double flooder_within = 0;
-};
-
-template <typename MakeScheduler>
-VictimStats run(double flooder_rate, MakeScheduler make) {
-  Trace t = mixed_trace(400, flooder_rate, 2027);
-  auto [scheduler, capacity] = make();
-  ConstantRateServer server(capacity);
-  SimResult r = simulate(t, *scheduler, server);
+// Victim/flooder compliance, split by client id, across both service
+// classes — runs on the worker thread against the cell's private SimResult.
+void annotate_tenants(const SimResult& sim,
+                      std::map<std::string, double>& extra) {
   std::vector<CompletionRecord> victim, flooder;
-  for (const auto& c : r.completions)
+  for (const auto& c : sim.completions)
     (c.client == 0 ? victim : flooder).push_back(c);
-  VictimStats out;
-  out.within_primary = ResponseStats(victim).fraction_within(kDelta);
-  out.flooder_within = ResponseStats(flooder).fraction_within(kDelta);
-  return out;
+  extra["tenant.victim_within"] = ResponseStats(victim).fraction_within(kDelta);
+  extra["tenant.flooder_within"] =
+      ResponseStats(flooder).fraction_within(kDelta);
 }
 
-void sweep() {
+SweepCell isolation_cell(const Trace& trace, const std::string& label,
+                         double flood, bool shaped) {
+  SweepCell cell;
+  cell.label = label;
+  cell.trace_name = "victim400+flood" + format_double(flood, 0);
+  cell.trace = &trace;
+  cell.shaping.policy = shaped ? Policy::kFairQueue : Policy::kFcfs;
+  cell.shaping.delta = kDelta;
+  cell.shaping.capacity_override_iops = kCapacity;
+  cell.seed = 2027;
+  ContentHasher salt;
+  salt.str("ablation-isolation-v1").str(label).f64(flood);
+  cell.custom_salt = salt.digest().lo | 1;
+  if (shaped) {
+    // Both tenants reserve 450 IOPS @ 10 ms; server = 450+450+100.
+    const std::vector<TenantSpec> specs = {TenantSpec{450, kDelta, 50},
+                                           TenantSpec{450, kDelta, 50}};
+    cell.make_scheduler = [specs] {
+      return std::unique_ptr<Scheduler>(
+          std::make_unique<MultiTenantScheduler>(specs));
+    };
+  } else {
+    cell.make_scheduler = [] {
+      return std::unique_ptr<Scheduler>(std::make_unique<FcfsScheduler>());
+    };
+  }
+  cell.server_iops = {kCapacity};
+  cell.annotate = annotate_tenants;
+  return cell;
+}
+
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
+
+  // The traces must outlive the sweep; one mixed trace per flood rate.
+  std::vector<Trace> traces;
+  traces.reserve(std::size(kFloods));
+  for (double flood : kFloods)
+    traces.push_back(mixed_trace(400, flood, 2027));
+
+  std::vector<SweepCell> cells;
+  for (std::size_t i = 0; i < std::size(kFloods); ++i) {
+    cells.push_back(isolation_cell(traces[i], "FCFS", kFloods[i], false));
+    cells.push_back(isolation_cell(traces[i], "shaped", kFloods[i], true));
+  }
+
+  auto cache = options.make_cache();
+  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  const std::vector<SweepRow> rows = runner.run_cells(cells);
+
   AsciiTable table;
   table.add("flooder load", "victim<=10ms FCFS", "victim<=10ms shaped",
             "flooder<=10ms shaped");
-  // Both tenants reserve 450 IOPS @ 10 ms; server = 450+450+100.
-  const std::vector<TenantSpec> specs = {TenantSpec{450, kDelta, 50},
-                                         TenantSpec{450, kDelta, 50}};
-  const double capacity = 1000;
-  for (double flood : {400.0, 800.0, 1600.0, 2400.0}) {
-    auto fcfs = run(flood, [&] {
-      return std::pair<std::unique_ptr<Scheduler>, double>(
-          std::make_unique<FcfsScheduler>(), capacity);
-    });
-    auto shaped = run(flood, [&] {
-      return std::pair<std::unique_ptr<Scheduler>, double>(
-          std::make_unique<MultiTenantScheduler>(specs), capacity);
-    });
-    table.add(format_double(flood, 0) + " IOPS",
-              format_double(100 * fcfs.within_primary, 1) + "%",
-              format_double(100 * shaped.within_primary, 1) + "%",
-              format_double(100 * shaped.flooder_within, 1) + "%");
+  for (std::size_t i = 0; i < std::size(kFloods); ++i) {
+    const SweepRow& fcfs = rows[2 * i];
+    const SweepRow& shaped = rows[2 * i + 1];
+    table.add(format_double(kFloods[i], 0) + " IOPS",
+              format_double(100 * fcfs.extra.at("tenant.victim_within"), 1) +
+                  "%",
+              format_double(100 * shaped.extra.at("tenant.victim_within"), 1) +
+                  "%",
+              format_double(
+                  100 * shaped.extra.at("tenant.flooder_within"), 1) + "%");
   }
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "\nvictim holds a 450 IOPS @ 10 ms reservation and sends 400 IOPS;\n"
       "the neighbor sweeps 400 -> 2400 IOPS on a 1000 IOPS server.\n");
+
+  write_bench_json(options, runner, rows.size(), bench_now_seconds() - t0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: isolation from a misbehaving tenant\n\n");
-  sweep();
+  run(parse_bench_args(argc, argv, "ablation_isolation"));
   return 0;
 }

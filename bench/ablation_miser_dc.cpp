@@ -5,12 +5,18 @@
 // primary-class deadline violations plus the overflow class's mean response
 // time — showing (i) violations vanish at (or before) dC = 1/delta and
 // (ii) larger headroom keeps buying Q2 latency.
+//
+// Execution engine: the twelve (workload, dC) points are plain SweepRunner
+// cells — policy Miser with the capacity and headroom pinned per cell — so
+// both workload panels evaluate concurrently.  The Q1 miss count is
+// reconstructed exactly from the report's within-delta fraction (an exact
+// count ratio) and the primary count.
+#include <cmath>
 #include <cstdio>
 
-#include "analysis/response_stats.h"
 #include "core/capacity.h"
-#include "core/miser.h"
-#include "sim/simulator.h"
+#include "runner/bench_io.h"
+#include "runner/parallel_capacity.h"
 #include "trace/presets.h"
 #include "util/table.h"
 
@@ -18,52 +24,95 @@ namespace {
 
 using namespace qos;
 
-void run(Workload w) {
+constexpr Workload kWorkloads[] = {Workload::kWebSearch, Workload::kOpenMail};
+
+struct Panel {
+  Workload workload;
+  Trace trace;
+  double cmin = 0;
+  std::vector<double> dcs;
+};
+
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
   const Time delta = from_ms(10);
-  const Trace trace = preset_trace(w, 1200 * kUsPerSec);
-  const double cmin = min_capacity(trace, 0.90, delta).cmin_iops;
   const double one_over_delta = overflow_headroom_iops(delta);
 
-  std::printf("-- %s: Cmin(90%%, 10 ms) = %.0f IOPS, 1/delta = %.0f IOPS --\n",
-              workload_long_name(w).c_str(), cmin, one_over_delta);
-  AsciiTable table;
-  table.add("dC (IOPS)", "Q1 misses", "Q1 miss frac", "Q2 mean (ms)",
-            "Q2 max (ms)");
-  const double sweeps[] = {0,
-                           one_over_delta / 2,
-                           one_over_delta,
-                           2 * one_over_delta,
-                           cmin / 4,
-                           cmin};
-  for (double dc : sweeps) {
-    MiserScheduler miser(cmin, delta);
-    ConstantRateServer server(cmin + dc);
-    SimResult sim = simulate(trace, miser, server);
-    std::int64_t misses = 0, primaries = 0;
-    for (const auto& c : sim.completions) {
-      if (c.klass != ServiceClass::kPrimary) continue;
-      ++primaries;
-      if (c.response_time() > delta) ++misses;
+  auto cache = options.make_cache();
+  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+
+  std::vector<Panel> panels;
+  for (Workload w : kWorkloads)
+    panels.push_back({w, preset_trace(w, 1200 * kUsPerSec), 0, {}});
+  runner.pool().parallel_for(panels.size(), [&](std::size_t i) {
+    const Digest digest = cache ? hash_trace(panels[i].trace) : Digest{};
+    panels[i].cmin = min_capacity_cached(panels[i].trace, 0.90, delta,
+                                         cache.get(), cache ? &digest : nullptr)
+                         .cmin_iops;
+  });
+
+  std::vector<SweepCell> cells;
+  for (Panel& panel : panels) {
+    panel.dcs = {0,
+                 one_over_delta / 2,
+                 one_over_delta,
+                 2 * one_over_delta,
+                 panel.cmin / 4,
+                 panel.cmin};
+    for (double dc : panel.dcs) {
+      SweepCell cell;
+      cell.label = "Miser";
+      cell.trace_name = workload_name(panel.workload) + "-1200s";
+      cell.trace = &panel.trace;
+      cell.shaping.policy = Policy::kMiser;
+      cell.shaping.fraction = 0.90;
+      cell.shaping.delta = delta;
+      cell.shaping.capacity_override_iops = panel.cmin;
+      cell.shaping.headroom_override_iops = dc;
+      cells.push_back(std::move(cell));
     }
-    ResponseStats q2(sim.completions, ServiceClass::kOverflow);
-    table.add(format_double(dc, 0), static_cast<long long>(misses),
-              format_double(primaries == 0
-                                ? 0
-                                : 100.0 * static_cast<double>(misses) /
-                                      static_cast<double>(primaries),
-                            4) +
-                  "%",
-              q2.empty() ? "-" : format_double(q2.mean_us() / 1000.0, 1),
-              q2.empty() ? "-" : format_double(to_ms(q2.max()), 0));
   }
-  std::printf("%s\n", table.to_string().c_str());
+  const std::vector<SweepRow> rows = runner.run_cells(cells);
+
+  std::size_t next = 0;
+  for (const Panel& panel : panels) {
+    std::printf(
+        "-- %s: Cmin(90%%, 10 ms) = %.0f IOPS, 1/delta = %.0f IOPS --\n",
+        workload_long_name(panel.workload).c_str(), panel.cmin,
+        one_over_delta);
+    AsciiTable table;
+    table.add("dC (IOPS)", "Q1 misses", "Q1 miss frac", "Q2 mean (ms)",
+              "Q2 max (ms)");
+    for (double dc : panel.dcs) {
+      const SweepRow& row = rows[next++];
+      const ClassReport& q1 = row.report.primary;
+      const ClassReport& q2 = row.report.overflow;
+      // fraction_within_delta is an exact count ratio, so the miss count
+      // reconstructs losslessly.
+      const std::int64_t primaries = static_cast<std::int64_t>(q1.count);
+      const std::int64_t misses =
+          primaries - std::llround(q1.fraction_within_delta *
+                                   static_cast<double>(primaries));
+      table.add(format_double(dc, 0), static_cast<long long>(misses),
+                format_double(primaries == 0
+                                  ? 0
+                                  : 100.0 * static_cast<double>(misses) /
+                                        static_cast<double>(primaries),
+                              4) +
+                    "%",
+                q2.count == 0 ? "-" : format_double(q2.mean_us / 1000.0, 1),
+                q2.count == 0 ? "-" : format_double(to_ms(q2.max), 0));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  write_bench_json(options, runner, rows.size(), bench_now_seconds() - t0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: Miser primary-deadline safety vs headroom dC\n\n");
-  run(Workload::kWebSearch);
-  run(Workload::kOpenMail);
+  run(parse_bench_args(argc, argv, "ablation_miser_dc"));
   return 0;
 }

@@ -6,14 +6,19 @@
 // 1, 2 and 4 offload targets (splitting the same total overflow capacity,
 // and alternatively scaling it), with round-robin vs least-loaded routing,
 // against the paper's shared-server alternatives (FairQueue, Miser).
+//
+// Execution engine: the offload configurations are custom-factory
+// SweepRunner cells (one ConstantRateServer per server_iops entry — primary
+// first, then the pool), the shared-server baselines are plain cells; all
+// seven evaluate concurrently and cache under label-derived salts.
 #include <cstdio>
 #include <vector>
 
-#include "analysis/response_stats.h"
 #include "core/capacity.h"
 #include "core/offload.h"
 #include "core/shaper.h"
-#include "sim/simulator.h"
+#include "runner/bench_io.h"
+#include "runner/parallel_capacity.h"
 #include "trace/presets.h"
 #include "util/table.h"
 
@@ -21,73 +26,82 @@ namespace {
 
 using namespace qos;
 
-struct Row {
-  std::string name;
-  double q1_within = 0;
-  double q2_mean_ms = 0;
-  double q2_max_ms = 0;
-};
-
-Row measure(const std::string& name, const SimResult& sim, Time delta) {
-  ResponseStats q1(sim.completions, ServiceClass::kPrimary);
-  ResponseStats q2(sim.completions, ServiceClass::kOverflow);
-  Row row;
-  row.name = name;
-  row.q1_within = q1.empty() ? 1.0 : q1.fraction_within(delta);
-  row.q2_mean_ms = q2.empty() ? 0 : q2.mean_us() / 1000.0;
-  row.q2_max_ms = q2.empty() ? 0 : to_ms(q2.max());
-  return row;
-}
-
-void run() {
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
   const Time delta = from_ms(10);
   const Trace trace = preset_trace(Workload::kOpenMail, 1200 * kUsPerSec);
-  const double cmin = min_capacity(trace, 0.90, delta).cmin_iops;
+
+  auto cache = options.make_cache();
+  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  const Digest digest = cache ? hash_trace(trace) : Digest{};
+  const double cmin =
+      min_capacity_cached(trace, 0.90, delta, cache.get(),
+                          cache ? &digest : nullptr)
+          .cmin_iops;
   const double dc = overflow_headroom_iops(delta);
   std::printf("OpenMail (1200 s), Cmin(90%%, 10 ms) = %.0f IOPS, dC = %.0f\n\n",
               cmin, dc);
 
-  std::vector<Row> rows;
-
-  auto run_offload = [&](const std::string& name, int targets,
-                         double per_target, OffloadRouting routing) {
-    OffloadScheduler sched(cmin, delta, targets, routing);
-    std::vector<ConstantRateServer> servers;
-    servers.emplace_back(cmin);
-    for (int i = 0; i < targets; ++i) servers.emplace_back(per_target);
-    std::vector<Server*> ptrs;
-    for (auto& s : servers) ptrs.push_back(&s);
-    rows.push_back(measure(name, simulate(trace, sched, ptrs), delta));
+  std::vector<SweepCell> cells;
+  auto offload_cell = [&](const std::string& name, int targets,
+                          double per_target, OffloadRouting routing) {
+    SweepCell cell;
+    cell.label = name;
+    cell.trace_name = "OpenMail-1200s";
+    cell.trace = &trace;
+    cell.shaping.policy = Policy::kSplit;  // closest plain analogue, for the row
+    cell.shaping.fraction = 0.90;
+    cell.shaping.delta = delta;
+    cell.shaping.capacity_override_iops = cmin;
+    ContentHasher salt;
+    salt.str("ablation-offload-v1").str(name);
+    cell.custom_salt = salt.digest().lo | 1;
+    cell.make_scheduler = [cmin, delta, targets, routing] {
+      return std::unique_ptr<Scheduler>(
+          std::make_unique<OffloadScheduler>(cmin, delta, targets, routing));
+    };
+    cell.server_iops.push_back(cmin);
+    for (int i = 0; i < targets; ++i) cell.server_iops.push_back(per_target);
+    cells.push_back(std::move(cell));
   };
 
   // Same total overflow capacity dC, split across the pool.
-  run_offload("offload x1 (Split)", 1, dc, OffloadRouting::kRoundRobin);
-  run_offload("offload x2, dC/2 each, RR", 2, dc / 2,
-              OffloadRouting::kRoundRobin);
-  run_offload("offload x4, dC/4 each, RR", 4, dc / 4,
-              OffloadRouting::kRoundRobin);
-  run_offload("offload x4, dC/4 each, JSQ", 4, dc / 4,
-              OffloadRouting::kLeastLoaded);
+  offload_cell("offload x1 (Split)", 1, dc, OffloadRouting::kRoundRobin);
+  offload_cell("offload x2, dC/2 each, RR", 2, dc / 2,
+               OffloadRouting::kRoundRobin);
+  offload_cell("offload x4, dC/4 each, RR", 4, dc / 4,
+               OffloadRouting::kRoundRobin);
+  offload_cell("offload x4, dC/4 each, JSQ", 4, dc / 4,
+               OffloadRouting::kLeastLoaded);
   // Everest-style: each target is a whole low-utilization disk (dC each).
-  run_offload("offload x4, dC each, RR", 4, dc, OffloadRouting::kRoundRobin);
+  offload_cell("offload x4, dC each, RR", 4, dc, OffloadRouting::kRoundRobin);
 
   // Shared-server alternatives at the same Cmin + dC budget.
   for (Policy p : {Policy::kFairQueue, Policy::kMiser}) {
-    ShapingConfig config;
-    config.policy = p;
-    config.fraction = 0.90;
-    config.delta = delta;
-    config.capacity_override_iops = cmin;
-    rows.push_back(
-        measure(policy_name(p), shape_and_run(trace, config).sim, delta));
+    SweepCell cell;
+    cell.trace_name = "OpenMail-1200s";
+    cell.trace = &trace;
+    cell.shaping.policy = p;
+    cell.shaping.fraction = 0.90;
+    cell.shaping.delta = delta;
+    cell.shaping.capacity_override_iops = cmin;
+    cells.push_back(std::move(cell));
   }
+
+  const std::vector<SweepRow> rows = runner.run_cells(cells);
 
   AsciiTable table;
   table.add("configuration", "Q1 within 10ms", "Q2 mean (ms)", "Q2 max (ms)");
-  for (const auto& row : rows)
-    table.add(row.name, format_double(100 * row.q1_within, 2) + "%",
-              format_double(row.q2_mean_ms, 1),
-              format_double(row.q2_max_ms, 0));
+  for (const SweepRow& row : rows) {
+    const ClassReport& q1 = row.report.primary;
+    const ClassReport& q2 = row.report.overflow;
+    table.add(row.label,
+              format_double(
+                  100 * (q1.count == 0 ? 1.0 : q1.fraction_within_delta), 2) +
+                  "%",
+              format_double(q2.count == 0 ? 0 : q2.mean_us / 1000.0, 1),
+              format_double(q2.count == 0 ? 0 : to_ms(q2.max), 0));
+  }
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "\nhow the pool is split barely matters at a fixed dC budget — the\n"
@@ -96,12 +110,14 @@ void run() {
       "by borrowing the primary's idle capacity (the paper's statistical-\n"
       "multiplexing argument against Split), and only whole-disk Everest\n"
       "targets — extra capacity, not a reshuffled budget — beat them.\n");
+
+  write_bench_json(options, runner, rows.size(), bench_now_seconds() - t0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: overflow offloading pool (Everest comparison)\n\n");
-  run();
+  run(parse_bench_args(argc, argv, "ablation_offload"));
   return 0;
 }

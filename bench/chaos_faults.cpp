@@ -15,10 +15,16 @@
 // overload into demotions, keeping the Q1 guarantee honest.  A second sweep
 // holds intensity at 30% and stretches the brownout to show the static
 // miss fraction growing with fault length while the degraded one stays put.
+//
+// Execution engine: both sweeps are SweepRunner cell lists (32 cells total)
+// evaluated concurrently; the chaos metrics ride in each row's "chaos.*"
+// extras and round-trip through the result cache, so warm re-runs print the
+// tables without a single simulation.
 #include <cstdio>
 
 #include "core/capacity.h"
-#include "fault/chaos.h"
+#include "runner/bench_io.h"
+#include "runner/parallel_capacity.h"
 #include "trace/generator.h"
 #include "util/table.h"
 
@@ -35,13 +41,13 @@ constexpr std::uint64_t kSeed = 1609;
 // the admission policy from the recombination policy.
 enum class Mode { kPolicy, kStaticRtt, kDegradedRtt };
 
-struct Cell {
+struct CellSpec {
   const char* name;
   Policy policy;
   Mode mode;
 };
 
-constexpr Cell kCells[] = {
+constexpr CellSpec kCellSpecs[] = {
     {"FCFS", Policy::kFcfs, Mode::kPolicy},
     {"Split", Policy::kSplit, Mode::kPolicy},
     {"FairQueue", Policy::kFairQueue, Mode::kPolicy},
@@ -50,70 +56,100 @@ constexpr Cell kCells[] = {
     {"RTT (degraded)", Policy::kMiser, Mode::kDegradedRtt},
 };
 
-ChaosOutcome run_cell(const Trace& trace, const Cell& cell, double cmin,
-                      const FaultySchedule& faults) {
-  ChaosConfig config;
-  config.shaping.policy = cell.policy;
-  config.shaping.fraction = kFraction;
-  config.shaping.delta = kDelta;
-  config.shaping.capacity_override_iops = cmin;
-  config.faults = faults;
-  config.use_degraded_admission = cell.mode != Mode::kPolicy;
-  config.degraded.enabled = cell.mode == Mode::kDegradedRtt;
-  return run_chaos(trace, config);
+SweepCell make_cell(const Trace& trace, const CellSpec& spec, double cmin,
+                    const FaultySchedule& faults, double intensity) {
+  SweepCell cell;
+  cell.label = spec.name;
+  cell.trace_name = "poisson-800";
+  cell.trace = &trace;
+  cell.shaping.policy = spec.policy;
+  cell.shaping.fraction = kFraction;
+  cell.shaping.delta = kDelta;
+  cell.shaping.capacity_override_iops = cmin;
+  cell.faults = faults;
+  cell.use_chaos = true;  // loss-0 baseline cells need chaos.* extras too
+  cell.use_degraded_admission = spec.mode != Mode::kPolicy;
+  cell.degraded.enabled = spec.mode == Mode::kDegradedRtt;
+  cell.fault_intensity = intensity;
+  cell.seed = kSeed;
+  return cell;
 }
 
-void sweep_intensity(const Trace& trace, double cmin) {
+void sweep_intensity(SweepRunner& runner, const Trace& trace, double cmin) {
   std::printf("-- Sweep 1: brownout depth (10 s window) x policy --\n");
-  AsciiTable table;
-  table.add("policy", "loss", "Q1 miss frac", "demotion rate",
-            "recover (ms)");
+  std::vector<SweepCell> cells;
   for (double loss : {0.0, 0.15, 0.30, 0.50}) {
     FaultySchedule faults;
     if (loss > 0) faults.brownout(10 * kUsPerSec, 20 * kUsPerSec, loss);
-    for (const Cell& cell : kCells) {
-      const ChaosOutcome out = run_cell(trace, cell, cmin, faults);
-      table.add(cell.name, format_double(100 * loss, 0) + "%",
-                format_double(out.q1_miss_fraction, 4),
-                format_double(out.demotion_rate, 4),
-                format_double(to_ms(out.time_to_recover), 1));
-    }
+    for (const CellSpec& spec : kCellSpecs)
+      cells.push_back(make_cell(trace, spec, cmin, faults, loss));
   }
+  const std::vector<SweepRow> rows = runner.run_cells(cells);
+
+  AsciiTable table;
+  table.add("policy", "loss", "Q1 miss frac", "demotion rate",
+            "recover (ms)");
+  for (const SweepRow& row : rows)
+    table.add(row.label, format_double(100 * row.fault_intensity, 0) + "%",
+              format_double(row.extra.at("chaos.q1_miss_fraction"), 4),
+              format_double(row.extra.at("chaos.demotion_rate"), 4),
+              format_double(row.extra.at("chaos.time_to_recover_us") / 1e3,
+                            1));
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void sweep_length(const Trace& trace, double cmin) {
+void sweep_length(SweepRunner& runner, const Trace& trace, double cmin) {
   std::printf(
       "-- Sweep 2: 30%% brownout length, static vs degraded admission --\n");
+  constexpr Time kLengths[] = {2 * kUsPerSec, 5 * kUsPerSec, 10 * kUsPerSec,
+                               20 * kUsPerSec};
+  std::vector<SweepCell> cells;
+  for (Time length : kLengths) {
+    FaultySchedule faults;
+    faults.brownout(5 * kUsPerSec, 5 * kUsPerSec + length, 0.30);
+    cells.push_back(make_cell(trace, kCellSpecs[4], cmin, faults, 0.30));
+    cells.push_back(make_cell(trace, kCellSpecs[5], cmin, faults, 0.30));
+  }
+  const std::vector<SweepRow> rows = runner.run_cells(cells);
+
   AsciiTable table;
   table.add("length (s)", "static Q1 miss", "degraded Q1 miss",
             "degraded demotion rate");
-  for (Time length : {2 * kUsPerSec, 5 * kUsPerSec, 10 * kUsPerSec,
-                      20 * kUsPerSec}) {
-    FaultySchedule faults;
-    faults.brownout(5 * kUsPerSec, 5 * kUsPerSec + length, 0.30);
-    const Cell static_cell{"RTT (static)", Policy::kMiser, Mode::kStaticRtt};
-    const Cell degraded_cell{"RTT (degraded)", Policy::kMiser,
-                             Mode::kDegradedRtt};
-    const ChaosOutcome s = run_cell(trace, static_cell, cmin, faults);
-    const ChaosOutcome d = run_cell(trace, degraded_cell, cmin, faults);
-    table.add(format_double(to_sec(length), 0),
-              format_double(s.q1_miss_fraction, 4),
-              format_double(d.q1_miss_fraction, 4),
-              format_double(d.demotion_rate, 4));
+  for (std::size_t i = 0; i < std::size(kLengths); ++i) {
+    const SweepRow& s = rows[2 * i];
+    const SweepRow& d = rows[2 * i + 1];
+    table.add(format_double(to_sec(kLengths[i]), 0),
+              format_double(s.extra.at("chaos.q1_miss_fraction"), 4),
+              format_double(d.extra.at("chaos.q1_miss_fraction"), 4),
+              format_double(d.extra.at("chaos.demotion_rate"), 4));
   }
   std::printf("%s", table.to_string().c_str());
 }
 
-}  // namespace
-
-int main() {
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
   std::printf("Chaos harness: graceful degradation under capacity faults\n");
   const Trace trace = generate_poisson(800, 40 * kUsPerSec, kSeed);
-  const double cmin = min_capacity(trace, kFraction, kDelta).cmin_iops;
+
+  auto cache = options.make_cache();
+  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  const Digest digest = cache ? hash_trace(trace) : Digest{};
+  const double cmin =
+      min_capacity_cached(trace, kFraction, kDelta, cache.get(),
+                          cache ? &digest : nullptr)
+          .cmin_iops;
   std::printf("trace: %zu requests, Cmin(%.0f%%, %.0f ms) = %.0f IOPS\n\n",
               trace.size(), 100 * kFraction, to_ms(kDelta), cmin);
-  sweep_intensity(trace, cmin);
-  sweep_length(trace, cmin);
+  sweep_intensity(runner, trace, cmin);
+  sweep_length(runner, trace, cmin);
+
+  write_bench_json(options, runner, runner.stats().cells,
+                   bench_now_seconds() - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(parse_bench_args(argc, argv, "chaos_faults"));
   return 0;
 }

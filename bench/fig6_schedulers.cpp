@@ -6,11 +6,17 @@
 //   (b) the same for (95%, 50 ms);
 //   (c) overflow-class (Q2) average and maximum response time of Miser
 //       normalized to FairQueue (paper: ~0.85-0.90).
+//
+// Execution engine: the two Cmin searches run concurrently, then the full
+// figure is one 8-cell sweep (fraction x policy) on the runner; every panel
+// is printed from the ordered rows, so stdout is identical at any --threads
+// value and a warm cache replays the figure without simulating.
 #include <cstdio>
 
-#include "analysis/response_stats.h"
 #include "core/capacity.h"
 #include "core/shaper.h"
+#include "runner/bench_io.h"
+#include "runner/parallel_capacity.h"
 #include "trace/presets.h"
 #include "util/table.h"
 
@@ -20,64 +26,44 @@ using namespace qos;
 
 constexpr Policy kPolicies[] = {Policy::kFcfs, Policy::kSplit,
                                 Policy::kFairQueue, Policy::kMiser};
+constexpr double kFractions[] = {0.90, 0.95};
 
-void run_panel(const Trace& trace, double fraction, Time delta) {
-  const double cmin = min_capacity(trace, fraction, delta).cmin_iops;
+void print_panel(double fraction, Time delta, double cmin,
+                 std::span<const SweepRow> rows) {
   const double dc = overflow_headroom_iops(delta);
   std::printf("-- Target: (%.0f%%, %.0f ms), capacity %.0f+%.0f IOPS --\n",
               100 * fraction, to_ms(delta), cmin, dc);
   AsciiTable table;
   table.add("Scheduler", "<=50ms", "<=100ms", "<=500ms", "<=1000ms",
             ">1000ms", "max (ms)");
-  for (Policy p : kPolicies) {
-    ShapingConfig config;
-    config.policy = p;
-    config.fraction = fraction;
-    config.delta = delta;
-    config.capacity_override_iops = cmin;
-    ShapingOutcome out = shape_and_run(trace, config);
-    ResponseStats stats(out.sim.completions);
-    const auto b = stats.paper_buckets();
-    table.add(policy_name(p), format_double(100 * b.le_50, 1) + "%",
+  for (const SweepRow& row : rows) {
+    const ResponseStats::Buckets& b = row.buckets;
+    table.add(row.label, format_double(100 * b.le_50, 1) + "%",
               format_double(100 * b.le_100, 1) + "%",
               format_double(100 * b.le_500, 1) + "%",
               format_double(100 * b.le_1000, 1) + "%",
               format_double(100 * b.gt_1000, 1) + "%",
-              format_double(to_ms(stats.max()), 0));
+              format_double(to_ms(row.report.all.max), 0));
   }
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void run_q2_comparison(const Trace& trace, Time delta) {
+void print_q2_comparison(std::span<const SweepRow> fq_rows,
+                         std::span<const SweepRow> miser_rows) {
   std::printf(
       "-- Figure 6(c): Q2 performance, Miser normalized to FairQueue --\n");
   AsciiTable table;
   table.add("Target %", "FQ avg (ms)", "Miser avg (ms)", "avg ratio",
             "FQ max (ms)", "Miser max (ms)", "max ratio");
-  for (double fraction : {0.90, 0.95}) {
-    const double cmin = min_capacity(trace, fraction, delta).cmin_iops;
-    ShapingConfig config;
-    config.fraction = fraction;
-    config.delta = delta;
-    config.capacity_override_iops = cmin;
-
-    // Per-class stats come from the observability report; a fresh registry
-    // per run keeps the counters per-policy.
-    auto overflow_report = [&](Policy p) {
-      MetricRegistry registry;
-      config.policy = p;
-      config.registry = &registry;
-      ClassReport r = shape_and_run(trace, config).report.overflow;
-      config.registry = nullptr;
-      return r;
-    };
-    const ClassReport fq = overflow_report(Policy::kFairQueue);
-    const ClassReport miser = overflow_report(Policy::kMiser);
+  for (std::size_t i = 0; i < fq_rows.size(); ++i) {
+    const ClassReport& fq = fq_rows[i].report.overflow;
+    const ClassReport& miser = miser_rows[i].report.overflow;
     if (fq.count == 0 || miser.count == 0) {
-      std::printf("  (no overflow requests at fraction %.2f)\n", fraction);
+      std::printf("  (no overflow requests at fraction %.2f)\n",
+                  fq_rows[i].fraction);
       continue;
     }
-    table.add(format_double(100 * fraction, 0),
+    table.add(format_double(100 * fq_rows[i].fraction, 0),
               format_double(fq.mean_us / 1e3, 1),
               format_double(miser.mean_us / 1e3, 1),
               format_double(miser.mean_us / fq.mean_us, 2),
@@ -90,15 +76,63 @@ void run_q2_comparison(const Trace& trace, Time delta) {
   std::printf("%s", table.to_string().c_str());
 }
 
-}  // namespace
-
-int main() {
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
   std::printf(
       "Figure 6: FCFS vs Split vs FairQueue vs Miser (WebSearch)\n\n");
   const Trace trace = preset_trace(Workload::kWebSearch);
   const Time delta = from_ms(50);
-  run_panel(trace, 0.90, delta);
-  run_panel(trace, 0.95, delta);
-  run_q2_comparison(trace, delta);
+
+  auto cache = options.make_cache();
+  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  const Digest digest =
+      cache ? hash_trace(trace) : Digest{};
+  const Digest* digest_ptr = cache ? &digest : nullptr;
+
+  // Both panels use the same delta at their own fraction: two independent
+  // Cmin searches, fanned over the runner's pool.
+  const std::vector<CapacityResult> caps = runner.pool().parallel_map(
+      std::size(kFractions), [&](std::size_t i) {
+        return min_capacity_cached(trace, kFractions[i], delta, cache.get(),
+                                   digest_ptr);
+      });
+
+  // One cell per (fraction, policy), fraction-major so rows slice cleanly
+  // into the two panels.
+  std::vector<SweepCell> cells;
+  for (std::size_t f = 0; f < std::size(kFractions); ++f) {
+    for (Policy p : kPolicies) {
+      SweepCell cell;
+      cell.trace_name = "WebSearch";
+      cell.trace = &trace;
+      cell.shaping.policy = p;
+      cell.shaping.fraction = kFractions[f];
+      cell.shaping.delta = delta;
+      cell.shaping.capacity_override_iops = caps[f].cmin_iops;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<SweepRow> rows = runner.run_cells(cells);
+  const std::size_t np = std::size(kPolicies);
+
+  print_panel(kFractions[0], delta, caps[0].cmin_iops,
+              std::span(rows).subspan(0, np));
+  print_panel(kFractions[1], delta, caps[1].cmin_iops,
+              std::span(rows).subspan(np, np));
+
+  // Panel (c) reuses the FairQueue and Miser rows from the panels above —
+  // kPolicies order puts FairQueue at offset 2 and Miser at offset 3.
+  const std::vector<SweepRow> fq = {rows[2], rows[np + 2]};
+  const std::vector<SweepRow> miser = {rows[3], rows[np + 3]};
+  print_q2_comparison(fq, miser);
+
+  write_bench_json(options, runner, rows.size(),
+                   bench_now_seconds() - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(parse_bench_args(argc, argv, "fig6_schedulers"));
   return 0;
 }

@@ -5,9 +5,18 @@
 //       capacity actually needed when one copy is shifted by 1 s / 100 s —
 //       the estimate over-provisions badly;
 //   (b,c) after 90% / 95% decomposition the estimate is accurate.
+//
+// Execution engine: the figure is 27 independent Cmin searches (3 panels x
+// 3 workloads x {individual, shift-1s, shift-100s}).  The 9 traces are
+// materialized once, then every search fans out flat over the thread pool
+// and lands in its slot, so the printed panels are identical at any
+// --threads value.
 #include <cstdio>
 
 #include "core/capacity.h"
+#include "runner/bench_io.h"
+#include "runner/parallel_capacity.h"
+#include "runner/thread_pool.h"
 #include "trace/presets.h"
 #include "util/table.h"
 
@@ -15,47 +24,92 @@ namespace {
 
 using namespace qos;
 
-void run_panel(double fraction) {
-  const Time delta = from_ms(10);
-  if (fraction == 1.0)
-    std::printf("-- (a) traditional 100%% combine --\n");
-  else
-    std::printf("-- %.0f%% decomposition combine --\n", 100 * fraction);
-  AsciiTable table;
-  table.add("Workloads", "Estimate", "Shift-1s", "ratio", "Shift-100s",
-            "ratio");
-  for (Workload w : {Workload::kWebSearch, Workload::kFinTrans,
-                     Workload::kOpenMail}) {
-    const Trace trace = preset_trace(w);
-    const double individual = min_capacity(trace, fraction, delta).cmin_iops;
-    const double estimate = 2 * individual;
+constexpr Workload kWorkloads[] = {Workload::kWebSearch, Workload::kFinTrans,
+                                   Workload::kOpenMail};
+constexpr double kFractions[] = {1.0, 0.90, 0.95};
+constexpr Time kShifts[] = {1 * kUsPerSec, 100 * kUsPerSec};
 
-    auto actual_for_shift = [&](Time shift) {
-      // Paper: "one workload is shifted in time by 1 or 100 seconds, then
-      // merged with the other" — the copy keeps its shape, delayed by the
-      // shift (the merged trace is `shift` longer).
-      const Trace clients[] = {trace, trace.shifted(shift)};
-      const Trace merged = Trace::merge(clients);
-      return min_capacity(merged, fraction, delta).cmin_iops;
-    };
-    const double shift1 = actual_for_shift(1 * kUsPerSec);
-    const double shift100 = actual_for_shift(100 * kUsPerSec);
-    const std::string name =
-        workload_name(w) + " + " + workload_name(w);
-    table.add(name, format_double(estimate, 0), format_double(shift1, 0),
-              format_double(shift1 / estimate, 2),
-              format_double(shift100, 0),
-              format_double(shift100 / estimate, 2));
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
+  std::printf("Figure 7: capacity for multiplexing identical workloads\n\n");
+  const Time delta = from_ms(10);
+
+  ThreadPool pool(options.threads);
+  auto cache = options.make_cache();
+
+  // Trace variants per workload: [0] the workload itself, [1] merged with a
+  // 1 s-shifted copy, [2] merged with a 100 s-shifted copy.  Paper: "one
+  // workload is shifted in time by 1 or 100 seconds, then merged with the
+  // other" — the copy keeps its shape, delayed by the shift.
+  constexpr std::size_t kVariants = 1 + std::size(kShifts);
+  const std::vector<Trace> traces = pool.parallel_map(
+      std::size(kWorkloads) * kVariants, [&](std::size_t i) {
+        const Trace base = preset_trace(kWorkloads[i / kVariants]);
+        const std::size_t variant = i % kVariants;
+        if (variant == 0) return base;
+        const Trace clients[] = {base, base.shifted(kShifts[variant - 1])};
+        return Trace::merge(clients);
+      });
+  std::vector<Digest> digests(traces.size());
+  if (cache)
+    pool.parallel_for(traces.size(),
+                      [&](std::size_t i) { digests[i] = hash_trace(traces[i]); });
+
+  // All 27 searches, flat: index = (panel, workload, variant).
+  struct Task {
+    double fraction = 0;
+    std::size_t trace_index = 0;
+  };
+  std::vector<Task> tasks;
+  for (double fraction : kFractions)
+    for (std::size_t w = 0; w < std::size(kWorkloads); ++w)
+      for (std::size_t v = 0; v < kVariants; ++v)
+        tasks.push_back({fraction, w * kVariants + v});
+  const std::vector<double> cmins =
+      pool.parallel_map(tasks.size(), [&](std::size_t i) {
+        const Task& task = tasks[i];
+        const Digest* digest = cache ? &digests[task.trace_index] : nullptr;
+        return min_capacity_cached(traces[task.trace_index], task.fraction,
+                                   delta, cache.get(), digest)
+            .cmin_iops;
+      });
+
+  std::size_t next = 0;
+  for (double fraction : kFractions) {
+    if (fraction == 1.0)
+      std::printf("-- (a) traditional 100%% combine --\n");
+    else
+      std::printf("-- %.0f%% decomposition combine --\n", 100 * fraction);
+    AsciiTable table;
+    table.add("Workloads", "Estimate", "Shift-1s", "ratio", "Shift-100s",
+              "ratio");
+    for (Workload w : kWorkloads) {
+      const double estimate = 2 * cmins[next++];
+      const double shift1 = cmins[next++];
+      const double shift100 = cmins[next++];
+      const std::string name =
+          workload_name(w) + " + " + workload_name(w);
+      table.add(name, format_double(estimate, 0), format_double(shift1, 0),
+                format_double(shift1 / estimate, 2),
+                format_double(shift100, 0),
+                format_double(shift100 / estimate, 2));
+    }
+    std::printf("%s\n", table.to_string().c_str());
   }
-  std::printf("%s\n", table.to_string().c_str());
+
+  BenchTiming timing;
+  timing.name = options.bench_name;
+  timing.wall_seconds = bench_now_seconds() - t0;
+  timing.cells = tasks.size();
+  timing.cache_hits = cache ? cache->stats().hits : 0;
+  timing.rows = std::size(kFractions) * std::size(kWorkloads);
+  timing.threads = pool.thread_count();
+  write_bench_json(options, timing);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Figure 7: capacity for multiplexing identical workloads\n\n");
-  run_panel(1.0);
-  run_panel(0.90);
-  run_panel(0.95);
+int main(int argc, char** argv) {
+  run(parse_bench_args(argc, argv, "fig7_same_multiplex"));
   return 0;
 }

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + test matrix from ROADMAP.md, then
 # the same test suite under ASan+UBSan so the simulator/scheduler hot paths
-# (including the observability hooks) stay sanitizer-clean.
+# (including the observability hooks) stay sanitizer-clean.  An optional
+# third stage runs the concurrency-facing suites (runner, obs, fault/chaos)
+# under ThreadSanitizer — the parallel experiment engine's race gate.
 #
-#   scripts/tier1.sh            # both passes
+#   scripts/tier1.sh            # plain + ASan/UBSan passes
 #   scripts/tier1.sh --fast     # plain pass only
+#   scripts/tier1.sh --tsan     # plain + ASan/UBSan + TSan passes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+# Concurrency-facing test suites for the TSan stage: the runner subsystem
+# plus everything its worker threads touch (metrics, reports, fault/chaos).
+tsan_filter='ThreadPool|ResultCache|Sweep|Parallel|MinCapacityCached|Merge'
+tsan_filter+='|Obs|Chaos|Fault|DegradedRtt|CapacityMonitor|Histogram'
+tsan_filter+='|Registry|Occupancy|CounterGauge|Sinks|Exporters|ShapingReport|Sla'
 
 echo "== tier-1: plain build + ctest =="
 cmake -B build -S . >/dev/null
@@ -23,3 +32,11 @@ echo "== tier-1: ASan+UBSan build + ctest (tests only) =="
 cmake -B build-asan -S . -DQOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$jobs"
 ctest --test-dir build-asan --output-on-failure --timeout 300 -j"$jobs"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== tier-1: TSan build + ctest (runner/obs/fault suites) =="
+  cmake -B build-tsan -S . -DQOS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$jobs"
+  ctest --test-dir build-tsan --output-on-failure --timeout 300 -j"$jobs" \
+    -R "$tsan_filter"
+fi

@@ -23,14 +23,24 @@ std::vector<CapacityPoint> capacity_profile(const Trace& trace, Time delta,
   std::sort(fractions.begin(), fractions.end());
   std::vector<CapacityPoint> out;
   out.reserve(fractions.size());
-  for (double f : fractions)
-    out.push_back({f, min_capacity(trace, f, delta).cmin_iops});
+  CapacityHint hint;
+  for (double f : fractions) {
+    const CapacityResult r = min_capacity(trace, f, delta, hint);
+    out.push_back({f, r.cmin_iops});
+    // Cmin is non-decreasing in f, so this answer lower-bounds the next.
+    hint.infeasible_below = static_cast<std::int64_t>(r.cmin_iops) - 1;
+  }
   return out;
 }
 
-CapacityResult min_capacity(const Trace& trace, double fraction, Time delta) {
+CapacityResult min_capacity(const Trace& trace, double fraction, Time delta,
+                            CapacityHint hint) {
   QOS_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
   QOS_EXPECTS(delta > 0);
+  QOS_EXPECTS(hint.infeasible_below >= 0);
+  QOS_EXPECTS(hint.feasible_at >= 0);
+  QOS_EXPECTS(hint.feasible_at == 0 ||
+              hint.feasible_at > hint.infeasible_below);
   CapacityResult result;
   if (trace.empty()) {
     result.cmin_iops = 0;
@@ -46,13 +56,22 @@ CapacityResult min_capacity(const Trace& trace, double fraction, Time delta) {
     return f >= fraction;
   };
 
-  // Exponential doubling to bracket, then binary search.
-  std::int64_t hi = 1;
-  while (!ok(hi)) {
-    hi *= 2;
-    QOS_CHECK(hi < (1LL << 40));  // capacity explosion => logic error
+  std::int64_t lo = hint.infeasible_below;  // infeasible (or 0)
+  std::int64_t hi;
+  if (hint.feasible_at > 0) {
+    hi = hint.feasible_at;  // bracket fully known: straight binary search
+  } else {
+    // Exponential doubling to bracket.  With no hint this probes 1, 2, 4,
+    // ... exactly as the original unhinted search; with a lower bound it
+    // starts just above it, so a warm start near the answer converges in
+    // a couple of probes.
+    hi = lo + 1;
+    while (!ok(hi)) {
+      lo = hi;
+      hi *= 2;
+      QOS_CHECK(hi < (1LL << 40));  // capacity explosion => logic error
+    }
   }
-  std::int64_t lo = hi / 2;  // lo is infeasible (or 0)
   while (lo + 1 < hi) {
     const std::int64_t mid = lo + (hi - lo) / 2;
     if (ok(mid))

@@ -24,6 +24,24 @@ struct CapacityResult {
   int probes = 0;             ///< fraction evaluations performed
 };
 
+/// Caller-supplied bracket seed for min_capacity.  Both bounds are
+/// optional; a default-constructed hint reproduces the unhinted search
+/// probe for probe.
+///
+/// The guaranteed fraction is non-decreasing in capacity and Cmin is
+/// non-decreasing in the target fraction, so a previous search's answer
+/// brackets the next one: after cmin(f0) = c0, any search for f >= f0 may
+/// assert `infeasible_below = c0 - 1`, and any search for f <= f1 with
+/// known cmin(f1) = c1 may assert `feasible_at = c1`.  capacity_profile
+/// threads exactly that hint through its ascending fractions, collapsing
+/// most searches to a handful of probes (see CapacityResult::probes).
+struct CapacityHint {
+  /// Every integer capacity <= this is known infeasible (0 = no knowledge).
+  std::int64_t infeasible_below = 0;
+  /// This integer capacity is known feasible (0 = no knowledge).
+  std::int64_t feasible_at = 0;
+};
+
 /// Fraction of `trace` that RTT admits to Q1 (and hence guarantees) at
 /// capacity `capacity_iops` with deadline `delta`.
 double fraction_guaranteed(const Trace& trace, double capacity_iops,
@@ -31,7 +49,11 @@ double fraction_guaranteed(const Trace& trace, double capacity_iops,
 
 /// Binary-search the least integer capacity whose guaranteed fraction is
 /// >= `fraction` (in [0, 1]).  `fraction == 1.0` demands zero overflow.
-CapacityResult min_capacity(const Trace& trace, double fraction, Time delta);
+/// A wrong hint (claiming infeasible_below >= the true Cmin, or a
+/// feasible_at that is not feasible) yields an unspecified wrong answer —
+/// hints assert knowledge, they are not heuristics.
+CapacityResult min_capacity(const Trace& trace, double fraction, Time delta,
+                            CapacityHint hint = {});
 
 /// The paper's overflow headroom dC = 1/delta, in IOPS.
 double overflow_headroom_iops(Time delta);
@@ -43,7 +65,10 @@ struct CapacityPoint {
 };
 
 /// The knee curve: Cmin at each requested fraction (sorted ascending).
-/// Defaults to the paper's Table 1 fractions.
+/// Defaults to the paper's Table 1 fractions.  Each search is warm-started
+/// from the previous fraction's answer (monotonicity of Cmin in f); the
+/// runner's parallel profile (runner/parallel_capacity.h) instead brackets
+/// with the endpoint fractions so the middle searches run concurrently.
 std::vector<CapacityPoint> capacity_profile(
     const Trace& trace, Time delta,
     std::vector<double> fractions = {0.90, 0.95, 0.99, 0.995, 0.999, 1.0});

@@ -4,14 +4,21 @@ namespace qos {
 
 ConsolidationReport consolidate(std::span<const Trace> clients,
                                 double fraction, Time delta) {
-  ConsolidationReport report;
-  for (const auto& t : clients) {
-    const double c = min_capacity(t, fraction, delta).cmin_iops;
-    report.individual_iops.push_back(c);
-    report.estimate_iops += c;
-  }
+  std::vector<double> individual;
+  individual.reserve(clients.size());
+  for (const auto& t : clients)
+    individual.push_back(min_capacity(t, fraction, delta).cmin_iops);
   const Trace merged = Trace::merge(clients);
-  report.actual_iops = min_capacity(merged, fraction, delta).cmin_iops;
+  return assemble_consolidation(
+      std::move(individual), min_capacity(merged, fraction, delta).cmin_iops);
+}
+
+ConsolidationReport assemble_consolidation(std::vector<double> individual,
+                                           double actual_iops) {
+  ConsolidationReport report;
+  report.individual_iops = std::move(individual);
+  for (double c : report.individual_iops) report.estimate_iops += c;
+  report.actual_iops = actual_iops;
   return report;
 }
 

@@ -43,4 +43,12 @@ struct ConsolidationReport {
 ConsolidationReport consolidate(std::span<const Trace> clients,
                                 double fraction, Time delta);
 
+/// Assemble a report from already-computed per-client capacities and the
+/// merged workload's actual requirement.  consolidate() is this plus the
+/// Cmin searches; the runner's consolidate_parallel computes the searches
+/// concurrently and funnels them through the same assembly, so the two
+/// paths cannot drift.
+ConsolidationReport assemble_consolidation(std::vector<double> individual,
+                                           double actual_iops);
+
 }  // namespace qos

@@ -7,6 +7,27 @@
 
 namespace qos {
 
+TenantSpec planned_tenant_spec(double cmin_iops, Time delta,
+                               std::size_t tenant_count) {
+  QOS_EXPECTS(tenant_count > 0);
+  TenantSpec spec;
+  spec.cmin_iops = cmin_iops;
+  spec.delta = delta;
+  spec.overflow_weight =
+      overflow_headroom_iops(delta) / static_cast<double>(tenant_count);
+  return spec;
+}
+
+std::vector<TenantSpec> plan_tenant_specs(std::span<const Trace> tenants,
+                                          double fraction, Time delta) {
+  std::vector<TenantSpec> specs;
+  specs.reserve(tenants.size());
+  for (const Trace& t : tenants)
+    specs.push_back(planned_tenant_spec(
+        min_capacity(t, fraction, delta).cmin_iops, delta, tenants.size()));
+  return specs;
+}
+
 MultiTenantScheduler::MultiTenantScheduler(std::vector<TenantSpec> tenants) {
   QOS_EXPECTS(!tenants.empty());
   std::vector<double> weights;

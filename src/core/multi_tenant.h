@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/rtt.h"
@@ -25,11 +26,26 @@
 
 namespace qos {
 
+class Trace;
+
 struct TenantSpec {
   double cmin_iops = 100;   ///< profiled primary reservation
   Time delta = from_ms(10); ///< primary response-time bound
   double overflow_weight = 10;  ///< share of headroom for this tenant's Q2
 };
+
+/// One tenant's spec from its profiled reservation: the paper's overflow
+/// headroom 1/delta is split evenly across the tenant set as Q2 weight.
+/// Shared by the serial and parallel planners so their specs cannot drift.
+TenantSpec planned_tenant_spec(double cmin_iops, Time delta,
+                               std::size_t tenant_count);
+
+/// Profile one TenantSpec per trace at QoS target (fraction, delta): each
+/// tenant's cmin_iops is min_capacity(trace, fraction, delta).  The
+/// runner's plan_tenant_specs_parallel computes the same specs with the
+/// per-tenant searches fanned out over a thread pool.
+std::vector<TenantSpec> plan_tenant_specs(std::span<const Trace> tenants,
+                                          double fraction, Time delta);
 
 class MultiTenantScheduler final : public Scheduler {
  public:

@@ -91,6 +91,28 @@ Time LatencyHistogram::quantile(double p) const {
   return max_;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_us_ += other.sum_us_;
+  count_ += other.count_;
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, o] : other.occupancies_) {
+    QOS_CHECK(occupancies_.find(name) == occupancies_.end());
+    occupancies_.emplace(name, o);
+  }
+}
+
 const Counter* MetricRegistry::find_counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;

@@ -27,6 +27,7 @@ class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
+  void merge(const Counter& other) { value_ += other.value_; }
 
  private:
   std::uint64_t value_ = 0;
@@ -37,6 +38,7 @@ class Gauge {
   void set(double v) { value_ = v; }
   void add(double v) { value_ += v; }
   double value() const { return value_; }
+  void merge(const Gauge& other) { value_ += other.value_; }
 
  private:
   double value_ = 0;
@@ -67,6 +69,13 @@ class LatencyHistogram {
   /// Nearest-rank quantile, p in [0, 1].  Reports the upper bound of the
   /// containing bucket (never underestimates); p == 0 / p == 1 are exact.
   Time quantile(double p) const;
+
+  /// Fold `other`'s samples in: bucket-wise addition plus exact min/max/
+  /// sum/count combination.  Merging per-job histograms recorded on
+  /// separate threads after a join is equivalent to recording every sample
+  /// into one histogram (tests assert), which is how the runner aggregates
+  /// sweep metrics race-free — no histogram is ever shared across threads.
+  void merge(const LatencyHistogram& other);
 
   /// Visit non-empty buckets as (lower, upper, count), lower inclusive,
   /// upper exclusive (equal to lower + 1 for the exact unit buckets).
@@ -164,6 +173,15 @@ class MetricRegistry {
   const std::map<std::string, OccupancySeries>& occupancies() const {
     return occupancies_;
   }
+
+  /// Fold another registry's metrics in by name: counters and gauges add,
+  /// histograms merge sample-exactly.  Occupancy series are step functions
+  /// over each run's private simulated clock — two runs' series have no
+  /// joint timeline — so a name collision there is a caller error and
+  /// aborts; disjoint occupancy names are copied over.  This is the
+  /// fan-in half of the runner's aggregation model: workers populate
+  /// thread-private registries, the collecting thread merges after join.
+  void merge_from(const MetricRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

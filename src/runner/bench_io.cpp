@@ -1,0 +1,104 @@
+#include "runner/bench_io.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace qos {
+
+std::unique_ptr<ResultCache> BenchOptions::make_cache() const {
+  if (!use_cache) return nullptr;
+  ResultCache::Config config;
+  config.disk_dir = cache_dir;
+  return std::make_unique<ResultCache>(config);
+}
+
+BenchOptions parse_bench_args(int argc, char** argv,
+                              const std::string& bench_name) {
+  BenchOptions options;
+  options.bench_name = bench_name;
+  auto usage = [&](const char* bad) {
+    std::fprintf(stderr,
+                 "%s: unknown or malformed argument '%s'\n"
+                 "usage: %s [--threads N] [--no-cache] [--cache-dir DIR] "
+                 "[--json PATH]\n",
+                 bench_name.c_str(), bad, bench_name.c_str());
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(arg);
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--threads") == 0) {
+      char* end = nullptr;
+      const char* v = value();
+      options.threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || options.threads < 0) usage(v);
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      options.use_cache = false;
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      options.cache_dir = value();
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json_path = value();
+    } else {
+      usage(arg);
+    }
+  }
+  if (options.json_path.empty())
+    options.json_path = "BENCH_" + bench_name + ".json";
+  return options;
+}
+
+std::string bench_timing_json(const BenchTiming& timing) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"%s\",\n"
+                "  \"wall_seconds\": %.6f,\n"
+                "  \"cells\": %llu,\n"
+                "  \"cache_hits\": %llu,\n"
+                "  \"rows\": %llu,\n"
+                "  \"threads\": %d\n"
+                "}\n",
+                timing.name.c_str(), timing.wall_seconds,
+                static_cast<unsigned long long>(timing.cells),
+                static_cast<unsigned long long>(timing.cache_hits),
+                static_cast<unsigned long long>(timing.rows), timing.threads);
+  return buf;
+}
+
+void write_bench_json(const BenchOptions& options, const BenchTiming& timing) {
+  std::ofstream out(options.json_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[%s] cannot write %s\n", options.bench_name.c_str(),
+                 options.json_path.c_str());
+    return;
+  }
+  out << bench_timing_json(timing);
+  std::fprintf(stderr, "[%s] timing written to %s\n",
+               options.bench_name.c_str(), options.json_path.c_str());
+}
+
+void write_bench_json(const BenchOptions& options, const SweepRunner& runner,
+                      std::uint64_t rows, double wall_seconds) {
+  BenchTiming timing;
+  timing.name = options.bench_name;
+  timing.wall_seconds = wall_seconds;
+  timing.cells = runner.stats().cells;
+  timing.cache_hits = runner.stats().cache_hits;
+  timing.rows = rows;
+  timing.threads = runner.pool().thread_count();
+  write_bench_json(options, timing);
+}
+
+double bench_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace qos

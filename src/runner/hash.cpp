@@ -1,0 +1,61 @@
+#include "runner/hash.h"
+
+#include <cstdio>
+
+#include "core/shaper.h"
+#include "fault/fault_schedule.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+std::string Digest::to_hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf, 32);
+}
+
+ContentHasher& ContentHasher::bytes(const void* data, std::size_t n) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi_ = (hi_ ^ p[i]) * kPrime;
+    lo_ = (lo_ ^ p[i]) * kPrime;
+    lo_ ^= lo_ >> 29;  // extra mixing keeps the lanes independent
+  }
+  return *this;
+}
+
+Digest hash_trace(const Trace& trace) {
+  ContentHasher h;
+  h.u64(trace.size());
+  for (const Request& r : trace) {
+    h.i64(r.arrival);
+    h.u64(r.client);
+    h.u64(r.lba);
+    h.u64(r.size_blocks);
+    h.u64(r.is_write ? 1 : 0);
+  }
+  return h.digest();
+}
+
+void hash_shaping_config(ContentHasher& h, const ShapingConfig& config) {
+  h.f64(config.fraction);
+  h.i64(config.delta);
+  h.u64(static_cast<std::uint64_t>(config.policy));
+  h.f64(config.capacity_override_iops);
+  h.f64(config.headroom_override_iops);
+}
+
+void hash_fault_schedule(ContentHasher& h, const FaultySchedule& faults) {
+  h.u64(faults.size());
+  for (const FaultWindow& w : faults.windows()) {
+    h.i64(w.begin);
+    h.i64(w.end);
+    h.u64(static_cast<std::uint64_t>(w.kind));
+    h.f64(w.severity);
+  }
+}
+
+}  // namespace qos

@@ -1,0 +1,75 @@
+// Content hashing for the result cache (runner/result_cache.h).
+//
+// Cache keys must be a pure function of everything that can change a cell's
+// result: the trace bytes, the shaping configuration, the fault schedule and
+// any evaluator salt.  ContentHasher is a streaming 128-bit hash built from
+// two independent 64-bit FNV-1a streams — not cryptographic, but with 128
+// bits the accidental-collision probability over any realistic sweep is
+// negligible, and the digest is stable across platforms and processes (the
+// on-disk cache tier depends on that).  Doubles are hashed by bit pattern so
+// two configs hash equal iff they compare bit-equal.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace qos {
+
+class Trace;
+struct ShapingConfig;
+class FaultySchedule;
+
+/// 128-bit content digest; the cache's key type.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+
+  /// 32 lowercase hex chars — the on-disk cache file stem.
+  std::string to_hex() const;
+};
+
+/// Streaming FNV-1a over two independent 64-bit lanes.
+class ContentHasher {
+ public:
+  ContentHasher& bytes(const void* data, std::size_t n);
+  ContentHasher& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+  ContentHasher& u64(std::uint64_t v) { return bytes(&v, sizeof(v)); }
+  ContentHasher& i64(std::int64_t v) {
+    return u64(static_cast<std::uint64_t>(v));
+  }
+  ContentHasher& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+  Digest digest() const { return {hi_, lo_}; }
+
+ private:
+  // Distinct offset bases decorrelate the lanes; both use the standard
+  // 64-bit FNV prime.
+  std::uint64_t hi_ = 0xcbf29ce484222325ull;
+  std::uint64_t lo_ = 0x9ae16a3b2f90404full;
+};
+
+/// Digest of a trace's full request stream (arrival, client, lba, size,
+/// direction per request).  O(n); hot consumers hash each trace once and
+/// reuse the digest across cells.
+Digest hash_trace(const Trace& trace);
+
+/// Fold the simulation-relevant ShapingConfig fields (fraction, delta,
+/// policy, capacity/headroom overrides) into `h`.  Observability pointers
+/// and the server decorator are excluded: the former cannot change results,
+/// the latter is not hashable — callers interposing a decorator must salt
+/// the key themselves.
+void hash_shaping_config(ContentHasher& h, const ShapingConfig& config);
+
+/// Fold a fault schedule's windows into `h`.
+void hash_fault_schedule(ContentHasher& h, const FaultySchedule& faults);
+
+}  // namespace qos

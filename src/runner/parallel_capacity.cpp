@@ -1,0 +1,129 @@
+#include "runner/parallel_capacity.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qos {
+
+namespace {
+
+Digest capacity_key(const Digest& trace_digest, double fraction, Time delta) {
+  ContentHasher h;
+  h.str("qos-capacity-v1");
+  h.u64(trace_digest.hi).u64(trace_digest.lo);
+  h.f64(fraction);
+  h.i64(delta);
+  return h.digest();
+}
+
+std::string encode_result(const CapacityResult& r) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%016llx %016llx %d",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(r.cmin_iops)),
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(r.achieved_fraction)),
+                r.probes);
+  return buf;
+}
+
+std::optional<CapacityResult> decode_result(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string a, b;
+  CapacityResult r;
+  if (!(in >> a >> b >> r.probes) || a.size() != 16 || b.size() != 16)
+    return std::nullopt;
+  std::uint64_t bits = 0;
+  if (std::from_chars(a.data(), a.data() + 16, bits, 16).ec != std::errc{})
+    return std::nullopt;
+  r.cmin_iops = std::bit_cast<double>(bits);
+  if (std::from_chars(b.data(), b.data() + 16, bits, 16).ec != std::errc{})
+    return std::nullopt;
+  r.achieved_fraction = std::bit_cast<double>(bits);
+  return r;
+}
+
+}  // namespace
+
+CapacityResult min_capacity_cached(const Trace& trace, double fraction,
+                                   Time delta, ResultCache* cache,
+                                   const Digest* trace_digest,
+                                   CapacityHint hint) {
+  if (cache == nullptr) return min_capacity(trace, fraction, delta, hint);
+  const Digest td = trace_digest ? *trace_digest : hash_trace(trace);
+  const Digest key = capacity_key(td, fraction, delta);
+  if (auto bytes = cache->get(key))
+    if (auto r = decode_result(*bytes)) return *r;
+  const CapacityResult r = min_capacity(trace, fraction, delta, hint);
+  cache->put(key, encode_result(r));
+  return r;
+}
+
+std::vector<CapacityPoint> capacity_profile_parallel(
+    ThreadPool& pool, const Trace& trace, Time delta,
+    std::vector<double> fractions, ResultCache* cache) {
+  std::sort(fractions.begin(), fractions.end());
+  const std::size_t n = fractions.size();
+  if (n == 0) return {};
+  const Digest td = cache ? hash_trace(trace) : Digest{};
+  const Digest* tdp = cache ? &td : nullptr;
+
+  // Endpoints first, concurrently: they bracket every middle fraction.
+  std::vector<CapacityPoint> out(n);
+  std::int64_t lo_cmin = 0, hi_cmin = 0;
+  pool.parallel_for(n == 1 ? 1 : 2, [&](std::size_t i) {
+    const std::size_t idx = i == 0 ? 0 : n - 1;
+    const CapacityResult r =
+        min_capacity_cached(trace, fractions[idx], delta, cache, tdp);
+    out[idx] = {fractions[idx], r.cmin_iops};
+    (i == 0 ? lo_cmin : hi_cmin) = static_cast<std::int64_t>(r.cmin_iops);
+  });
+  if (n <= 2) return out;
+
+  // Middles: Cmin is monotone in f, so Cmin(f_lo) - 1 is infeasible and
+  // Cmin(f_hi) is feasible for every f in between — a closed bracket, no
+  // exponential probing, and every search independent of the others.
+  CapacityHint hint;
+  hint.infeasible_below = std::max<std::int64_t>(lo_cmin - 1, 0);
+  hint.feasible_at = hi_cmin > hint.infeasible_below ? hi_cmin : 0;
+  pool.parallel_for(n - 2, [&](std::size_t i) {
+    const std::size_t idx = i + 1;
+    const CapacityResult r =
+        min_capacity_cached(trace, fractions[idx], delta, cache, tdp, hint);
+    out[idx] = {fractions[idx], r.cmin_iops};
+  });
+  return out;
+}
+
+ConsolidationReport consolidate_parallel(ThreadPool& pool,
+                                         std::span<const Trace> clients,
+                                         double fraction, Time delta,
+                                         ResultCache* cache) {
+  const Trace merged = Trace::merge(clients);
+  const std::size_t n = clients.size();
+  // Job i < n: client i's Cmin; job n: the merged workload's.
+  std::vector<double> cmin =
+      pool.parallel_map(n + 1, [&](std::size_t i) -> double {
+        const Trace& t = i < n ? clients[i] : merged;
+        return min_capacity_cached(t, fraction, delta, cache).cmin_iops;
+      });
+  const double actual = cmin.back();
+  cmin.pop_back();
+  return assemble_consolidation(std::move(cmin), actual);
+}
+
+std::vector<TenantSpec> plan_tenant_specs_parallel(
+    ThreadPool& pool, std::span<const Trace> tenants, double fraction,
+    Time delta, ResultCache* cache) {
+  return pool.parallel_map(tenants.size(), [&](std::size_t i) {
+    return planned_tenant_spec(
+        min_capacity_cached(tenants[i], fraction, delta, cache).cmin_iops,
+        delta, tenants.size());
+  });
+}
+
+}  // namespace qos

@@ -1,0 +1,59 @@
+// Parallel + cached capacity planning on top of core/capacity.h.
+//
+// The hot consumers of min_capacity — the Table 1 knee curves, multi-tenant
+// provisioning, consolidation estimates — are bags of independent searches.
+// These helpers fan them out over a ThreadPool and optionally memoize each
+// search in a ResultCache, while producing the exact values the serial core
+// routines produce (the searches are deterministic; only wall-clock and
+// probe counts change).
+//
+//   * capacity_profile_parallel: the endpoint fractions are searched first
+//     (concurrently), then every middle fraction binary-searches inside the
+//     [Cmin(f_lo), Cmin(f_hi)] bracket monotonicity guarantees — so the
+//     middles are both parallel and probe-cheap.
+//   * consolidate_parallel / plan_tenant_specs_parallel: one search per
+//     client (plus the merged trace) concurrently, assembled through the
+//     same core code paths as the serial versions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/consolidation.h"
+#include "core/multi_tenant.h"
+#include "runner/result_cache.h"
+#include "runner/thread_pool.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+/// min_capacity with content-addressed memoization.  `trace_digest` is
+/// hash_trace(trace) when the caller already has it (nullptr recomputes).
+/// A hit returns the stored result bit-for-bit, including the probe count
+/// the original compute spent.  `cache == nullptr` degrades to a plain
+/// search.
+CapacityResult min_capacity_cached(const Trace& trace, double fraction,
+                                   Time delta, ResultCache* cache,
+                                   const Digest* trace_digest = nullptr,
+                                   CapacityHint hint = {});
+
+/// capacity_profile evaluated concurrently (see file comment).  Returns
+/// exactly capacity_profile's points, in the same fraction-sorted order.
+std::vector<CapacityPoint> capacity_profile_parallel(
+    ThreadPool& pool, const Trace& trace, Time delta,
+    std::vector<double> fractions = {0.90, 0.95, 0.99, 0.995, 0.999, 1.0},
+    ResultCache* cache = nullptr);
+
+/// consolidate() with the per-client and merged searches run concurrently.
+ConsolidationReport consolidate_parallel(ThreadPool& pool,
+                                         std::span<const Trace> clients,
+                                         double fraction, Time delta,
+                                         ResultCache* cache = nullptr);
+
+/// plan_tenant_specs() with the per-tenant Cmin searches run concurrently.
+std::vector<TenantSpec> plan_tenant_specs_parallel(
+    ThreadPool& pool, std::span<const Trace> tenants, double fraction,
+    Time delta, ResultCache* cache = nullptr);
+
+}  // namespace qos

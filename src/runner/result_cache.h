@@ -1,0 +1,88 @@
+// Content-addressed result cache with an in-memory LRU tier and an
+// optional on-disk tier.
+//
+// Keys are 128-bit content digests (runner/hash.h) of everything that
+// determines a result: trace bytes, shaping configuration, capacity, seed,
+// fault schedule, codec version.  Values are opaque serialized byte strings
+// — the sweep and capacity engines own their codecs — so a hit returns the
+// exact bytes a fresh compute would have produced and cached cells stay
+// bit-identical to recomputed ones.
+//
+// Tiers: get() probes memory first, then disk; a disk hit is promoted into
+// memory.  put() writes both (disk via write-to-temp + rename, so a crashed
+// run never leaves a torn entry; readers either see a whole file or none).
+// Invalidation is purely by key: flipping any hashed input changes the
+// digest, so exactly the affected cells miss and recompute while the rest
+// keep hitting — tests/test_runner_cache.cpp pins this down field by field.
+//
+// Thread safety: all operations take one internal mutex.  Cache calls
+// bracket a cell's simulation (they never run inside it), so a single lock
+// is invisible next to the milliseconds-to-seconds cost of a miss.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "runner/hash.h"
+
+namespace qos {
+
+class ResultCache {
+ public:
+  struct Config {
+    /// Entries kept in memory; least-recently-used beyond this are evicted
+    /// (they remain on disk when a disk tier is configured).
+    std::size_t memory_entries = 4096;
+    /// Directory for the disk tier; empty disables it.  Created on first
+    /// put.  Benches default this to "build/.qos_cache" via bench_io.
+    std::string disk_dir;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;         ///< memory + disk
+    std::uint64_t memory_hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;    ///< memory-tier LRU evictions
+  };
+
+  ResultCache() : ResultCache(Config()) {}
+  explicit ResultCache(Config config);
+
+  /// The cached bytes for `key`, or nullopt.
+  std::optional<std::string> get(const Digest& key);
+
+  /// Store `value` under `key` in every configured tier.
+  void put(const Digest& key, const std::string& value);
+
+  Stats stats() const;
+
+  /// Drop the memory tier (disk entries survive); stats are kept.
+  void clear_memory();
+
+ private:
+  std::optional<std::string> disk_get(const Digest& key);
+  void disk_put(const Digest& key, const std::string& value);
+  std::string disk_path(const Digest& key) const;
+  void insert_memory(const Digest& key, const std::string& value);
+
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const {
+      return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  Config config_;
+  mutable std::mutex mutex_;
+  /// LRU order, most recent first; the map points into the list.
+  std::list<std::pair<Digest, std::string>> lru_;
+  std::unordered_map<Digest, decltype(lru_)::iterator, DigestHash> index_;
+  Stats stats_;
+};
+
+}  // namespace qos

@@ -1,0 +1,328 @@
+#include "runner/sweep.h"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <sstream>
+
+#include "fault/chaos.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace qos {
+
+std::vector<SweepCell> SweepGrid::cells() const {
+  std::vector<SweepCell> out;
+  for (const NamedTrace& t : traces) {
+    QOS_EXPECTS(t.trace != nullptr);
+    for (Time delta : deltas) {
+      for (double fraction : fractions) {
+        for (Policy policy : policies) {
+          for (double intensity : fault_intensities) {
+            SweepCell cell;
+            cell.label = policy_name(policy);
+            cell.trace_name = t.name;
+            cell.trace = t.trace;
+            cell.shaping.policy = policy;
+            cell.shaping.fraction = fraction;
+            cell.shaping.delta = delta;
+            cell.fault_intensity = intensity;
+            if (intensity > 0)
+              cell.faults.brownout(fault_begin, fault_end, intensity);
+            out.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Digest sweep_cell_digest(const SweepCell& cell, const Digest& trace_digest) {
+  ContentHasher h;
+  h.str("qos-sweep-row-v1");
+  h.str(cell.label);
+  h.str(cell.trace_name);
+  h.u64(trace_digest.hi).u64(trace_digest.lo);
+  hash_shaping_config(h, cell.shaping);
+  hash_fault_schedule(h, cell.faults);
+  h.u64(cell.use_chaos ? 1 : 0);
+  h.u64(cell.use_degraded_admission ? 1 : 0);
+  h.i64(cell.degraded.monitor.window);
+  h.f64(cell.degraded.monitor.tighten_gain);
+  h.f64(cell.degraded.monitor.relax_gain);
+  h.u64(cell.degraded.monitor.min_samples);
+  h.f64(cell.degraded.tolerance);
+  h.u64(cell.degraded.enabled ? 1 : 0);
+  h.f64(cell.fault_intensity);
+  h.u64(cell.seed);
+  h.u64(cell.custom_salt);
+  h.u64(cell.make_scheduler ? 1 : 0);
+  for (double iops : cell.server_iops) h.f64(iops);
+  return h.digest();
+}
+
+SweepRow SweepRunner::evaluate_cell(const SweepCell& cell) {
+  QOS_EXPECTS(cell.trace != nullptr);
+  // The runner owns observability: a private registry per evaluation keeps
+  // per-job metrics race-free without any locking.
+  QOS_EXPECTS(cell.shaping.registry == nullptr);
+  QOS_EXPECTS(cell.shaping.sink == nullptr);
+  QOS_EXPECTS(!cell.shaping.server_decorator);
+
+  SweepRow row;
+  row.label =
+      cell.label.empty() ? policy_name(cell.shaping.policy) : cell.label;
+  row.trace_name = cell.trace_name;
+  row.policy = cell.shaping.policy;
+  row.fraction = cell.shaping.fraction;
+  row.delta = cell.shaping.delta;
+  row.fault_intensity = cell.fault_intensity;
+  row.seed = cell.seed;
+
+  MetricRegistry registry;
+  SimResult sim;
+  if (cell.make_scheduler) {
+    QOS_EXPECTS(!cell.server_iops.empty());
+    auto scheduler = cell.make_scheduler();
+    QOS_CHECK(scheduler != nullptr);
+    scheduler->attach_observability(nullptr, &registry);
+    std::vector<ConstantRateServer> servers;
+    servers.reserve(cell.server_iops.size());
+    for (double iops : cell.server_iops) servers.emplace_back(iops);
+    std::vector<Server*> ptrs;
+    ptrs.reserve(servers.size());
+    for (auto& s : servers) ptrs.push_back(&s);
+    sim = simulate(*cell.trace, *scheduler, ptrs);
+    row.cmin_iops = cell.shaping.capacity_override_iops;
+    row.headroom_iops = cell.shaping.resolved_headroom_iops();
+    row.report = build_shaping_report(sim, cell.shaping.delta, &registry);
+  } else if (cell.use_chaos || !cell.faults.empty() ||
+             cell.use_degraded_admission) {
+    ChaosConfig config;
+    config.shaping = cell.shaping;
+    config.shaping.registry = &registry;
+    config.faults = cell.faults;
+    config.use_degraded_admission = cell.use_degraded_admission;
+    config.degraded = cell.degraded;
+    ChaosOutcome out = run_chaos(*cell.trace, config);
+    row.cmin_iops = out.shaping.cmin_iops;
+    row.headroom_iops = out.shaping.headroom_iops;
+    row.report = std::move(out.shaping.report);
+    row.extra["chaos.q1_miss_fraction"] = out.q1_miss_fraction;
+    row.extra["chaos.demotions"] = static_cast<double>(out.demotions);
+    row.extra["chaos.demotion_rate"] = out.demotion_rate;
+    row.extra["chaos.time_to_recover_us"] =
+        static_cast<double>(out.time_to_recover);
+    sim = std::move(out.shaping.sim);
+  } else {
+    ShapingConfig config = cell.shaping;
+    config.registry = &registry;
+    ShapingOutcome out = shape_and_run(*cell.trace, config);
+    row.cmin_iops = out.cmin_iops;
+    row.headroom_iops = out.headroom_iops;
+    row.report = std::move(out.report);
+    sim = std::move(out.sim);
+  }
+  if (!sim.completions.empty())
+    row.buckets = ResponseStats(sim.completions).paper_buckets();
+  if (cell.annotate) cell.annotate(sim, row.extra);
+  return row;
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options), pool_(options.threads) {}
+
+std::vector<SweepRow> SweepRunner::run(const SweepGrid& grid) {
+  return run_cells(grid.cells());
+}
+
+std::vector<SweepRow> SweepRunner::run_cells(std::span<const SweepCell> cells) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Digest each distinct trace once, up front; cells referencing the same
+  // trace share the digest instead of rehashing megabytes per cell.
+  std::map<const Trace*, Digest> trace_digests;
+  if (options_.cache != nullptr) {
+    for (const SweepCell& c : cells) {
+      QOS_EXPECTS(c.trace != nullptr);
+      if (!trace_digests.count(c.trace))
+        trace_digests.emplace(c.trace, hash_trace(*c.trace));
+    }
+  }
+
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<SweepRow> rows =
+      pool_.parallel_map(cells.size(), [&](std::size_t i) -> SweepRow {
+        const SweepCell& cell = cells[i];
+        ResultCache* cache = options_.cache;
+        // Closures cannot be hashed: custom cells participate in caching
+        // only when the caller vouches for them with a nonzero salt.
+        const bool cacheable =
+            cache != nullptr &&
+            (!(cell.make_scheduler || cell.annotate) || cell.custom_salt != 0);
+        Digest key;
+        if (cacheable) {
+          key = sweep_cell_digest(cell, trace_digests.at(cell.trace));
+          if (auto bytes = cache->get(key)) {
+            if (auto row = deserialize_sweep_row(*bytes)) {
+              row->from_cache = true;
+              hits.fetch_add(1);
+              return std::move(*row);
+            }
+          }
+        }
+        SweepRow row = evaluate_cell(cell);
+        if (cacheable) cache->put(key, serialize_sweep_row(row));
+        return row;
+      });
+
+  stats_.cells += cells.size();
+  stats_.cache_hits += hits.load();
+  stats_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return rows;
+}
+
+// ---- row codec ------------------------------------------------------------
+//
+// Line-oriented text, doubles as 16-hex-digit bit patterns (lossless and
+// platform-stable), integers as decimals.  Any structural mismatch makes
+// deserialize return nullopt and the caller recompute — a corrupt cache
+// entry can cost time, never correctness.
+
+namespace {
+
+constexpr const char* kRowMagic = "qos-sweep-row v1";
+
+void put_f64(std::ostringstream& out, double v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  out << buf;
+}
+
+void put_class(std::ostringstream& out, const ClassReport& c) {
+  out << c.count << ' ';
+  put_f64(out, c.mean_us);
+  out << ' ' << c.p50 << ' ' << c.p90 << ' ' << c.p99 << ' ' << c.p999 << ' '
+      << c.max << ' ';
+  put_f64(out, c.fraction_within_delta);
+  out << '\n';
+}
+
+bool get_f64(std::istream& in, double& v) {
+  std::string tok;
+  if (!(in >> tok) || tok.size() != 16) return false;
+  std::uint64_t bits = 0;
+  const auto [p, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), bits, 16);
+  if (ec != std::errc{} || p != tok.data() + tok.size()) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool get_class(std::istream& in, ClassReport& c) {
+  return (in >> c.count) && get_f64(in, c.mean_us) && (in >> c.p50) &&
+         (in >> c.p90) && (in >> c.p99) && (in >> c.p999) && (in >> c.max) &&
+         get_f64(in, c.fraction_within_delta);
+}
+
+}  // namespace
+
+std::string serialize_sweep_row(const SweepRow& row) {
+  std::ostringstream out;
+  out << kRowMagic << '\n' << row.label << '\n' << row.trace_name << '\n';
+  out << static_cast<int>(row.policy) << ' ';
+  put_f64(out, row.fraction);
+  out << ' ' << row.delta << ' ';
+  put_f64(out, row.fault_intensity);
+  out << ' ' << row.seed << ' ';
+  put_f64(out, row.cmin_iops);
+  out << ' ';
+  put_f64(out, row.headroom_iops);
+  out << '\n';
+
+  const ShapingReport& r = row.report;
+  out << r.delta << ' ' << r.admitted << ' ' << r.rejected << ' '
+      << r.deadline_misses << '\n';
+  put_class(out, r.all);
+  put_class(out, r.primary);
+  put_class(out, r.overflow);
+  for (const OccupancyReport* occ : {&r.q1_occupancy, &r.q2_occupancy}) {
+    put_f64(out, occ->mean);
+    out << ' ' << occ->max << ' ' << (occ->tracked ? 1 : 0) << '\n';
+  }
+  out << r.miss_run_lengths.size();
+  for (std::uint64_t n : r.miss_run_lengths) out << ' ' << n;
+  out << '\n';
+
+  for (double b : {row.buckets.le_50, row.buckets.le_100, row.buckets.le_500,
+                   row.buckets.le_1000, row.buckets.gt_1000}) {
+    put_f64(out, b);
+    out << ' ';
+  }
+  out << '\n';
+
+  out << row.extra.size() << '\n';
+  for (const auto& [key, value] : row.extra) {
+    out << key << ' ';
+    put_f64(out, value);
+    out << '\n';
+  }
+  return std::move(out).str();
+}
+
+std::optional<SweepRow> deserialize_sweep_row(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kRowMagic) return std::nullopt;
+
+  SweepRow row;
+  if (!std::getline(in, row.label)) return std::nullopt;
+  if (!std::getline(in, row.trace_name)) return std::nullopt;
+
+  int policy = 0;
+  if (!(in >> policy) || !get_f64(in, row.fraction) || !(in >> row.delta) ||
+      !get_f64(in, row.fault_intensity) || !(in >> row.seed) ||
+      !get_f64(in, row.cmin_iops) || !get_f64(in, row.headroom_iops))
+    return std::nullopt;
+  row.policy = static_cast<Policy>(policy);
+
+  ShapingReport& r = row.report;
+  if (!(in >> r.delta >> r.admitted >> r.rejected >> r.deadline_misses))
+    return std::nullopt;
+  if (!get_class(in, r.all) || !get_class(in, r.primary) ||
+      !get_class(in, r.overflow))
+    return std::nullopt;
+  for (OccupancyReport* occ : {&r.q1_occupancy, &r.q2_occupancy}) {
+    int tracked = 0;
+    if (!get_f64(in, occ->mean) || !(in >> occ->max) || !(in >> tracked))
+      return std::nullopt;
+    occ->tracked = tracked != 0;
+  }
+  std::size_t runs = 0;
+  if (!(in >> runs) || runs > bytes.size()) return std::nullopt;
+  r.miss_run_lengths.resize(runs);
+  for (std::uint64_t& n : r.miss_run_lengths)
+    if (!(in >> n)) return std::nullopt;
+
+  if (!get_f64(in, row.buckets.le_50) || !get_f64(in, row.buckets.le_100) ||
+      !get_f64(in, row.buckets.le_500) || !get_f64(in, row.buckets.le_1000) ||
+      !get_f64(in, row.buckets.gt_1000))
+    return std::nullopt;
+
+  std::size_t extras = 0;
+  if (!(in >> extras) || extras > bytes.size()) return std::nullopt;
+  for (std::size_t i = 0; i < extras; ++i) {
+    std::string key;
+    double value = 0;
+    if (!(in >> key) || !get_f64(in, value)) return std::nullopt;
+    row.extra.emplace(std::move(key), value);
+  }
+  return row;
+}
+
+}  // namespace qos

@@ -1,0 +1,171 @@
+// SweepRunner — declarative experiment grids, fanned out over the pool.
+//
+// Every capacity-planning question in the paper is a grid of independent
+// runs: Table 1 is trace x delta x fraction, Figure 6 is policy x fraction,
+// the chaos harness is policy x fault-intensity.  A SweepCell names one
+// grid point; SweepRunner evaluates cells concurrently (each cell stays a
+// sequential simulation — parallelism is across cells only) and returns
+// SweepRows ordered by cell index.
+//
+// Determinism contract: a cell's row is a pure function of the cell spec —
+// the simulator is single-threaded and deterministic, per-cell metric
+// registries are private to the evaluating thread, and rows land by index.
+// Hence run(grid) with any thread count produces bit-identical rows, which
+// tests/test_runner_sweep.cpp asserts across all policies.
+//
+// Caching: with a ResultCache attached, each cell's row is stored under a
+// content digest of (trace bytes, shaping config, faults, degraded config,
+// seed, salt).  Rows round-trip losslessly (doubles by bit pattern), so a
+// cache hit is bit-identical to a recompute.  Cells with a custom scheduler
+// factory or annotate hook are cached only when `custom_salt` is nonzero,
+// since their closures cannot be hashed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/response_stats.h"
+#include "core/shaper.h"
+#include "fault/degraded_rtt.h"
+#include "fault/fault_schedule.h"
+#include "obs/report.h"
+#include "runner/result_cache.h"
+#include "runner/thread_pool.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+
+namespace qos {
+
+/// One grid point.  `shaping` must not carry observability pointers or a
+/// server decorator — the runner attaches a private registry per cell.
+struct SweepCell {
+  std::string label;       ///< row label, defaults to the policy name
+  std::string trace_name;
+  const Trace* trace = nullptr;  ///< not owned; must outlive the run
+
+  ShapingConfig shaping;
+
+  /// Fault injection: a non-empty schedule (or degraded admission, or
+  /// use_chaos) routes the cell through run_chaos and fills the row's
+  /// "chaos.*" extras.  use_chaos forces the chaos path even for a
+  /// fault-free schedule — the baseline cells of a fault sweep need the
+  /// same extras as their faulted siblings.
+  FaultySchedule faults;
+  bool use_chaos = false;
+  bool use_degraded_admission = false;
+  DegradedRttConfig degraded;
+  double fault_intensity = 0;  ///< informational, copied into the row
+
+  std::uint64_t seed = 0;         ///< informational + cache-key salt
+  std::uint64_t custom_salt = 0;  ///< required (nonzero) to cache custom cells
+
+  /// Custom evaluation: when set, the cell runs `make_scheduler()` against
+  /// one ConstantRateServer per `server_iops` entry instead of
+  /// shape_and_run.  The factory must build a fresh scheduler per call
+  /// (cells may evaluate concurrently, and a miss after a cache probe
+  /// re-invokes it).
+  std::function<std::unique_ptr<Scheduler>()> make_scheduler;
+  std::vector<double> server_iops;
+
+  /// Optional extras extracted from the finished run on the worker thread;
+  /// merged into SweepRow::extra.  Keys must contain no whitespace.
+  std::function<void(const SimResult&, std::map<std::string, double>&)>
+      annotate;
+};
+
+/// One result row.  Everything benches print lives here, so a cached row
+/// substitutes for a recomputed one byte for byte.
+struct SweepRow {
+  // Cell coordinates.
+  std::string label;
+  std::string trace_name;
+  Policy policy = Policy::kFcfs;
+  double fraction = 0;
+  Time delta = 0;
+  double fault_intensity = 0;
+  std::uint64_t seed = 0;
+
+  // Results.
+  double cmin_iops = 0;
+  double headroom_iops = 0;
+  ShapingReport report;
+  ResponseStats::Buckets buckets;  ///< cumulative paper buckets, all classes
+  std::map<std::string, double> extra;  ///< "chaos.*" + annotate output
+
+  bool from_cache = false;  ///< runner metadata; excluded from the codec
+};
+
+/// Full cross-product grid.  cells() expands it in deterministic nested
+/// order: trace (outer) -> delta -> fraction -> policy -> fault intensity.
+struct SweepGrid {
+  struct NamedTrace {
+    std::string name;
+    const Trace* trace = nullptr;
+  };
+
+  std::vector<NamedTrace> traces;
+  std::vector<Policy> policies;
+  std::vector<Time> deltas;
+  std::vector<double> fractions;
+
+  /// Brownout capacity-loss fractions; 0 means fault-free.  Non-zero
+  /// intensities produce a brownout window [fault_begin, fault_end).
+  std::vector<double> fault_intensities = {0.0};
+  Time fault_begin = 10 * kUsPerSec;
+  Time fault_end = 20 * kUsPerSec;
+
+  std::vector<SweepCell> cells() const;
+};
+
+struct SweepOptions {
+  int threads = 1;              ///< ThreadPool size (0 = hardware)
+  ResultCache* cache = nullptr; ///< not owned; null disables caching
+};
+
+class SweepRunner {
+ public:
+  /// Cumulative across run()/run_cells() calls — bench_io reads these.
+  struct RunStats {
+    std::uint64_t cells = 0;
+    std::uint64_t cache_hits = 0;
+    double wall_seconds = 0;
+  };
+
+  explicit SweepRunner(SweepOptions options = {});
+
+  std::vector<SweepRow> run(const SweepGrid& grid);
+  std::vector<SweepRow> run_cells(std::span<const SweepCell> cells);
+
+  /// The runner's pool, for callers interleaving their own parallel work
+  /// (e.g. capacity_profile_parallel) with sweeps on one set of threads.
+  ThreadPool& pool() { return pool_; }
+  const ThreadPool& pool() const { return pool_; }
+  ResultCache* cache() { return options_.cache; }
+  const RunStats& stats() const { return stats_; }
+
+  /// Evaluate one cell in isolation (no pool, no cache) — the reference
+  /// the determinism and cache tests compare against.
+  static SweepRow evaluate_cell(const SweepCell& cell);
+
+ private:
+  SweepOptions options_;
+  ThreadPool pool_;
+  RunStats stats_;
+};
+
+/// Lossless row codec used by the cache tier (exposed for tests).
+/// serialize + deserialize round-trips every field except `from_cache`.
+std::string serialize_sweep_row(const SweepRow& row);
+std::optional<SweepRow> deserialize_sweep_row(const std::string& bytes);
+
+/// The cell's cache digest (exposed for tests asserting invalidation
+/// granularity).  `trace_digest` is hash_trace(*cell.trace).
+Digest sweep_cell_digest(const SweepCell& cell, const Digest& trace_digest);
+
+}  // namespace qos

@@ -1,0 +1,120 @@
+#include "runner/thread_pool.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace qos {
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+  std::atomic<bool> cancelled{false};
+  int workers_inside = 0;  ///< workers currently in run_indices (mutex_)
+
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads == 0 ? hardware_threads() : threads) {
+  QOS_EXPECTS(threads >= 0);
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::run_indices(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1);
+    if (i >= job.n) return;
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        std::lock_guard lock(job.error_mutex);
+        // Keep the lowest-indexed exception so the rethrown error does not
+        // depend on thread interleaving (among the indices that ran).
+        if (i < job.error_index) {
+          job.error_index = i;
+          job.error = std::current_exception();
+        }
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    job.finished.fetch_add(1);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_generation_ != seen);
+      });
+      if (stop_) return;
+      job = job_;
+      seen = job_generation_;
+      ++job->workers_inside;
+    }
+    run_indices(*job);
+    {
+      std::lock_guard lock(mutex_);
+      if (--job->workers_inside == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    // Serial reference path: in-order, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  {
+    std::lock_guard lock(mutex_);
+    QOS_CHECK(job_ == nullptr);  // reentrant parallel_for is unsupported
+    job_ = &job;
+    ++job_generation_;
+  }
+  wake_.notify_all();
+
+  run_indices(job);  // the calling thread is worker #0
+
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job.finished.load() == n && job.workers_inside == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace qos

@@ -1,0 +1,83 @@
+// Fixed-size thread pool with deterministic fork-join parallelism.
+//
+// The engine's concurrency model is deliberately narrow: each simulation (or
+// capacity search) stays a sequential unit — Guérin's "When Two is Worse
+// Than One" warning against splitting a stream across servers applies to
+// splitting a run across threads just as much — and the pool parallelizes
+// only across independent units.  parallel_for / parallel_map hand out
+// indices from a shared counter and land every result in its own slot, so
+// the assembled output is ordered by index, never by completion order; a
+// parallel run over the same inputs is bit-identical to a serial one, which
+// tests/test_runner_sweep.cpp asserts across all policies.
+//
+// Exceptions: worker-side throws are captured per index; once every index
+// has been claimed and finished the lowest-indexed exception is rethrown on
+// the calling thread.  A throw cancels indices not yet claimed (fail fast),
+// and the pool remains fully usable for subsequent calls — shutdown while
+// idle is always clean.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qos {
+
+class ThreadPool {
+ public:
+  /// `threads` >= 1 is the total worker count *including* the calling
+  /// thread: ThreadPool(1) spawns nothing and runs everything inline (the
+  /// serial reference), ThreadPool(n) spawns n - 1 workers.  0 uses
+  /// hardware_threads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Invoke body(i) for every i in [0, n), spread over the pool; blocks
+  /// until all indices finish.  Rethrows the lowest-indexed captured
+  /// exception, if any.  Reentrant calls (parallel_for from inside a body)
+  /// are not supported.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// parallel_for that collects fn(i) into a vector ordered by index.
+  /// T must be default-constructible and movable.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using T = decltype(fn(std::size_t{0}));
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Detected hardware concurrency, at least 1.
+  static int hardware_threads();
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void run_indices(Job& job);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;     ///< signals workers: job posted / stop
+  std::condition_variable done_cv_;  ///< signals caller: job finished
+  Job* job_ = nullptr;               ///< active job, guarded by mutex_
+  std::uint64_t job_generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qos

@@ -107,6 +107,58 @@ TEST(CapacityProfile, DefaultFractionsMatchPaperTable) {
   EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
 }
 
+TEST(MinCapacity, HintedSearchReturnsUnhintedAnswer) {
+  // Warm starts change probe counts, never answers.
+  Trace t = generate_poisson(900, 20 * kUsPerSec, 31);
+  const CapacityResult plain = min_capacity(t, 0.95, 10'000);
+
+  CapacityHint bracket;
+  bracket.infeasible_below = static_cast<std::int64_t>(plain.cmin_iops) - 1;
+  bracket.feasible_at = static_cast<std::int64_t>(plain.cmin_iops);
+  const CapacityResult tight = min_capacity(t, 0.95, 10'000, bracket);
+  EXPECT_DOUBLE_EQ(tight.cmin_iops, plain.cmin_iops);
+  EXPECT_DOUBLE_EQ(tight.achieved_fraction, plain.achieved_fraction);
+  // A closed one-IOPS bracket needs at most a couple of confirming probes.
+  EXPECT_LE(tight.probes, 2);
+
+  CapacityHint low_only;
+  low_only.infeasible_below = static_cast<std::int64_t>(plain.cmin_iops) / 2;
+  EXPECT_DOUBLE_EQ(min_capacity(t, 0.95, 10'000, low_only).cmin_iops,
+                   plain.cmin_iops);
+
+  // A conservative (loose) hint must also be harmless.
+  CapacityHint loose;
+  loose.feasible_at = static_cast<std::int64_t>(plain.cmin_iops) * 4;
+  EXPECT_DOUBLE_EQ(min_capacity(t, 0.95, 10'000, loose).cmin_iops,
+                   plain.cmin_iops);
+}
+
+TEST(CapacityProfile, WarmStartSpendsFewerProbesThanIndependentSearches) {
+  // The profile chains each fraction's answer into the next search's lower
+  // bracket (Cmin is monotone in f); the regression guard is that the
+  // chained profile probes strictly less than six cold searches.
+  Trace t = generate_poisson(800, 20 * kUsPerSec, 37);
+  int independent_probes = 0;
+  for (double f : {0.90, 0.95, 0.99, 0.995, 0.999, 1.0})
+    independent_probes += min_capacity(t, f, 10'000).probes;
+
+  // Re-measure the chained walk the way capacity_profile performs it.
+  int profile_probes = 0;
+  CapacityHint hint;
+  for (double f : {0.90, 0.95, 0.99, 0.995, 0.999, 1.0}) {
+    const CapacityResult r = min_capacity(t, f, 10'000, hint);
+    hint.infeasible_below = static_cast<std::int64_t>(r.cmin_iops) - 1;
+    profile_probes += r.probes;
+  }
+  EXPECT_LT(profile_probes, independent_probes);
+
+  // And the chained answers equal the cold ones.
+  const auto curve = capacity_profile(t, 10'000);
+  for (const auto& point : curve)
+    EXPECT_DOUBLE_EQ(point.cmin_iops,
+                     min_capacity(t, point.fraction, 10'000).cmin_iops);
+}
+
 TEST(MinCapacity, FullGuaranteeCoversWorstBurst) {
   // A trace with one giant burst: Cmin(100%) is set by the burst, while
   // Cmin(90%) is set by the smooth part — the paper's knee.  (Knee ratio

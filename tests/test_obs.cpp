@@ -183,6 +183,83 @@ TEST(Exporters, CsvAndJsonCarryTheData) {
   EXPECT_NE(rjson.find("\"rtt.admitted\": 12"), std::string::npos);
 }
 
+TEST(Merge, CounterAndGaugeAdd) {
+  Counter a, b;
+  a.add(5);
+  b.add(37);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 42u);
+
+  Gauge x, y;
+  x.set(1.5);
+  y.set(-0.5);
+  x.merge(y);
+  EXPECT_DOUBLE_EQ(x.value(), 1.0);
+}
+
+TEST(Merge, HistogramMergeEqualsSingleRecorder) {
+  // Recording a stream into two shards and merging must equal recording the
+  // whole stream into one histogram — exactly, including min/max/mean and
+  // every quantile (the fan-in contract the parallel runner relies on).
+  std::vector<Time> values;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(static_cast<Time>(x % 2'000'000));
+  }
+  LatencyHistogram whole, shard_a, shard_b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.record(values[i]);
+    (i % 2 == 0 ? shard_a : shard_b).record(values[i]);
+  }
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.count(), whole.count());
+  EXPECT_EQ(shard_a.min(), whole.min());
+  EXPECT_EQ(shard_a.max(), whole.max());
+  EXPECT_DOUBLE_EQ(shard_a.mean_us(), whole.mean_us());
+  for (double p : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(shard_a.quantile(p), whole.quantile(p)) << p;
+}
+
+TEST(Merge, HistogramMergeEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.record(100);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 100);
+  EXPECT_EQ(empty.max(), 100);
+}
+
+TEST(Merge, RegistryFanIn) {
+  // Two worker-private registries folded into a collector: counters and
+  // histograms combine, disjoint names copy over.
+  MetricRegistry worker1, worker2, collector;
+  worker1.counter("rtt.admitted").add(10);
+  worker2.counter("rtt.admitted").add(32);
+  worker2.counter("rtt.rejected").add(3);
+  worker1.gauge("load").set(0.25);
+  worker2.gauge("load").set(0.50);
+  worker1.histogram("lat").record(100);
+  worker2.histogram("lat").record(200);
+  worker2.occupancy("q2.depth").update(0, 4);
+
+  collector.merge_from(worker1);
+  collector.merge_from(worker2);
+  EXPECT_EQ(collector.counter("rtt.admitted").value(), 42u);
+  EXPECT_EQ(collector.counter("rtt.rejected").value(), 3u);
+  EXPECT_DOUBLE_EQ(collector.gauge("load").value(), 0.75);
+  EXPECT_EQ(collector.histogram("lat").count(), 2u);
+  EXPECT_EQ(collector.histogram("lat").min(), 100);
+  EXPECT_EQ(collector.histogram("lat").max(), 200);
+  ASSERT_NE(collector.find_occupancy("q2.depth"), nullptr);
+  EXPECT_EQ(collector.find_occupancy("q2.depth")->max(), 4);
+}
+
 TEST(ShapingReportTest, MissRunsAndClassSplit) {
   // Hand-built result: seq order response times (ms):
   //   5, 15, 20, 5, 30  with delta = 10 ms

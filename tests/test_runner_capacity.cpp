@@ -1,0 +1,121 @@
+// Parallel + cached capacity planning: every helper must reproduce its
+// serial core counterpart exactly.
+#include "runner/parallel_capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/capacity.h"
+#include "core/consolidation.h"
+#include "core/multi_tenant.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+constexpr Time kDelta = from_ms(10);
+
+TEST(MinCapacityCached, MissComputesHitReplays) {
+  const Trace trace = generate_poisson(300, 4 * kUsPerSec, 5);
+  ResultCache cache;
+  const CapacityResult plain = min_capacity(trace, 0.95, kDelta);
+
+  const CapacityResult miss = min_capacity_cached(trace, 0.95, kDelta, &cache);
+  EXPECT_EQ(miss.cmin_iops, plain.cmin_iops);
+  EXPECT_EQ(miss.achieved_fraction, plain.achieved_fraction);
+  EXPECT_EQ(miss.probes, plain.probes);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const CapacityResult hit = min_capacity_cached(trace, 0.95, kDelta, &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // A hit returns the stored result bit-for-bit, probe count included.
+  EXPECT_EQ(hit.cmin_iops, plain.cmin_iops);
+  EXPECT_EQ(hit.achieved_fraction, plain.achieved_fraction);
+  EXPECT_EQ(hit.probes, plain.probes);
+}
+
+TEST(MinCapacityCached, DistinctParametersDistinctEntries) {
+  const Trace trace = generate_poisson(300, 4 * kUsPerSec, 5);
+  ResultCache cache;
+  const Digest digest = hash_trace(trace);
+  (void)min_capacity_cached(trace, 0.95, kDelta, &cache, &digest);
+  (void)min_capacity_cached(trace, 0.90, kDelta, &cache, &digest);
+  (void)min_capacity_cached(trace, 0.95, from_ms(20), &cache, &digest);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  (void)min_capacity_cached(trace, 0.90, kDelta, &cache, &digest);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(MinCapacityCached, HintDoesNotChangeCachedAnswer) {
+  const Trace trace = generate_poisson(400, 4 * kUsPerSec, 9);
+  const CapacityResult plain = min_capacity(trace, 0.95, kDelta);
+  CapacityHint hint;
+  hint.infeasible_below = static_cast<std::int64_t>(plain.cmin_iops) - 1;
+  hint.feasible_at = static_cast<std::int64_t>(plain.cmin_iops);
+  const CapacityResult hinted =
+      min_capacity_cached(trace, 0.95, kDelta, nullptr, nullptr, hint);
+  EXPECT_EQ(hinted.cmin_iops, plain.cmin_iops);
+  EXPECT_LE(hinted.probes, plain.probes);
+}
+
+TEST(CapacityProfileParallel, MatchesSerialProfileExactly) {
+  const Trace trace = generate_poisson(350, 4 * kUsPerSec, 13);
+  const auto serial = capacity_profile(trace, kDelta);
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const auto parallel = capacity_profile_parallel(pool, trace, kDelta);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].fraction, serial[i].fraction) << i;
+      EXPECT_EQ(parallel[i].cmin_iops, serial[i].cmin_iops) << i;
+    }
+  }
+}
+
+TEST(CapacityProfileParallel, CacheMakesReplayFree) {
+  const Trace trace = generate_poisson(350, 4 * kUsPerSec, 13);
+  ResultCache cache;
+  ThreadPool pool(2);
+  const auto first = capacity_profile_parallel(pool, trace, kDelta,
+                                               {0.90, 0.95, 1.0}, &cache);
+  const auto replay = capacity_profile_parallel(pool, trace, kDelta,
+                                                {0.90, 0.95, 1.0}, &cache);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(replay[i].cmin_iops, first[i].cmin_iops);
+}
+
+TEST(ConsolidateParallel, MatchesSerialConsolidate) {
+  const Trace clients[] = {generate_poisson(200, 4 * kUsPerSec, 21),
+                           generate_poisson(300, 4 * kUsPerSec, 22)};
+  const ConsolidationReport serial = consolidate(clients, 0.95, kDelta);
+  ThreadPool pool(4);
+  const ConsolidationReport parallel =
+      consolidate_parallel(pool, clients, 0.95, kDelta);
+  EXPECT_EQ(parallel.estimate_iops, serial.estimate_iops);
+  EXPECT_EQ(parallel.actual_iops, serial.actual_iops);
+  ASSERT_EQ(parallel.individual_iops.size(), serial.individual_iops.size());
+  for (std::size_t i = 0; i < serial.individual_iops.size(); ++i)
+    EXPECT_EQ(parallel.individual_iops[i], serial.individual_iops[i]);
+}
+
+TEST(PlanTenantSpecsParallel, MatchesSerialPlan) {
+  const std::vector<Trace> tenants = {
+      generate_poisson(150, 4 * kUsPerSec, 31),
+      generate_poisson(250, 4 * kUsPerSec, 32),
+      generate_poisson(350, 4 * kUsPerSec, 33)};
+  const auto serial = plan_tenant_specs(tenants, 0.95, kDelta);
+  ThreadPool pool(3);
+  const auto parallel = plan_tenant_specs_parallel(pool, tenants, 0.95, kDelta);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].cmin_iops, serial[i].cmin_iops);
+    EXPECT_EQ(parallel[i].delta, serial[i].delta);
+    EXPECT_EQ(parallel[i].overflow_weight, serial[i].overflow_weight);
+  }
+}
+
+}  // namespace
+}  // namespace qos

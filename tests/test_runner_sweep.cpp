@@ -1,0 +1,215 @@
+// SweepRunner: serial-vs-parallel bit-identity, cache bit-identity, the row
+// codec, grid expansion, and chaos-cell extras.
+#include "runner/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fcfs.h"
+#include "trace/generator.h"
+
+namespace qos {
+namespace {
+
+Trace test_trace() { return generate_poisson(300, 4 * kUsPerSec, 11); }
+
+SweepGrid small_grid(const Trace* trace) {
+  SweepGrid grid;
+  grid.traces = {{"poisson-300", trace}};
+  grid.policies = {Policy::kFcfs, Policy::kSplit, Policy::kFairQueue,
+                   Policy::kMiser};
+  grid.deltas = {from_ms(10)};
+  grid.fractions = {0.90, 0.95};
+  return grid;
+}
+
+// Bitwise row equality — the acceptance criterion's notion of "identical".
+// Compared through the codec so every field participates and float compares
+// are exact bit-pattern compares.
+void expect_rows_identical(const std::vector<SweepRow>& a,
+                           const std::vector<SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(serialize_sweep_row(a[i]), serialize_sweep_row(b[i]))
+        << "row " << i << " (" << a[i].label << ")";
+}
+
+TEST(SweepGrid, CellsExpandInDeterministicNestedOrder) {
+  const Trace trace = test_trace();
+  SweepGrid grid = small_grid(&trace);
+  const auto cells = grid.cells();
+  ASSERT_EQ(cells.size(), 8u);  // 1 trace x 1 delta x 2 fractions x 4 policies
+  EXPECT_EQ(cells[0].shaping.policy, Policy::kFcfs);
+  EXPECT_EQ(cells[0].shaping.fraction, 0.90);
+  EXPECT_EQ(cells[3].shaping.policy, Policy::kMiser);
+  EXPECT_EQ(cells[4].shaping.fraction, 0.95);
+  EXPECT_EQ(cells[4].shaping.policy, Policy::kFcfs);
+}
+
+TEST(SweepRunner, ParallelRowsBitIdenticalToSerialAllPolicies) {
+  const Trace trace = test_trace();
+  const SweepGrid grid = small_grid(&trace);
+
+  SweepRunner serial({.threads = 1});
+  const auto serial_rows = serial.run(grid);
+  ASSERT_EQ(serial_rows.size(), 8u);
+
+  for (int threads : {2, 4, 8}) {
+    SweepRunner parallel({.threads = threads});
+    const auto parallel_rows = parallel.run(grid);
+    expect_rows_identical(serial_rows, parallel_rows);
+  }
+}
+
+TEST(SweepRunner, CachedReplayBitIdenticalAndMarked) {
+  const Trace trace = test_trace();
+  const SweepGrid grid = small_grid(&trace);
+  ResultCache cache;
+
+  SweepRunner cold({.threads = 2, .cache = &cache});
+  const auto cold_rows = cold.run(grid);
+  EXPECT_EQ(cold.stats().cache_hits, 0u);
+
+  SweepRunner warm({.threads = 2, .cache = &cache});
+  const auto warm_rows = warm.run(grid);
+  EXPECT_EQ(warm.stats().cache_hits, warm_rows.size());
+  expect_rows_identical(cold_rows, warm_rows);
+  for (const auto& row : warm_rows) EXPECT_TRUE(row.from_cache);
+  for (const auto& row : cold_rows) EXPECT_FALSE(row.from_cache);
+}
+
+TEST(SweepRunner, UncachedMatchesCachedBitwise) {
+  // The cache must be invisible in the output: rows from a cache-enabled
+  // run equal rows from a cache-free run.
+  const Trace trace = test_trace();
+  const SweepGrid grid = small_grid(&trace);
+  ResultCache cache;
+  SweepRunner with({.threads = 1, .cache = &cache});
+  SweepRunner without({.threads = 1});
+  expect_rows_identical(without.run(grid), with.run(grid));
+}
+
+TEST(SweepRunner, ChaosCellsFillExtras) {
+  const Trace trace = test_trace();
+  SweepCell cell;
+  cell.trace_name = "poisson-300";
+  cell.trace = &trace;
+  cell.shaping.policy = Policy::kMiser;
+  cell.shaping.fraction = 0.95;
+  cell.shaping.delta = from_ms(10);
+  cell.faults.brownout(kUsPerSec, 2 * kUsPerSec, 0.5);
+  cell.fault_intensity = 0.5;
+
+  const SweepRow row = SweepRunner::evaluate_cell(cell);
+  EXPECT_TRUE(row.extra.count("chaos.q1_miss_fraction"));
+  EXPECT_TRUE(row.extra.count("chaos.demotions"));
+  EXPECT_TRUE(row.extra.count("chaos.demotion_rate"));
+  EXPECT_TRUE(row.extra.count("chaos.time_to_recover_us"));
+
+  // And chaos rows survive the parallel + cached paths bit-identically.
+  const std::vector<SweepCell> cells = {cell, cell, cell};
+  SweepRunner serial({.threads = 1});
+  SweepRunner parallel({.threads = 3});
+  expect_rows_identical(serial.run_cells(cells), parallel.run_cells(cells));
+}
+
+TEST(SweepRunner, CustomCellsWithoutSaltBypassCache) {
+  const Trace trace = test_trace();
+  ResultCache cache;
+  SweepCell cell;
+  cell.label = "custom";
+  cell.trace_name = "poisson-300";
+  cell.trace = &trace;
+  cell.shaping.policy = Policy::kFcfs;
+  cell.shaping.delta = from_ms(10);
+  cell.shaping.capacity_override_iops = 400;
+  cell.make_scheduler = [] {
+    return std::unique_ptr<Scheduler>(std::make_unique<FcfsScheduler>());
+  };
+  cell.server_iops = {400};
+
+  const std::vector<SweepCell> cells = {cell};
+  SweepRunner runner({.threads = 1, .cache = &cache});
+  runner.run_cells(cells);
+  runner.run_cells(cells);
+  // No salt: the closure cannot be hashed, so neither run may touch the
+  // cache.
+  EXPECT_EQ(runner.stats().cache_hits, 0u);
+  EXPECT_EQ(cache.stats().stores, 0u);
+
+  // With a salt the second run hits.
+  SweepCell salted = cell;
+  salted.custom_salt = 7;
+  const std::vector<SweepCell> salted_cells = {salted};
+  SweepRunner salted_runner({.threads = 1, .cache = &cache});
+  const auto first = salted_runner.run_cells(salted_cells);
+  const auto second = salted_runner.run_cells(salted_cells);
+  EXPECT_EQ(salted_runner.stats().cache_hits, 1u);
+  expect_rows_identical(first, second);
+}
+
+TEST(SweepRowCodec, RoundTripsEveryField) {
+  SweepRow row;
+  row.label = "Miser";
+  row.trace_name = "ws";
+  row.policy = Policy::kMiser;
+  row.fraction = 0.951234567890123;
+  row.delta = from_ms(10);
+  row.fault_intensity = 0.3;
+  row.seed = 1609;
+  row.cmin_iops = 1234.5678901234;
+  row.headroom_iops = 100.1;
+  row.report.delta = from_ms(10);
+  row.report.admitted = 12345;
+  row.report.rejected = 67;
+  row.report.deadline_misses = 8;
+  row.report.all = {100, 2.5, 1, 2, 3, 4, 99, 0.97};
+  row.report.primary = {90, 1.5, 1, 2, 3, 4, 50, 0.99};
+  row.report.overflow = {10, 7.5, 2, 3, 4, 5, 99, 0.42};
+  row.report.q1_occupancy = {3.25, 17, true};
+  row.report.q2_occupancy = {0.5, 2, true};
+  row.report.miss_run_lengths = {1, 1, 3, 9};
+  row.buckets = {0.5, 0.75, 0.9, 0.99, 0.01};
+  row.extra = {{"chaos.demotions", 42.0}, {"tenant.victim_within", 0.875}};
+  row.from_cache = true;  // excluded from the codec by design
+
+  const std::string bytes = serialize_sweep_row(row);
+  auto back = deserialize_sweep_row(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->from_cache);
+  back->from_cache = true;
+  EXPECT_EQ(serialize_sweep_row(*back), bytes);
+  EXPECT_EQ(back->extra, row.extra);
+  EXPECT_EQ(back->report.miss_run_lengths, row.report.miss_run_lengths);
+}
+
+TEST(SweepRowCodec, PreservesDoubleBitPatterns) {
+  SweepRow row;
+  row.fraction = 0.1 + 0.2;  // not representable exactly — bit fidelity test
+  row.cmin_iops = 1e308;
+  row.headroom_iops = 5e-324;  // denormal min
+  const auto back = deserialize_sweep_row(serialize_sweep_row(row));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->fraction),
+            std::bit_cast<std::uint64_t>(row.fraction));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->cmin_iops),
+            std::bit_cast<std::uint64_t>(row.cmin_iops));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->headroom_iops),
+            std::bit_cast<std::uint64_t>(row.headroom_iops));
+}
+
+TEST(SweepRowCodec, RejectsCorruptBytes) {
+  EXPECT_FALSE(deserialize_sweep_row("").has_value());
+  EXPECT_FALSE(deserialize_sweep_row("not a row").has_value());
+  SweepRow row;
+  std::string bytes = serialize_sweep_row(row);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(deserialize_sweep_row(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace qos

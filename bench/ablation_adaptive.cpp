@@ -96,6 +96,7 @@ void run(const BenchOptions& options) {
   const Trace quiet_prefix = trace.slice(0, 600 * kUsPerSec);
   const Trace* search_traces[] = {&trace, &quiet_prefix};
   const std::vector<double> cmins = pool.parallel_map(2, [&](std::size_t i) {
+    ProfileScope scope(options.profile.get(), "adaptive.capacity_search");
     const Digest digest = cache ? hash_trace(*search_traces[i]) : Digest{};
     return min_capacity_cached(*search_traces[i], fraction, delta,
                                cache.get(), cache ? &digest : nullptr)

@@ -95,7 +95,7 @@ void run(const BenchOptions& options) {
   const Trace trace = preset_trace(Workload::kWebSearch, 1800 * kUsPerSec);
 
   auto cache = options.make_cache();
-  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  SweepRunner runner(options.sweep_options(cache.get()));
   const Digest digest = cache ? hash_trace(trace) : Digest{};
   const double cmin =
       min_capacity_cached(trace, 0.90, delta, cache.get(),

@@ -100,7 +100,7 @@ void run(const BenchOptions& options) {
   }
 
   auto cache = options.make_cache();
-  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  SweepRunner runner(options.sweep_options(cache.get()));
   const std::vector<SweepRow> rows = runner.run_cells(cells);
 
   AsciiTable table;

@@ -39,7 +39,7 @@ void run(const BenchOptions& options) {
   const double one_over_delta = overflow_headroom_iops(delta);
 
   auto cache = options.make_cache();
-  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  SweepRunner runner(options.sweep_options(cache.get()));
 
   std::vector<Panel> panels;
   for (Workload w : kWorkloads)

@@ -132,7 +132,7 @@ void run(const BenchOptions& options) {
   const Trace trace = generate_poisson(800, 40 * kUsPerSec, kSeed);
 
   auto cache = options.make_cache();
-  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  SweepRunner runner(options.sweep_options(cache.get()));
   const Digest digest = cache ? hash_trace(trace) : Digest{};
   const double cmin =
       min_capacity_cached(trace, kFraction, kDelta, cache.get(),

@@ -84,7 +84,7 @@ void run(const BenchOptions& options) {
   const Time delta = from_ms(50);
 
   auto cache = options.make_cache();
-  SweepRunner runner({.threads = options.threads, .cache = cache.get()});
+  SweepRunner runner(options.sweep_options(cache.get()));
   const Digest digest =
       cache ? hash_trace(trace) : Digest{};
   const Digest* digest_ptr = cache ? &digest : nullptr;

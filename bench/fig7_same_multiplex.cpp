@@ -42,8 +42,10 @@ void run(const BenchOptions& options) {
   // workload is shifted in time by 1 or 100 seconds, then merged with the
   // other" — the copy keeps its shape, delayed by the shift.
   constexpr std::size_t kVariants = 1 + std::size(kShifts);
+  ProfileCollector* profile = options.profile.get();
   const std::vector<Trace> traces = pool.parallel_map(
       std::size(kWorkloads) * kVariants, [&](std::size_t i) {
+        ProfileScope scope(profile, "fig7.trace_gen");
         const Trace base = preset_trace(kWorkloads[i / kVariants]);
         const std::size_t variant = i % kVariants;
         if (variant == 0) return base;
@@ -67,6 +69,7 @@ void run(const BenchOptions& options) {
         tasks.push_back({fraction, w * kVariants + v});
   const std::vector<double> cmins =
       pool.parallel_map(tasks.size(), [&](std::size_t i) {
+        ProfileScope scope(profile, "fig7.capacity_search");
         const Task& task = tasks[i];
         const Digest* digest = cache ? &digests[task.trace_index] : nullptr;
         return min_capacity_cached(traces[task.trace_index], task.fraction,

@@ -69,6 +69,7 @@ void run(const BenchOptions& options) {
     AsciiTable table;
     table.add("Workloads", "Estimate", "Real", "ratio", "rel.err");
     for (const auto& [w1, w2] : kPairs) {
+      ProfileScope scope(options.profile.get(), "fig8.consolidate");
       const Trace clients[] = {preset_trace(w1), preset_trace(w2)};
       ConsolidationReport report =
           consolidate_parallel(pool, clients, fraction, delta, cache.get());

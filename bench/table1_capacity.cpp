@@ -35,16 +35,21 @@ void run(const BenchOptions& options) {
   const double t0 = bench_now_seconds();
   ThreadPool pool(options.threads);
   auto cache = options.make_cache();
+  ProfileCollector* profile = options.profile.get();
 
   // Trace generation is deterministic per (workload, seed) and independent
   // across workloads — the first parallel phase.
   const std::vector<Trace> traces =
-      pool.parallel_map(std::size(kWorkloads),
-                        [&](std::size_t i) { return preset_trace(kWorkloads[i]); });
+      pool.parallel_map(std::size(kWorkloads), [&](std::size_t i) {
+        ProfileScope scope(profile, "table1.trace_gen");
+        return preset_trace(kWorkloads[i]);
+      });
   std::vector<Digest> digests(traces.size());
   if (cache)
-    pool.parallel_for(traces.size(),
-                      [&](std::size_t i) { digests[i] = hash_trace(traces[i]); });
+    pool.parallel_for(traces.size(), [&](std::size_t i) {
+      ProfileScope scope(profile, "table1.trace_digest");
+      digests[i] = hash_trace(traces[i]);
+    });
 
   std::printf(
       "Table 1: Capacity (IOPS) required for specified workload fraction\n"
@@ -64,6 +69,7 @@ void run(const BenchOptions& options) {
   for (std::size_t w = 0; w < std::size(kWorkloads); ++w)
     for (Time delta : kDeltas) curves.push_back({w, delta, {}});
   pool.parallel_for(curves.size(), [&](std::size_t i) {
+    ProfileScope scope(profile, "table1.capacity_curve");
     Curve& curve = curves[i];
     const Trace& trace = traces[curve.workload];
     const Digest* digest = cache ? &digests[curve.workload] : nullptr;

@@ -18,6 +18,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 tsan_filter='ThreadPool|ResultCache|Sweep|Parallel|MinCapacityCached|Merge'
 tsan_filter+='|Obs|Chaos|Fault|DegradedRtt|CapacityMonitor|Histogram'
 tsan_filter+='|Registry|Occupancy|CounterGauge|Sinks|Exporters|ShapingReport|Sla'
+tsan_filter+='|Tracer|TraceLifecycle|Profile'
 
 echo "== tier-1: plain build + ctest =="
 cmake -B build -S . >/dev/null

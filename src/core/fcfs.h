@@ -5,6 +5,8 @@
 
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/scheduler.h"
 #include "util/check.h"
 
@@ -14,18 +16,49 @@ class FcfsScheduler final : public Scheduler {
  public:
   int server_count() const override { return 1; }
 
-  void on_arrival(const Request& r, Time) override { queue_.push_back(r); }
+  void attach_observability(EventSink* sink,
+                            MetricRegistry* registry) override {
+    probe_ = Probe(sink);
+    if (registry != nullptr) {
+      enqueued_ = &registry->counter("fcfs.enqueued");
+      q1_occ_ = &registry->occupancy("q1.occupancy");
+    }
+  }
 
-  std::optional<Dispatch> next_for(int server, Time) override {
+  void on_arrival(const Request& r, Time now) override {
+    queue_.push_back(r);
+    if (enqueued_ != nullptr) enqueued_->add();
+    if (q1_occ_ != nullptr)
+      q1_occ_->update(now, static_cast<std::int64_t>(queue_.size()));
+    if (probe_) {
+      // FCFS makes no admission decision: every request "admits" into the
+      // one queue with no bound, reported as maxQ1 = 0 (unbounded).
+      probe_.emit({.time = now,
+                   .seq = r.seq,
+                   .a = static_cast<std::int64_t>(queue_.size()),
+                   .b = 0,
+                   .client = r.client,
+                   .kind = EventKind::kAdmit,
+                   .klass = ServiceClass::kPrimary});
+    }
+  }
+
+  std::optional<Dispatch> next_for(int server, Time now) override {
     QOS_EXPECTS(server == 0);
     if (queue_.empty()) return std::nullopt;
     Dispatch d{queue_.front(), ServiceClass::kPrimary};
     queue_.pop_front();
+    if (q1_occ_ != nullptr)
+      q1_occ_->update(now, static_cast<std::int64_t>(queue_.size()));
     return d;
   }
 
  private:
   std::deque<Request> queue_;
+
+  Probe probe_;
+  Counter* enqueued_ = nullptr;
+  OccupancySeries* q1_occ_ = nullptr;
 };
 
 }  // namespace qos

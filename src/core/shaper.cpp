@@ -40,7 +40,7 @@ std::unique_ptr<Scheduler> make_scheduler(const ShapingConfig& config,
   }
   QOS_CHECK(scheduler != nullptr);
   if (config.observed())
-    scheduler->attach_observability(config.sink, config.registry);
+    scheduler->attach_observability(config.effective_sink(), config.registry);
   return scheduler;
 }
 
@@ -72,11 +72,11 @@ ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config) {
     ConstantRateServer overflow(out.headroom_iops > 0 ? out.headroom_iops
                                                       : 1.0);
     Server* servers[] = {decorated(&primary, 0), decorated(&overflow, 1)};
-    out.sim = simulate(trace, *scheduler, servers, config.sink);
+    out.sim = simulate(trace, *scheduler, servers, config.effective_sink());
   } else {
     ConstantRateServer server(out.total_iops());
     Server* servers[] = {decorated(&server, 0)};
-    out.sim = simulate(trace, *scheduler, servers, config.sink);
+    out.sim = simulate(trace, *scheduler, servers, config.effective_sink());
   }
   if (config.observed())
     out.report = build_shaping_report(out.sim, config.delta, config.registry);

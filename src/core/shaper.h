@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -46,9 +47,16 @@ struct ShapingConfig {
   double headroom_override_iops = -1;
 
   /// Optional observability (not owned; must outlive the run).  Attaching
-  /// either enables instrumentation and report building.
+  /// any enables instrumentation and report building.
   MetricRegistry* registry = nullptr;
   EventSink* sink = nullptr;
+
+  /// Optional request-level tracer (not owned).  When set, the run's event
+  /// stream flows through the tracer, which forwards every event to `sink`
+  /// (if any) downstream — tracing composes with an explicit sink instead
+  /// of replacing it.  Null keeps the pipeline on the plain Probe path:
+  /// one branch per hook, zero tracing cost.
+  Tracer* tracer = nullptr;
 
   /// Optional decorator applied to each backing server just before the run
   /// — the hook fault injection uses to interpose a FaultyServer without
@@ -63,7 +71,17 @@ struct ShapingConfig {
     return headroom_override_iops >= 0 ? headroom_override_iops
                                        : overflow_headroom_iops(delta);
   }
-  bool observed() const { return registry != nullptr || sink != nullptr; }
+  bool observed() const {
+    return registry != nullptr || sink != nullptr || tracer != nullptr;
+  }
+
+  /// The sink the pipeline should emit into: the tracer (chained onto
+  /// `sink`) when tracing, else `sink` directly.
+  EventSink* effective_sink() const {
+    if (tracer == nullptr) return sink;
+    tracer->set_downstream(sink);
+    return tracer;
+  }
 };
 
 struct ShapingOutcome {

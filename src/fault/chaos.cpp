@@ -55,12 +55,13 @@ ChaosOutcome run_degraded(const Trace& trace, const ChaosConfig& config) {
 
   DegradedRttScheduler scheduler(out.shaping.cmin_iops, shaping.delta,
                                  out.shaping.total_iops(), config.degraded);
-  scheduler.attach_observability(shaping.sink, shaping.registry);
+  EventSink* sink = shaping.effective_sink();
+  scheduler.attach_observability(sink, shaping.registry);
 
   ConstantRateServer server(out.shaping.total_iops());
   FaultyServer faulty(server, config.faults);
   Server* servers[] = {&faulty};
-  out.shaping.sim = simulate(trace, scheduler, servers, shaping.sink);
+  out.shaping.sim = simulate(trace, scheduler, servers, sink);
   faulty.flush_events(out.shaping.sim.makespan());
 
   out.shaping.report = build_shaping_report(out.shaping.sim, shaping.delta,

@@ -91,6 +91,21 @@ Time LatencyHistogram::quantile(double p) const {
   return max_;
 }
 
+double LatencyHistogram::cdf(Time value_us) const {
+  if (count_ == 0) return 0.0;  // no samples, no mass (see try_cdf)
+  if (value_us < 0) return 0.0;
+  if (value_us >= max_) return 1.0;
+  // Count every bucket that lies entirely at or below value_us; the
+  // partially covered bucket contributes nothing, matching quantile()'s
+  // never-underestimate convention from the other direction.
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (bucket_upper(i) - 1 > value_us) break;
+    cum += buckets_[i];
+  }
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size())

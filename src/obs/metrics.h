@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,7 +69,27 @@ class LatencyHistogram {
 
   /// Nearest-rank quantile, p in [0, 1].  Reports the upper bound of the
   /// containing bucket (never underestimates); p == 0 / p == 1 are exact.
+  /// An empty histogram reports the documented sentinel 0 — callers that
+  /// need to distinguish "0 us" from "no samples" use try_quantile.
   Time quantile(double p) const;
+
+  /// quantile() that reports emptiness instead of the 0 sentinel.
+  std::optional<Time> try_quantile(double p) const {
+    if (count_ == 0) return std::nullopt;
+    return quantile(p);
+  }
+
+  /// Empirical CDF at `value_us`: the fraction of samples <= value_us, at
+  /// bucket granularity (same <= 1/32 relative bound as quantile; exact at
+  /// bucket boundaries and beyond max()).  Empty histograms report the
+  /// sentinel 0.0 — a histogram with no samples has no mass anywhere.
+  double cdf(Time value_us) const;
+
+  /// cdf() that reports emptiness instead of the 0.0 sentinel.
+  std::optional<double> try_cdf(Time value_us) const {
+    if (count_ == 0) return std::nullopt;
+    return cdf(value_us);
+  }
 
   /// Fold `other`'s samples in: bucket-wise addition plus exact min/max/
   /// sum/count combination.  Merging per-job histograms recorded on

@@ -1,0 +1,72 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace qos {
+
+std::uint64_t thread_cpu_time_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000ull;
+#else
+  return 0;
+#endif
+}
+
+void ProfileCollector::record(const std::string& phase, std::uint64_t wall_us,
+                              std::uint64_t cpu_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PhaseProfile& p = phases_[phase];
+  ++p.calls;
+  p.wall_us += wall_us;
+  p.cpu_us += cpu_us;
+  p.max_wall_us = std::max(p.max_wall_us, wall_us);
+}
+
+std::map<std::string, PhaseProfile> ProfileCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+bool ProfileCollector::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_.empty();
+}
+
+void ProfileCollector::export_to(MetricRegistry& registry) const {
+  for (const auto& [name, p] : snapshot()) {
+    registry.counter("profile." + name + ".calls").add(p.calls);
+    registry.gauge("profile." + name + ".wall_us")
+        .add(static_cast<double>(p.wall_us));
+    registry.gauge("profile." + name + ".cpu_us")
+        .add(static_cast<double>(p.cpu_us));
+    registry.gauge("profile." + name + ".max_wall_us")
+        .set(static_cast<double>(p.max_wall_us));
+  }
+}
+
+ProfileScope::ProfileScope(ProfileCollector* collector, const char* phase)
+    : collector_(collector), phase_(phase) {
+  if (collector_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_us_ = thread_cpu_time_us();
+}
+
+ProfileScope::~ProfileScope() {
+  if (collector_ == nullptr) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  const std::uint64_t cpu_end_us = thread_cpu_time_us();
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           wall_end - wall_start_)
+                           .count();
+  collector_->record(phase_, static_cast<std::uint64_t>(wall_us),
+                     cpu_end_us >= cpu_start_us_ ? cpu_end_us - cpu_start_us_
+                                                 : 0);
+}
+
+}  // namespace qos

@@ -1,0 +1,76 @@
+// Scoped engine profiling: wall + thread-CPU time per named phase.
+//
+// `ProfileScope` is an RAII timer; on destruction it folds its measurement
+// into a `ProfileCollector` keyed by phase name.  The collector is the only
+// synchronization point (one short mutex hold per scope exit), so scopes can
+// run concurrently on ThreadPool workers — each measures its *own* thread's
+// CPU time via CLOCK_THREAD_CPUTIME_ID, which is why wall and CPU totals can
+// legitimately diverge: cpu < wall means blocking, cpu ~ calls * wall means
+// parallel speedup.
+//
+// A null collector makes the scope inert (no clock reads), so call sites can
+// be instrumented unconditionally and pay nothing unless profiling is wired
+// up.  These are engine-side (real-time) measurements, deliberately separate
+// from the simulated-time metrics: export_to() prefixes everything with
+// "profile." when bridging into a MetricRegistry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace qos {
+
+class MetricRegistry;
+
+/// Aggregate for one named phase, all times in microseconds.
+struct PhaseProfile {
+  std::uint64_t calls = 0;
+  std::uint64_t wall_us = 0;
+  std::uint64_t cpu_us = 0;      ///< per-thread CPU time, summed over calls
+  std::uint64_t max_wall_us = 0;  ///< slowest single call
+};
+
+/// Thread-safe sink for ProfileScope measurements.
+class ProfileCollector {
+ public:
+  void record(const std::string& phase, std::uint64_t wall_us,
+              std::uint64_t cpu_us);
+
+  /// Copy of the aggregates, safe to read while scopes keep recording.
+  std::map<std::string, PhaseProfile> snapshot() const;
+
+  /// Bridge into a MetricRegistry: per phase, counter
+  /// "profile.<phase>.calls" and gauges "profile.<phase>.{wall_us,cpu_us,
+  /// max_wall_us}".
+  void export_to(MetricRegistry& registry) const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PhaseProfile> phases_;
+};
+
+/// RAII phase timer; inert (no clock reads) when `collector` is null.
+class ProfileScope {
+ public:
+  ProfileScope(ProfileCollector* collector, const char* phase);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfileCollector* collector_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t cpu_start_us_ = 0;
+};
+
+/// Current thread's consumed CPU time in microseconds (0 if unsupported).
+std::uint64_t thread_cpu_time_us();
+
+}  // namespace qos

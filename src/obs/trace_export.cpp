@@ -1,0 +1,404 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace qos {
+
+// ---- binary container -----------------------------------------------------
+//
+// Layout (all integers little-endian, fixed width):
+//
+//   "QOSTRC01"                       8-byte magic
+//   u32 trace_count
+//   per trace:
+//     u32 label_len,      label bytes
+//     u32 trace_name_len, trace_name bytes
+//     i64 delta, u64 sample_every, u64 observed, u64 dropped
+//     u64 span_count,  span_count  * RequestSpan records
+//     u64 fault_count, fault_count * FaultSpan records
+//     u64 slack_count, slack_count * SlackSample records
+//   u64 FNV-1a checksum of everything before it
+//
+// A RequestSpan record is its fields in declaration order; klass/server/
+// admitted/demoted are one byte each.
+
+namespace {
+
+constexpr char kMagic[] = "QOSTRC01";  // 8 chars + NUL
+constexpr std::size_t kMagicLen = 8;
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+/// Bounds-checked reader over the serialized bytes.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > size_) return fail();
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!u64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > size_) return fail();
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return fail();
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n) || pos_ + n > size_) return fail();
+    s.assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void put_span(std::string& out, const RequestSpan& s) {
+  put_u64(out, s.seq);
+  put_u32(out, s.client);
+  put_i64(out, s.arrival);
+  put_i64(out, s.decision);
+  put_i64(out, s.enqueue);
+  put_i64(out, s.service_start);
+  put_i64(out, s.completion);
+  put_i64(out, s.depth_at_decision);
+  put_i64(out, s.max_q1_at_decision);
+  put_i64(out, s.slack_funding);
+  put_i64(out, s.inflation_us);
+  put_u8(out, static_cast<std::uint8_t>(s.klass));
+  put_u8(out, s.server);
+  put_u8(out, s.admitted);
+  put_u8(out, s.demoted);
+}
+
+bool get_span(Reader& in, RequestSpan& s) {
+  std::uint8_t klass = 0;
+  const bool ok = in.u64(s.seq) && in.u32(s.client) && in.i64(s.arrival) &&
+                  in.i64(s.decision) && in.i64(s.enqueue) &&
+                  in.i64(s.service_start) && in.i64(s.completion) &&
+                  in.i64(s.depth_at_decision) &&
+                  in.i64(s.max_q1_at_decision) && in.i64(s.slack_funding) &&
+                  in.i64(s.inflation_us) && in.u8(klass) && in.u8(s.server) &&
+                  in.u8(s.admitted) && in.u8(s.demoted);
+  if (!ok || klass > 1) return false;
+  s.klass = static_cast<ServiceClass>(klass);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_traces(std::span<const TraceData> traces) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  put_u32(out, static_cast<std::uint32_t>(traces.size()));
+  for (const TraceData& t : traces) {
+    put_str(out, t.label);
+    put_str(out, t.trace_name);
+    put_i64(out, t.delta);
+    put_u64(out, t.sample_every);
+    put_u64(out, t.observed);
+    put_u64(out, t.dropped);
+    put_u64(out, t.spans.size());
+    for (const RequestSpan& s : t.spans) put_span(out, s);
+    put_u64(out, t.faults.size());
+    for (const FaultSpan& f : t.faults) {
+      put_i64(out, f.begin);
+      put_i64(out, f.end);
+      put_i64(out, f.kind);
+      put_i64(out, f.severity_ppm);
+    }
+    put_u64(out, t.slack.size());
+    for (const SlackSample& s : t.slack) {
+      put_i64(out, s.time);
+      put_i64(out, s.slack);
+    }
+  }
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+std::optional<std::vector<TraceData>> deserialize_traces(
+    const std::string& bytes) {
+  if (bytes.size() < kMagicLen + 4 + 8) return std::nullopt;
+  if (bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) return std::nullopt;
+
+  // Checksum first: the payload must match before any structure is trusted.
+  const std::size_t payload = bytes.size() - 8;
+  Reader tail(bytes.data() + payload, 8);
+  std::uint64_t checksum = 0;
+  tail.u64(checksum);
+  if (checksum != fnv1a(bytes.data(), payload)) return std::nullopt;
+
+  Reader in(bytes.data(), payload);
+  std::uint64_t skip_magic = 0;
+  in.u64(skip_magic);  // 8 magic bytes, value already verified above
+  std::uint32_t count = 0;
+  if (!in.u32(count)) return std::nullopt;
+
+  std::vector<TraceData> traces;
+  traces.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceData t;
+    std::uint64_t spans = 0, faults = 0, slack = 0;
+    if (!in.str(t.label) || !in.str(t.trace_name) || !in.i64(t.delta) ||
+        !in.u64(t.sample_every) || !in.u64(t.observed) || !in.u64(t.dropped) ||
+        !in.u64(spans) || spans > bytes.size())
+      return std::nullopt;
+    t.spans.resize(spans);
+    for (RequestSpan& s : t.spans)
+      if (!get_span(in, s)) return std::nullopt;
+    if (!in.u64(faults) || faults > bytes.size()) return std::nullopt;
+    t.faults.resize(faults);
+    for (FaultSpan& f : t.faults)
+      if (!in.i64(f.begin) || !in.i64(f.end) || !in.i64(f.kind) ||
+          !in.i64(f.severity_ppm))
+        return std::nullopt;
+    if (!in.u64(slack) || slack > bytes.size()) return std::nullopt;
+    t.slack.resize(slack);
+    for (SlackSample& s : t.slack)
+      if (!in.i64(s.time) || !in.i64(s.slack)) return std::nullopt;
+    traces.push_back(std::move(t));
+  }
+  if (!in.ok() || in.pos() != payload) return std::nullopt;
+  return traces;
+}
+
+// ---- Perfetto / Chrome trace_event JSON -----------------------------------
+
+namespace {
+
+/// JSON string escaping for labels (control chars, quotes, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::string& out) : out_(out) {}
+
+  void meta_process(int pid, const std::string& name) {
+    begin();
+    append("{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"%s\"}}",
+           pid, json_escape(name).c_str());
+  }
+  void meta_thread(int pid, int tid, const std::string& name) {
+    begin();
+    append("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\","
+           "\"args\":{\"name\":\"%s\"}}",
+           pid, tid, json_escape(name).c_str());
+  }
+  /// Async begin/end pair: overlapping queue residencies render stacked.
+  void async(int pid, int tid, std::uint64_t id, Time begin_ts, Time end_ts,
+             const char* name, const std::string& args) {
+    begin();
+    append("{\"ph\":\"b\",\"cat\":\"queue\",\"pid\":%d,\"tid\":%d,"
+           "\"id\":%llu,\"ts\":%lld,\"name\":\"%s\",\"args\":{%s}}",
+           pid, tid, static_cast<unsigned long long>(id),
+           static_cast<long long>(begin_ts), name, args.c_str());
+    begin();
+    append("{\"ph\":\"e\",\"cat\":\"queue\",\"pid\":%d,\"tid\":%d,"
+           "\"id\":%llu,\"ts\":%lld,\"name\":\"%s\"}",
+           pid, tid, static_cast<unsigned long long>(id),
+           static_cast<long long>(end_ts), name);
+  }
+  /// Complete slice ("X"): service on a server track, fault windows.
+  void slice(int pid, int tid, Time ts, Time dur, const char* name,
+             const std::string& args) {
+    begin();
+    append("{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"dur\":%lld,"
+           "\"name\":\"%s\",\"args\":{%s}}",
+           pid, tid, static_cast<long long>(ts), static_cast<long long>(dur),
+           name, args.c_str());
+  }
+  void instant(int pid, int tid, Time ts, const char* name,
+               const std::string& args) {
+    begin();
+    append("{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"s\":\"t\","
+           "\"name\":\"%s\",\"args\":{%s}}",
+           pid, tid, static_cast<long long>(ts), name, args.c_str());
+  }
+
+ private:
+  void begin() {
+    if (!first_) out_ += ",\n";
+    first_ = false;
+    out_ += "  ";
+  }
+  void append(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out_ += buf;
+  }
+
+  std::string& out_;
+  bool first_ = true;
+};
+
+const char* fault_kind_label(std::int64_t kind) {
+  switch (kind) {
+    case 0: return "capacity_loss";
+    case 1: return "stall";
+    case 2: return "latency_spike";
+  }
+  return "fault";
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(std::span<const TraceData> traces) {
+  std::string out = "{\"traceEvents\":[\n";
+  EventWriter w(out);
+  char args[256];
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const TraceData& t = traces[i];
+    const int pid_queues = static_cast<int>(3 * i + 1);
+    const int pid_servers = static_cast<int>(3 * i + 2);
+    const int pid_faults = static_cast<int>(3 * i + 3);
+    const std::string prefix = t.label.empty() ? "run" : t.label;
+
+    w.meta_process(pid_queues, prefix + " queues");
+    w.meta_thread(pid_queues, 1, "Q1 (primary)");
+    w.meta_thread(pid_queues, 2, "Q2 (overflow)");
+    w.meta_process(pid_servers, prefix + " servers");
+    int max_server = 0;
+    for (const RequestSpan& s : t.spans)
+      max_server = std::max(max_server, static_cast<int>(s.server));
+    for (int srv = 0; srv <= max_server; ++srv)
+      w.meta_thread(pid_servers, srv + 1, "server " + std::to_string(srv));
+    if (!t.faults.empty()) {
+      w.meta_process(pid_faults, prefix + " faults");
+      w.meta_thread(pid_faults, 1, "windows");
+    }
+
+    for (const RequestSpan& s : t.spans) {
+      const int queue_tid = s.klass == ServiceClass::kPrimary ? 1 : 2;
+      if (s.service_start != kNoTime) {
+        const Time enq = s.enqueue != kNoTime ? s.enqueue : s.arrival;
+        if (enq != kNoTime && s.service_start >= enq) {
+          std::snprintf(args, sizeof(args),
+                        "\"seq\":%llu,\"depth\":%lld,\"max_q1\":%lld",
+                        static_cast<unsigned long long>(s.seq),
+                        static_cast<long long>(s.depth_at_decision),
+                        static_cast<long long>(s.max_q1_at_decision));
+          w.async(pid_queues, queue_tid, s.seq, enq, s.service_start, "wait",
+                  args);
+        }
+        if (s.completion != kNoTime && s.completion >= s.service_start) {
+          std::snprintf(
+              args, sizeof(args),
+              "\"seq\":%llu,\"client\":%u,\"class\":\"%s\","
+              "\"slack\":%lld,\"inflation_us\":%lld",
+              static_cast<unsigned long long>(s.seq), s.client,
+              s.klass == ServiceClass::kPrimary ? "primary" : "overflow",
+              static_cast<long long>(s.slack_funding),
+              static_cast<long long>(s.inflation_us));
+          w.slice(pid_servers, s.server + 1, s.service_start,
+                  s.completion - s.service_start, "serve", args);
+        }
+      }
+      if (s.demoted != 0 && s.decision != kNoTime) {
+        std::snprintf(args, sizeof(args),
+                      "\"seq\":%llu,\"degraded_max_q1\":%lld",
+                      static_cast<unsigned long long>(s.seq),
+                      static_cast<long long>(s.max_q1_at_decision));
+        w.instant(pid_queues, queue_tid, s.decision, "demote", args);
+      }
+    }
+
+    for (const FaultSpan& f : t.faults) {
+      std::snprintf(args, sizeof(args), "\"severity_ppm\":%lld",
+                    static_cast<long long>(f.severity_ppm));
+      w.slice(pid_faults, 1, f.begin, f.end - f.begin,
+              fault_kind_label(f.kind), args);
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace qos

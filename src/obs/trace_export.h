@@ -1,0 +1,48 @@
+// Trace exporters: Chrome/Perfetto trace_event JSON and a compact binary
+// container.
+//
+// Perfetto export lays the run out as tracks a human can scrub:
+//   * one "queues" process per traced run, with Q1 and Q2 as threads —
+//     each request's queue wait is an async slice (id = seq) so overlapping
+//     residencies render side by side, and demotions show as instants;
+//   * one "servers" process, one thread per server — service is a complete
+//     slice per request (at most one in service per server, so slices tile);
+//   * one "faults" process carrying the fault windows as slices.
+// Timestamps are the simulator's microseconds, which is exactly the
+// trace_event `ts` unit — load the file in https://ui.perfetto.dev as-is.
+//
+// The binary container is the machine-facing sibling: length-framed,
+// checksummed, lossless (every RequestSpan/FaultSpan/SlackSample field),
+// and holds any number of TraceDatas so a whole sweep's traces live in one
+// file.  tools/trace_analyze consumes it; deserialize_traces returns
+// nullopt on any structural or checksum mismatch, never garbage.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace qos {
+
+/// Serialize traces into the binary container (see file comment).
+std::string serialize_traces(std::span<const TraceData> traces);
+inline std::string serialize_trace(const TraceData& trace) {
+  return serialize_traces({&trace, 1});
+}
+
+/// Parse a binary container; nullopt on malformed/corrupt/truncated input.
+std::optional<std::vector<TraceData>> deserialize_traces(
+    const std::string& bytes);
+
+/// Chrome trace_event JSON ("traceEvents" array) for one or more traced
+/// runs; each run gets its own queues/servers/faults process group named
+/// after its label.
+std::string perfetto_trace_json(std::span<const TraceData> traces);
+inline std::string perfetto_trace_json(const TraceData& trace) {
+  return perfetto_trace_json({&trace, 1});
+}
+
+}  // namespace qos

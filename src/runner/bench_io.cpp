@@ -6,6 +6,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/trace_export.h"
+
 namespace qos {
 
 std::unique_ptr<ResultCache> BenchOptions::make_cache() const {
@@ -13,6 +15,16 @@ std::unique_ptr<ResultCache> BenchOptions::make_cache() const {
   ResultCache::Config config;
   config.disk_dir = cache_dir;
   return std::make_unique<ResultCache>(config);
+}
+
+SweepOptions BenchOptions::sweep_options(ResultCache* cache) const {
+  SweepOptions sweep;
+  sweep.threads = threads;
+  sweep.cache = cache;
+  sweep.trace = trace;
+  sweep.tracer.sample_every = trace_sample;
+  sweep.profile = profile.get();
+  return sweep;
 }
 
 BenchOptions parse_bench_args(int argc, char** argv,
@@ -23,7 +35,8 @@ BenchOptions parse_bench_args(int argc, char** argv,
     std::fprintf(stderr,
                  "%s: unknown or malformed argument '%s'\n"
                  "usage: %s [--threads N] [--no-cache] [--cache-dir DIR] "
-                 "[--json PATH]\n",
+                 "[--json PATH] [--trace] [--trace-out STEM] "
+                 "[--trace-sample N]\n",
                  bench_name.c_str(), bad, bench_name.c_str());
     std::exit(2);
   };
@@ -44,16 +57,29 @@ BenchOptions parse_bench_args(int argc, char** argv,
       options.cache_dir = value();
     } else if (std::strcmp(arg, "--json") == 0) {
       options.json_path = value();
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options.trace = true;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      options.trace_out = value();
+    } else if (std::strcmp(arg, "--trace-sample") == 0) {
+      char* end = nullptr;
+      const char* v = value();
+      options.trace_sample = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || options.trace_sample < 1) usage(v);
     } else {
       usage(arg);
     }
   }
   if (options.json_path.empty())
     options.json_path = "BENCH_" + bench_name + ".json";
+  if (options.trace_out.empty())
+    options.trace_out = "TRACE_" + bench_name;
+  options.profile = std::make_shared<ProfileCollector>();
   return options;
 }
 
-std::string bench_timing_json(const BenchTiming& timing) {
+std::string bench_timing_json(const BenchTiming& timing,
+                              const ProfileCollector* profile) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\n"
@@ -62,26 +88,96 @@ std::string bench_timing_json(const BenchTiming& timing) {
                 "  \"cells\": %llu,\n"
                 "  \"cache_hits\": %llu,\n"
                 "  \"rows\": %llu,\n"
-                "  \"threads\": %d\n"
-                "}\n",
+                "  \"threads\": %d",
                 timing.name.c_str(), timing.wall_seconds,
                 static_cast<unsigned long long>(timing.cells),
                 static_cast<unsigned long long>(timing.cache_hits),
                 static_cast<unsigned long long>(timing.rows), timing.threads);
-  return buf;
+  std::string out = buf;
+  if (profile != nullptr && !profile->empty()) {
+    out += ",\n  \"profile\": {";
+    bool first = true;
+    for (const auto& [phase, p] : profile->snapshot()) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n    \"%s\": {\"calls\": %llu, \"wall_us\": %llu, "
+                    "\"cpu_us\": %llu, \"max_wall_us\": %llu}",
+                    first ? "" : ",", phase.c_str(),
+                    static_cast<unsigned long long>(p.calls),
+                    static_cast<unsigned long long>(p.wall_us),
+                    static_cast<unsigned long long>(p.cpu_us),
+                    static_cast<unsigned long long>(p.max_wall_us));
+      out += buf;
+      first = false;
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
 }
 
-void write_bench_json(const BenchOptions& options, const BenchTiming& timing) {
+namespace {
+
+void write_manifest(const BenchOptions& options, const BenchTiming& timing,
+                    bool warn_unused_trace) {
+  if (warn_unused_trace && options.trace)
+    std::fprintf(stderr,
+                 "[%s] --trace has no effect: this bench runs no sweep\n",
+                 options.bench_name.c_str());
   std::ofstream out(options.json_path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "[%s] cannot write %s\n", options.bench_name.c_str(),
                  options.json_path.c_str());
     return;
   }
-  out << bench_timing_json(timing);
+  out << bench_timing_json(timing, options.profile.get());
   std::fprintf(stderr, "[%s] timing written to %s\n",
                options.bench_name.c_str(), options.json_path.c_str());
 }
+
+}  // namespace
+
+void write_bench_json(const BenchOptions& options, const BenchTiming& timing) {
+  write_manifest(options, timing, /*warn_unused_trace=*/true);
+}
+
+namespace {
+
+void write_trace_outputs(const BenchOptions& options,
+                         const SweepRunner& runner) {
+  if (!options.trace) return;
+  const char* bench = options.bench_name.c_str();
+  if (runner.traces().empty()) {
+    std::fprintf(stderr, "[%s] --trace set but the run produced no traces\n",
+                 bench);
+    return;
+  }
+  const std::string bin_path = options.trace_out + ".trace.bin";
+  const std::string json_path = options.trace_out + ".perfetto.json";
+  {
+    std::ofstream out(bin_path, std::ios::trunc | std::ios::binary);
+    if (out) {
+      out << serialize_traces(runner.traces());
+      std::fprintf(stderr, "[%s] trace container written to %s\n", bench,
+                   bin_path.c_str());
+    } else {
+      std::fprintf(stderr, "[%s] cannot write %s\n", bench, bin_path.c_str());
+    }
+  }
+  {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (out) {
+      out << perfetto_trace_json(runner.traces());
+      std::fprintf(stderr,
+                   "[%s] Perfetto trace written to %s "
+                   "(open in https://ui.perfetto.dev)\n",
+                   bench, json_path.c_str());
+    } else {
+      std::fprintf(stderr, "[%s] cannot write %s\n", bench, json_path.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 void write_bench_json(const BenchOptions& options, const SweepRunner& runner,
                       std::uint64_t rows, double wall_seconds) {
@@ -92,7 +188,8 @@ void write_bench_json(const BenchOptions& options, const SweepRunner& runner,
   timing.cache_hits = runner.stats().cache_hits;
   timing.rows = rows;
   timing.threads = runner.pool().thread_count();
-  write_bench_json(options, timing);
+  write_manifest(options, timing, /*warn_unused_trace=*/false);
+  write_trace_outputs(options, runner);
 }
 
 double bench_now_seconds() {

@@ -41,7 +41,9 @@ std::vector<SweepCell> SweepGrid::cells() const {
 
 Digest sweep_cell_digest(const SweepCell& cell, const Digest& trace_digest) {
   ContentHasher h;
-  h.str("qos-sweep-row-v1");
+  // v2: FCFS cells gained q1 occupancy instrumentation, changing the report
+  // a recompute produces — v1 rows must miss, not replay.
+  h.str("qos-sweep-row-v2");
   h.str(cell.label);
   h.str(cell.trace_name);
   h.u64(trace_digest.hi).u64(trace_digest.lo);
@@ -64,11 +66,17 @@ Digest sweep_cell_digest(const SweepCell& cell, const Digest& trace_digest) {
 }
 
 SweepRow SweepRunner::evaluate_cell(const SweepCell& cell) {
+  return evaluate_cell(cell, nullptr);
+}
+
+SweepRow SweepRunner::evaluate_cell(const SweepCell& cell, Tracer* tracer) {
   QOS_EXPECTS(cell.trace != nullptr);
   // The runner owns observability: a private registry per evaluation keeps
-  // per-job metrics race-free without any locking.
+  // per-job metrics race-free without any locking, and tracing arrives via
+  // the explicit parameter, never smuggled in through the cell spec.
   QOS_EXPECTS(cell.shaping.registry == nullptr);
   QOS_EXPECTS(cell.shaping.sink == nullptr);
+  QOS_EXPECTS(cell.shaping.tracer == nullptr);
   QOS_EXPECTS(!cell.shaping.server_decorator);
 
   SweepRow row;
@@ -80,6 +88,8 @@ SweepRow SweepRunner::evaluate_cell(const SweepCell& cell) {
   row.delta = cell.shaping.delta;
   row.fault_intensity = cell.fault_intensity;
   row.seed = cell.seed;
+  if (tracer != nullptr)
+    tracer->annotate(row.label, row.trace_name, cell.shaping.delta);
 
   MetricRegistry registry;
   SimResult sim;
@@ -87,14 +97,14 @@ SweepRow SweepRunner::evaluate_cell(const SweepCell& cell) {
     QOS_EXPECTS(!cell.server_iops.empty());
     auto scheduler = cell.make_scheduler();
     QOS_CHECK(scheduler != nullptr);
-    scheduler->attach_observability(nullptr, &registry);
+    scheduler->attach_observability(tracer, &registry);
     std::vector<ConstantRateServer> servers;
     servers.reserve(cell.server_iops.size());
     for (double iops : cell.server_iops) servers.emplace_back(iops);
     std::vector<Server*> ptrs;
     ptrs.reserve(servers.size());
     for (auto& s : servers) ptrs.push_back(&s);
-    sim = simulate(*cell.trace, *scheduler, ptrs);
+    sim = simulate(*cell.trace, *scheduler, ptrs, tracer);
     row.cmin_iops = cell.shaping.capacity_override_iops;
     row.headroom_iops = cell.shaping.resolved_headroom_iops();
     row.report = build_shaping_report(sim, cell.shaping.delta, &registry);
@@ -103,6 +113,7 @@ SweepRow SweepRunner::evaluate_cell(const SweepCell& cell) {
     ChaosConfig config;
     config.shaping = cell.shaping;
     config.shaping.registry = &registry;
+    config.shaping.tracer = tracer;
     config.faults = cell.faults;
     config.use_degraded_admission = cell.use_degraded_admission;
     config.degraded = cell.degraded;
@@ -119,6 +130,7 @@ SweepRow SweepRunner::evaluate_cell(const SweepCell& cell) {
   } else {
     ShapingConfig config = cell.shaping;
     config.registry = &registry;
+    config.tracer = tracer;
     ShapingOutcome out = shape_and_run(*cell.trace, config);
     row.cmin_iops = out.cmin_iops;
     row.headroom_iops = out.headroom_iops;
@@ -140,11 +152,14 @@ std::vector<SweepRow> SweepRunner::run(const SweepGrid& grid) {
 
 std::vector<SweepRow> SweepRunner::run_cells(std::span<const SweepCell> cells) {
   const auto t0 = std::chrono::steady_clock::now();
+  ProfileScope run_scope(options_.profile, "sweep.run_cells");
 
   // Digest each distinct trace once, up front; cells referencing the same
   // trace share the digest instead of rehashing megabytes per cell.
+  // Traced runs never consult the cache, so skip the digesting too.
   std::map<const Trace*, Digest> trace_digests;
-  if (options_.cache != nullptr) {
+  if (options_.cache != nullptr && !options_.trace) {
+    ProfileScope scope(options_.profile, "sweep.trace_digest");
     for (const SweepCell& c : cells) {
       QOS_EXPECTS(c.trace != nullptr);
       if (!trace_digests.count(c.trace))
@@ -153,17 +168,21 @@ std::vector<SweepRow> SweepRunner::run_cells(std::span<const SweepCell> cells) {
   }
 
   std::atomic<std::uint64_t> hits{0};
+  std::vector<TraceData> cell_traces(options_.trace ? cells.size() : 0);
   std::vector<SweepRow> rows =
       pool_.parallel_map(cells.size(), [&](std::size_t i) -> SweepRow {
         const SweepCell& cell = cells[i];
         ResultCache* cache = options_.cache;
         // Closures cannot be hashed: custom cells participate in caching
-        // only when the caller vouches for them with a nonzero salt.
+        // only when the caller vouches for them with a nonzero salt.  A
+        // traced run is never cacheable: the spans must come from this
+        // run's own simulation, identical warm or cold.
         const bool cacheable =
-            cache != nullptr &&
+            cache != nullptr && !options_.trace &&
             (!(cell.make_scheduler || cell.annotate) || cell.custom_salt != 0);
         Digest key;
         if (cacheable) {
+          ProfileScope scope(options_.profile, "sweep.cache_probe");
           key = sweep_cell_digest(cell, trace_digests.at(cell.trace));
           if (auto bytes = cache->get(key)) {
             if (auto row = deserialize_sweep_row(*bytes)) {
@@ -173,10 +192,24 @@ std::vector<SweepRow> SweepRunner::run_cells(std::span<const SweepCell> cells) {
             }
           }
         }
-        SweepRow row = evaluate_cell(cell);
-        if (cacheable) cache->put(key, serialize_sweep_row(row));
+        SweepRow row;
+        {
+          ProfileScope scope(options_.profile, "sweep.evaluate_cell");
+          if (options_.trace) {
+            Tracer tracer(options_.tracer);
+            row = evaluate_cell(cell, &tracer);
+            cell_traces[i] = tracer.data();
+          } else {
+            row = evaluate_cell(cell);
+          }
+        }
+        if (cacheable) {
+          ProfileScope scope(options_.profile, "sweep.cache_store");
+          cache->put(key, serialize_sweep_row(row));
+        }
         return row;
       });
+  for (TraceData& t : cell_traces) traces_.push_back(std::move(t));
 
   stats_.cells += cells.size();
   stats_.cache_hits += hits.load();
@@ -195,7 +228,7 @@ std::vector<SweepRow> SweepRunner::run_cells(std::span<const SweepCell> cells) {
 
 namespace {
 
-constexpr const char* kRowMagic = "qos-sweep-row v1";
+constexpr const char* kRowMagic = "qos-sweep-row v2";
 
 void put_f64(std::ostringstream& out, double v) {
   char buf[17];

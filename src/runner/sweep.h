@@ -34,7 +34,9 @@
 #include "core/shaper.h"
 #include "fault/degraded_rtt.h"
 #include "fault/fault_schedule.h"
+#include "obs/profile.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "runner/result_cache.h"
 #include "runner/thread_pool.h"
 #include "sim/scheduler.h"
@@ -126,6 +128,17 @@ struct SweepGrid {
 struct SweepOptions {
   int threads = 1;              ///< ThreadPool size (0 = hardware)
   ResultCache* cache = nullptr; ///< not owned; null disables caching
+
+  /// Request-level tracing of every evaluated cell.  Traced cells bypass
+  /// the cache entirely (no probe, no store): the span stream must be the
+  /// run's own, identical whether or not a cache is attached or warm.
+  bool trace = false;
+  TracerConfig tracer = {};  ///< sampling/ring config for each cell's Tracer
+
+  /// Engine profiling sink (not owned; null disables).  The runner records
+  /// "sweep.*" phases: per-cell evaluation, cache probes/stores, trace
+  /// digesting.  Thread-safe — workers record concurrently.
+  ProfileCollector* profile = nullptr;
 };
 
 class SweepRunner {
@@ -149,14 +162,23 @@ class SweepRunner {
   ResultCache* cache() { return options_.cache; }
   const RunStats& stats() const { return stats_; }
 
+  /// Traces collected so far, one per evaluated cell in cell-index order,
+  /// cumulative across run()/run_cells() calls.  Empty unless
+  /// SweepOptions::trace was set.
+  const std::vector<TraceData>& traces() const { return traces_; }
+
   /// Evaluate one cell in isolation (no pool, no cache) — the reference
-  /// the determinism and cache tests compare against.
+  /// the determinism and cache tests compare against.  The overload routes
+  /// the run's event stream through `tracer` (annotated with the cell's
+  /// label/trace/delta); null traces nothing.
   static SweepRow evaluate_cell(const SweepCell& cell);
+  static SweepRow evaluate_cell(const SweepCell& cell, Tracer* tracer);
 
  private:
   SweepOptions options_;
   ThreadPool pool_;
   RunStats stats_;
+  std::vector<TraceData> traces_;
 };
 
 /// Lossless row codec used by the cache tier (exposed for tests).

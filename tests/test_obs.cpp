@@ -95,6 +95,40 @@ TEST(LatencyHistogram, EmptyAndNegative) {
   EXPECT_EQ(h.min(), 0);
 }
 
+TEST(LatencyHistogram, EmptyGuardsReportNulloptNotSentinel) {
+  // quantile()/cdf() keep their documented 0 sentinels on an empty
+  // histogram; the try_ variants distinguish "no samples" from "0 us".
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.99), 0);
+  EXPECT_EQ(h.cdf(1000), 0.0);
+  EXPECT_EQ(h.try_quantile(0.99), std::nullopt);
+  EXPECT_EQ(h.try_cdf(1000), std::nullopt);
+
+  h.record(0);  // a real 0-us sample is NOT "empty"
+  ASSERT_TRUE(h.try_quantile(0.5).has_value());
+  EXPECT_EQ(*h.try_quantile(0.5), 0);
+  ASSERT_TRUE(h.try_cdf(0).has_value());
+  EXPECT_DOUBLE_EQ(*h.try_cdf(0), 1.0);
+}
+
+TEST(LatencyHistogram, CdfMatchesSamplesAtBucketGranularity) {
+  LatencyHistogram h;
+  for (Time v : {5, 10, 10, 20, 30}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.cdf(-1), 0.0);   // below every sample
+  EXPECT_DOUBLE_EQ(h.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(5), 0.2);    // unit buckets below 32 are exact
+  EXPECT_DOUBLE_EQ(h.cdf(10), 0.6);
+  EXPECT_DOUBLE_EQ(h.cdf(19), 0.6);
+  EXPECT_DOUBLE_EQ(h.cdf(20), 0.8);
+  EXPECT_DOUBLE_EQ(h.cdf(30), 1.0);   // at max and beyond: exactly 1
+  EXPECT_DOUBLE_EQ(h.cdf(1'000'000), 1.0);
+
+  // cdf and quantile are (bucket-granularity) inverses: walking the CDF up
+  // to quantile(p) accumulates at least p of the mass.
+  for (double p : {0.2, 0.5, 0.8, 1.0})
+    EXPECT_GE(h.cdf(h.quantile(p)), p) << p;
+}
+
 TEST(OccupancySeries, TimeWeightedMean) {
   OccupancySeries s;
   EXPECT_TRUE(s.empty());

@@ -1,0 +1,126 @@
+// Engine profiling: ProfileScope/ProfileCollector aggregation, null-collector
+// inertness, MetricRegistry export, concurrent recording through the pool,
+// and the bench manifest's "profile" section.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "runner/bench_io.h"
+#include "runner/sweep.h"
+#include "trace/presets.h"
+
+namespace qos {
+namespace {
+
+TEST(Profile, ScopeAggregatesIntoCollector) {
+  ProfileCollector collector;
+  EXPECT_TRUE(collector.empty());
+  for (int i = 0; i < 3; ++i) {
+    ProfileScope scope(&collector, "phase_a");
+    // Do a little measurable work.
+    volatile std::uint64_t x = 0;
+    for (int j = 0; j < 1000; ++j) x = x + static_cast<std::uint64_t>(j);
+  }
+  { ProfileScope scope(&collector, "phase_b"); }
+
+  const auto snapshot = collector.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  const PhaseProfile& a = snapshot.at("phase_a");
+  EXPECT_EQ(a.calls, 3u);
+  EXPECT_GE(a.wall_us, a.max_wall_us);  // sum >= slowest single call
+  EXPECT_EQ(snapshot.at("phase_b").calls, 1u);
+  EXPECT_FALSE(collector.empty());
+}
+
+TEST(Profile, NullCollectorIsInert) {
+  // Must not crash, allocate, or record anywhere.
+  for (int i = 0; i < 10; ++i) ProfileScope scope(nullptr, "ignored");
+  SUCCEED();
+}
+
+TEST(Profile, ExportToRegistry) {
+  ProfileCollector collector;
+  collector.record("evaluate", 1500, 1400);
+  collector.record("evaluate", 500, 450);
+
+  MetricRegistry registry;
+  collector.export_to(registry);
+  EXPECT_EQ(registry.counter("profile.evaluate.calls").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("profile.evaluate.wall_us").value(), 2000.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("profile.evaluate.cpu_us").value(), 1850.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("profile.evaluate.max_wall_us").value(),
+                   1500.0);
+}
+
+TEST(Profile, ConcurrentRecordingIsSafe) {
+  ProfileCollector collector;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&collector] {
+      for (int i = 0; i < 250; ++i)
+        ProfileScope scope(&collector, "contended");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(collector.snapshot().at("contended").calls, 1000u);
+}
+
+TEST(Profile, SweepRunnerRecordsPhases) {
+  const Trace trace = preset_trace(Workload::kWebSearch, 10 * kUsPerSec);
+  SweepCell cell;
+  cell.trace_name = "WebSearch";
+  cell.trace = &trace;
+  cell.shaping.policy = Policy::kMiser;
+  cell.shaping.delta = from_ms(10);
+  cell.shaping.capacity_override_iops = 250;
+
+  ProfileCollector collector;
+  SweepOptions options;
+  options.threads = 2;
+  options.profile = &collector;
+  SweepRunner runner(options);
+  runner.run_cells(std::vector<SweepCell>{cell, cell});
+
+  const auto snapshot = collector.snapshot();
+  ASSERT_TRUE(snapshot.count("sweep.run_cells"));
+  ASSERT_TRUE(snapshot.count("sweep.evaluate_cell"));
+  EXPECT_EQ(snapshot.at("sweep.run_cells").calls, 1u);
+  EXPECT_EQ(snapshot.at("sweep.evaluate_cell").calls, 2u);
+}
+
+TEST(Profile, BenchManifestGainsProfileSection) {
+  BenchTiming timing;
+  timing.name = "unit";
+  timing.wall_seconds = 0.25;
+  timing.rows = 3;
+
+  // Without a collector (or with an empty one) the JSON is unchanged.
+  const std::string plain = bench_timing_json(timing);
+  EXPECT_EQ(plain.find("profile"), std::string::npos);
+  ProfileCollector empty;
+  EXPECT_EQ(bench_timing_json(timing, &empty), plain);
+
+  ProfileCollector collector;
+  collector.record("sweep.evaluate_cell", 1200, 1100);
+  const std::string with_profile = bench_timing_json(timing, &collector);
+  EXPECT_NE(with_profile.find("\"profile\""), std::string::npos);
+  EXPECT_NE(with_profile.find("\"sweep.evaluate_cell\""), std::string::npos);
+  EXPECT_NE(with_profile.find("\"calls\": 1"), std::string::npos);
+  EXPECT_NE(with_profile.find("\"wall_us\": 1200"), std::string::npos);
+  EXPECT_NE(with_profile.find("\"cpu_us\": 1100"), std::string::npos);
+}
+
+TEST(Profile, ThreadCpuTimeAdvancesWithWork) {
+  const std::uint64_t before = thread_cpu_time_us();
+  volatile double x = 1.0;
+  for (int i = 0; i < 2'000'000; ++i) x = x * 1.0000001 + 0.5;
+  const std::uint64_t after = thread_cpu_time_us();
+  EXPECT_GE(after, before);
+}
+
+}  // namespace
+}  // namespace qos

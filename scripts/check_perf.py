@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate BENCH_micro.json against the committed perf baseline.
+
+Compares a freshly measured BENCH_micro.json (bench/micro_algorithms) with
+bench/BENCH_micro.baseline.json and fails on scheduler throughput
+regressions.
+
+The gated quantity is each backend's *speedup* — heap ops/sec divided by the
+frozen scan reference's ops/sec, both measured in the same process moments
+apart — because that ratio cancels the raw speed of the machine running the
+job.  Absolute ops/sec against a baseline recorded on different hardware
+would gate the runner, not the code.  Two checks per (backend, flows) cell:
+
+  1. Regression: current speedup >= (1 - tolerance) * baseline speedup
+     (default tolerance 0.25, i.e. fail on a >25% regression).
+  2. Floor: at 256 flows the speedup must stay >= --min-speedup (default
+     3.0), the overhaul's acceptance criterion, regardless of the baseline.
+
+Cells whose baseline speedup is below 1.0 (the single-flow cells, where a
+heap cannot beat a one-element scan and the ratio is run-to-run noise) are
+printed as informational and not gated; every backend is still gated at 16
+and 256 flows.  Absolute ops/sec are printed for the log but never gated.
+
+usage: check_perf.py BASELINE CURRENT [--tolerance F] [--min-speedup S]
+"""
+
+import argparse
+import json
+import sys
+
+FLOOR_KEY = "flows_256"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_micro.baseline.json")
+    parser.add_argument("current", help="freshly measured BENCH_micro.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup regression")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="hard speedup floor at 256 flows")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    print(f"{'backend':<8} {'flows':>9} {'base':>8} {'now':>8} "
+          f"{'heap ops/s':>14}  status")
+    for backend, base_cells in baseline["schedulers"].items():
+        cur_cells = current["schedulers"].get(backend)
+        if cur_cells is None:
+            failures.append(f"{backend}: missing from current results")
+            continue
+        for cell, base in base_cells.items():
+            cur = cur_cells.get(cell)
+            if cur is None:
+                failures.append(f"{backend}/{cell}: missing from current")
+                continue
+            base_speedup = base["speedup"]
+            cur_speedup = cur["speedup"]
+            allowed = (1.0 - args.tolerance) * base_speedup
+            gated = base_speedup >= 1.0
+            problems = []
+            if gated and cur_speedup < allowed:
+                problems.append(
+                    f"speedup {cur_speedup:.2f} < {allowed:.2f} "
+                    f"(>{args.tolerance:.0%} regression from "
+                    f"{base_speedup:.2f})")
+            if cell == FLOOR_KEY and cur_speedup < args.min_speedup:
+                problems.append(
+                    f"speedup {cur_speedup:.2f} below the "
+                    f"{args.min_speedup:.1f}x floor at 256 flows")
+            status = ("FAIL" if problems else
+                      "ok" if gated else "info")
+            print(f"{backend:<8} {cell:>9} {base_speedup:>7.2f}x "
+                  f"{cur_speedup:>7.2f}x {cur['heap_ops_per_sec']:>14.0f}  "
+                  f"{status}")
+            for p in problems:
+                failures.append(f"{backend}/{cell}: {p}")
+
+    base_sim = baseline.get("simulator", {})
+    cur_sim = current.get("simulator", {})
+    for key in base_sim:
+        if key in cur_sim:
+            print(f"simulator {key}: {cur_sim[key]:.0f} events/s "
+                  f"(baseline machine: {base_sim[key]:.0f}; informational)")
+
+    if failures:
+        print("\nperf-smoke FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nperf-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,25 @@ CapacityResult min_capacity(const Trace& trace, double fraction, Time delta,
     return f >= fraction;
   };
 
+  bool verify = hint.verify;
+#ifdef QOS_VERIFY_CAPACITY_HINTS
+  verify = true;
+#endif
+  if (verify) {
+    // Probe the asserted bounds outside the `ok` census so verification
+    // never perturbs CapacityResult::probes (table outputs print it).
+    if (hint.infeasible_below > 0) {
+      QOS_CHECK(fraction_guaranteed(
+                    trace, static_cast<double>(hint.infeasible_below), delta) <
+                fraction);
+    }
+    if (hint.feasible_at > 0) {
+      QOS_CHECK(fraction_guaranteed(
+                    trace, static_cast<double>(hint.feasible_at), delta) >=
+                fraction);
+    }
+  }
+
   std::int64_t lo = hint.infeasible_below;  // infeasible (or 0)
   std::int64_t hi;
   if (hint.feasible_at > 0) {

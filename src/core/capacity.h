@@ -40,6 +40,13 @@ struct CapacityHint {
   std::int64_t infeasible_below = 0;
   /// This integer capacity is known feasible (0 = no knowledge).
   std::int64_t feasible_at = 0;
+  /// Debug probe: re-evaluate both asserted bounds before trusting them and
+  /// abort (QOS_CHECK) on a lying hint instead of returning an unspecified
+  /// wrong answer.  Verification probes are not counted in
+  /// CapacityResult::probes, so enabling this never changes reported
+  /// results.  Building with -DQOS_VERIFY_CAPACITY_HINTS forces it on for
+  /// every search regardless of this flag.
+  bool verify = false;
 };
 
 /// Fraction of `trace` that RTT admits to Q1 (and hence guarantees) at
@@ -51,7 +58,9 @@ double fraction_guaranteed(const Trace& trace, double capacity_iops,
 /// >= `fraction` (in [0, 1]).  `fraction == 1.0` demands zero overflow.
 /// A wrong hint (claiming infeasible_below >= the true Cmin, or a
 /// feasible_at that is not feasible) yields an unspecified wrong answer —
-/// hints assert knowledge, they are not heuristics.
+/// hints assert knowledge, they are not heuristics.  Set
+/// `hint.verify` (or build with -DQOS_VERIFY_CAPACITY_HINTS) to check the
+/// asserted bounds at entry and abort on a lie.
 CapacityResult min_capacity(const Trace& trace, double fraction, Time delta,
                             CapacityHint hint = {});
 

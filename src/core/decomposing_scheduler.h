@@ -12,12 +12,11 @@
 // nothing attached each hook is one null-pointer branch.
 #pragma once
 
-#include <deque>
-
 #include "core/rtt.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "sim/scheduler.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -113,8 +112,8 @@ class DecomposingScheduler : public Scheduler {
 
  private:
   RttAdmission admission_;
-  std::deque<Request> q1_;
-  std::deque<Request> q2_;
+  RingBuffer<Request> q1_;
+  RingBuffer<Request> q2_;
   std::int64_t len_q1_ = 0;
 
   Probe probe_;

@@ -1,14 +1,18 @@
 // FCFS baseline: no decomposition, one queue, one server (paper Section 3.2,
 // "base case for the evaluation").  Bursts spill over and delay well-behaved
 // requests — the behaviour the shaping framework eliminates.
+//
+// Occupancy convention: like every scheduler publishing "q1.occupancy",
+// FCFS reports *pending* requests — queued plus in service — updated on
+// admission and completion (dispatch merely moves a request from queued to
+// in-service and leaves the census unchanged).  See obs/metrics.h.
 #pragma once
-
-#include <deque>
 
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "sim/scheduler.h"
 #include "util/check.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -27,15 +31,15 @@ class FcfsScheduler final : public Scheduler {
 
   void on_arrival(const Request& r, Time now) override {
     queue_.push_back(r);
+    ++len_q1_;
     if (enqueued_ != nullptr) enqueued_->add();
-    if (q1_occ_ != nullptr)
-      q1_occ_->update(now, static_cast<std::int64_t>(queue_.size()));
+    if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
     if (probe_) {
       // FCFS makes no admission decision: every request "admits" into the
       // one queue with no bound, reported as maxQ1 = 0 (unbounded).
       probe_.emit({.time = now,
                    .seq = r.seq,
-                   .a = static_cast<std::int64_t>(queue_.size()),
+                   .a = len_q1_,
                    .b = 0,
                    .client = r.client,
                    .kind = EventKind::kAdmit,
@@ -43,18 +47,26 @@ class FcfsScheduler final : public Scheduler {
     }
   }
 
-  std::optional<Dispatch> next_for(int server, Time now) override {
+  std::optional<Dispatch> next_for(int server, Time) override {
     QOS_EXPECTS(server == 0);
     if (queue_.empty()) return std::nullopt;
     Dispatch d{queue_.front(), ServiceClass::kPrimary};
     queue_.pop_front();
-    if (q1_occ_ != nullptr)
-      q1_occ_->update(now, static_cast<std::int64_t>(queue_.size()));
     return d;
   }
 
+  void on_complete(const Request&, ServiceClass, int, Time now) override {
+    QOS_CHECK(len_q1_ > 0);
+    --len_q1_;
+    if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
+  }
+
+  /// Pending requests (queued + in service).
+  std::int64_t len_q1() const { return len_q1_; }
+
  private:
-  std::deque<Request> queue_;
+  RingBuffer<Request> queue_;
+  std::int64_t len_q1_ = 0;  ///< pending requests (queued + in service)
 
   Probe probe_;
   Counter* enqueued_ = nullptr;

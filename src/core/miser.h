@@ -8,8 +8,11 @@
 // >= 1; issuing from Q2 consumes one slot from *every* queued primary, so
 // all slacks drop by one.
 //
-// "Decrement every slack" is O(1) here: slacks live in a multiset shifted by
-// a running offset; a Q2 dispatch just bumps the offset.
+// "Decrement every slack" is O(1) here: slacks are stored shifted by a
+// running offset; a Q2 dispatch just bumps the offset.  The minimum is O(1)
+// too: slacks retire in exactly admission (FIFO) order, so they live in a
+// monotone min window (util/monotone_min.h) rather than a multiset —
+// push, retire and min are all amortized constant time.
 //
 // Because the decision is online and irrevocable, a primary request arriving
 // immediately after a Q2 dispatch can still be delayed by that request's
@@ -20,13 +23,12 @@
 // ablation bench sweeps dC to show both.
 #pragma once
 
-#include <deque>
-#include <set>
-
 #include "core/rtt.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "sim/scheduler.h"
+#include "util/monotone_min.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -57,7 +59,7 @@ class MiserScheduler final : public Scheduler {
       // Paper: slack = maxQ1 - lenQ1 with lenQ1 counted after insertion.
       const std::int64_t slack = admission_.max_q1() - len_q1_;
       q1_.push_back({r, slack + offset_});
-      slacks_.insert(slack + offset_);
+      slacks_.push_back(slack + offset_);
       if (admitted_ != nullptr) admitted_->add();
       if (q1_occ_ != nullptr) q1_occ_->update(now, len_q1_);
       if (probe_) {
@@ -112,7 +114,7 @@ class MiserScheduler final : public Scheduler {
     }
     if (q1_.empty()) return std::nullopt;
     Dispatch d{q1_.front().request, ServiceClass::kPrimary};
-    slacks_.erase(slacks_.find(q1_.front().stored_slack));
+    slacks_.pop_front(q1_.front().stored_slack);
     q1_.pop_front();
     return d;
   }
@@ -129,7 +131,7 @@ class MiserScheduler final : public Scheduler {
   /// Smallest slack among queued primary requests; max_q1 when none queued.
   std::int64_t min_slack() const {
     if (slacks_.empty()) return admission_.max_q1();
-    return *slacks_.begin() - offset_;
+    return slacks_.min() - offset_;
   }
 
   std::int64_t len_q1() const { return len_q1_; }
@@ -143,9 +145,9 @@ class MiserScheduler final : public Scheduler {
   };
 
   RttAdmission admission_;
-  std::deque<Entry> q1_;
-  std::deque<Request> q2_;
-  std::multiset<std::int64_t> slacks_;  ///< stored (offset-shifted) slacks
+  RingBuffer<Entry> q1_;
+  RingBuffer<Request> q2_;
+  MonotoneMinQueue slacks_;  ///< stored (offset-shifted) slacks, FIFO-retired
   std::int64_t offset_ = 0;
   std::int64_t len_q1_ = 0;  ///< pending primaries (queued + in service)
 

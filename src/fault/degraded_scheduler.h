@@ -11,13 +11,12 @@
 // what makes the comparison fair.
 #pragma once
 
-#include <deque>
-
 #include "fault/degraded_rtt.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "sim/scheduler.h"
 #include "util/check.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -120,8 +119,8 @@ class DegradedRttScheduler final : public Scheduler {
 
  private:
   DegradedRtt admission_;
-  std::deque<Request> q1_;
-  std::deque<Request> q2_;
+  RingBuffer<Request> q1_;
+  RingBuffer<Request> q2_;
   std::int64_t len_q1_ = 0;  ///< pending primaries (queued + in service)
   Time service_start_ = 0;
   std::uint64_t demotions_ = 0;

@@ -7,11 +7,11 @@
 // family — a useful ablation point for the FairQueue recombination.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fq/fair_scheduler.h"
 #include "util/check.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -39,7 +39,7 @@ class DrrScheduler final : public FairScheduler {
   struct Flow {
     double quantum = 1;
     double deficit = 0;
-    std::deque<Item> queue;
+    RingBuffer<Item> queue;
   };
 
   std::vector<Flow> flows_;

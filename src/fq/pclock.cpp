@@ -8,6 +8,7 @@ namespace qos {
 PClockScheduler::PClockScheduler(std::vector<PClockSla> slas) {
   QOS_EXPECTS(!slas.empty());
   flows_.resize(slas.size());
+  head_deadline_.reset(static_cast<int>(slas.size()));
   for (std::size_t i = 0; i < slas.size(); ++i) {
     QOS_EXPECTS(slas[i].sigma >= 0);
     QOS_EXPECTS(slas[i].rho > 0);
@@ -45,31 +46,25 @@ void PClockScheduler::enqueue(int flow, std::uint64_t handle, double cost,
   // Deadlines within a flow must be non-decreasing (FIFO per flow).
   if (!f.queue.empty())
     item.deadline = std::max(item.deadline, f.queue.back().deadline);
+  const bool was_empty = f.queue.empty();
   f.queue.push_back(item);
+  if (was_empty) head_deadline_.push(flow, item.deadline);
 }
 
 std::optional<FqDispatch> PClockScheduler::dequeue(Time) {
-  int best = -1;
-  for (int i = 0; i < flow_count(); ++i) {
-    const Flow& f = flows_[static_cast<std::size_t>(i)];
-    if (f.queue.empty()) continue;
-    if (best < 0 ||
-        f.queue.front().deadline <
-            flows_[static_cast<std::size_t>(best)].queue.front().deadline)
-      best = i;
-  }
-  if (best < 0) return std::nullopt;
+  if (head_deadline_.empty()) return std::nullopt;
+  const int best = head_deadline_.top();
   Flow& f = flows_[static_cast<std::size_t>(best)];
   const Item item = f.queue.front();
   f.queue.pop_front();
+  if (f.queue.empty())
+    head_deadline_.pop();
+  else
+    head_deadline_.update(best, f.queue.front().deadline);
   return FqDispatch{best, item.handle};
 }
 
-bool PClockScheduler::empty() const {
-  for (const auto& f : flows_)
-    if (!f.queue.empty()) return false;
-  return true;
-}
+bool PClockScheduler::empty() const { return head_deadline_.empty(); }
 
 std::size_t PClockScheduler::backlog(int flow) const {
   QOS_EXPECTS(flow >= 0 && flow < flow_count());

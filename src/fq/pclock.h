@@ -10,14 +10,19 @@
 // work-conserving.
 //
 // This is a faithful reimplementation of pClock's tagging discipline on our
-// abstract flow model (costs in request slots).
+// abstract flow model (costs in request slots).  Per-flow deadlines are
+// non-decreasing (FIFO within a flow), so earliest-deadline-first reduces to
+// an indexed min-heap over (head deadline, flow index) — the tagged priority
+// queue of the original paper — giving O(log flows) dequeue with the
+// lowest-index tie-break matching the pre-heap scan order.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fq/fair_scheduler.h"
 #include "util/check.h"
+#include "util/indexed_heap.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -48,10 +53,11 @@ class PClockScheduler final : public FairScheduler {
     PClockSla sla;
     double tokens = 0;      ///< current bucket level (<= sigma)
     Time last_update = 0;
-    std::deque<Item> queue;
+    RingBuffer<Item> queue;
   };
 
   std::vector<Flow> flows_;
+  IndexedMinHeap<Time> head_deadline_;  ///< backlogged flows, EDF order
 };
 
 }  // namespace qos

@@ -1,0 +1,343 @@
+// Frozen linear-scan reference implementations of the FQ backends.
+//
+// These are the pre-heap dequeue algorithms, kept verbatim as the
+// executable specification the optimized backends must match bit for bit:
+// tests/test_fq_differential.cpp replays randomized workloads through both
+// and asserts identical dispatch streams, and bench/micro_algorithms
+// measures them as the O(flows) baseline the heap rewrite is compared
+// against.  They are NOT part of the production library — do not use them
+// outside tests and benches, and do not "fix" them: a deliberate behaviour
+// change in the real backends must retire the corresponding assertion
+// here, not mutate the reference.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "fq/fair_scheduler.h"
+#include "fq/pclock.h"
+#include "util/check.h"
+
+namespace qos::scanref {
+
+/// Start-time Fair Queueing, O(flows) dequeue scan.
+class ScanSfqScheduler final : public FairScheduler {
+ public:
+  explicit ScanSfqScheduler(std::vector<double> weights) {
+    QOS_EXPECTS(!weights.empty());
+    flows_.resize(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      QOS_EXPECTS(weights[i] > 0);
+      flows_[i].weight = weights[i];
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost, Time) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    Item item;
+    item.handle = handle;
+    item.start = std::max(v_, f.last_finish);
+    item.finish = item.start + cost / f.weight;
+    f.last_finish = item.finish;
+    f.queue.push_back(item);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    int best = -1;
+    for (int i = 0; i < flow_count(); ++i) {
+      const Flow& f = flows_[static_cast<std::size_t>(i)];
+      if (f.queue.empty()) continue;
+      if (best < 0 ||
+          f.queue.front().start <
+              flows_[static_cast<std::size_t>(best)].queue.front().start)
+        best = i;
+    }
+    if (best < 0) return std::nullopt;
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    v_ = item.start;
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override {
+    for (const auto& f : flows_)
+      if (!f.queue.empty()) return false;
+    return true;
+  }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  double virtual_time() const { return v_; }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double start = 0;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  double v_ = 0;
+};
+
+/// WFQ (SCFQ virtual time), O(flows) dequeue scan.
+class ScanWfqScheduler final : public FairScheduler {
+ public:
+  explicit ScanWfqScheduler(std::vector<double> weights) {
+    QOS_EXPECTS(!weights.empty());
+    flows_.resize(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      QOS_EXPECTS(weights[i] > 0);
+      flows_[i].weight = weights[i];
+      total_weight_ += weights[i];
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost, Time) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    Item item;
+    item.handle = handle;
+    item.cost = cost;
+    item.finish = std::max(v_, f.last_finish) + cost / f.weight;
+    f.last_finish = item.finish;
+    f.queue.push_back(item);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    int best = -1;
+    for (int i = 0; i < flow_count(); ++i) {
+      const Flow& f = flows_[static_cast<std::size_t>(i)];
+      if (f.queue.empty()) continue;
+      if (best < 0 ||
+          f.queue.front().finish <
+              flows_[static_cast<std::size_t>(best)].queue.front().finish)
+        best = i;
+    }
+    if (best < 0) return std::nullopt;
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    v_ = item.finish;
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override {
+    for (const auto& f : flows_)
+      if (!f.queue.empty()) return false;
+    return true;
+  }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  double virtual_time() const { return v_; }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 1;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  double v_ = 0;
+  double total_weight_ = 0;
+};
+
+/// WF2Q+, O(flows) eligibility + finish-tag scans.
+class ScanWf2qPlusScheduler final : public FairScheduler {
+ public:
+  explicit ScanWf2qPlusScheduler(std::vector<double> weights) {
+    QOS_EXPECTS(!weights.empty());
+    flows_.resize(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      QOS_EXPECTS(weights[i] > 0);
+      flows_[i].weight = weights[i];
+      total_weight_ += weights[i];
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost, Time) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    Item item;
+    item.handle = handle;
+    item.cost = cost;
+    item.start = std::max(v_, f.last_finish);
+    item.finish = item.start + cost / f.weight;
+    f.last_finish = item.finish;
+    f.queue.push_back(item);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    double min_start = 0;
+    bool any = false;
+    for (const auto& f : flows_) {
+      if (f.queue.empty()) continue;
+      if (!any || f.queue.front().start < min_start)
+        min_start = f.queue.front().start;
+      any = true;
+    }
+    if (!any) return std::nullopt;
+    v_ = std::max(v_, min_start);
+
+    int best = -1;
+    for (int i = 0; i < flow_count(); ++i) {
+      const Flow& f = flows_[static_cast<std::size_t>(i)];
+      if (f.queue.empty() || f.queue.front().start > v_) continue;
+      if (best < 0 ||
+          f.queue.front().finish <
+              flows_[static_cast<std::size_t>(best)].queue.front().finish)
+        best = i;
+    }
+    QOS_CHECK(best >= 0);
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    v_ += item.cost / total_weight_;
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override {
+    for (const auto& f : flows_)
+      if (!f.queue.empty()) return false;
+    return true;
+  }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  double virtual_time() const { return v_; }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 1;
+    double start = 0;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  double v_ = 0;
+  double total_weight_ = 0;
+};
+
+/// pClock tagging, O(flows) earliest-deadline dequeue scan.
+class ScanPClockScheduler final : public FairScheduler {
+ public:
+  explicit ScanPClockScheduler(std::vector<PClockSla> slas) {
+    QOS_EXPECTS(!slas.empty());
+    flows_.resize(slas.size());
+    for (std::size_t i = 0; i < slas.size(); ++i) {
+      QOS_EXPECTS(slas[i].sigma >= 0);
+      QOS_EXPECTS(slas[i].rho > 0);
+      QOS_EXPECTS(slas[i].delta >= 0);
+      flows_[i].sla = slas[i];
+      flows_[i].tokens = slas[i].sigma;
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost,
+               Time now) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    f.tokens = std::min(f.sla.sigma,
+                        f.tokens + f.sla.rho * to_sec(now - f.last_update));
+    f.last_update = now;
+
+    Item item;
+    item.handle = handle;
+    f.tokens -= cost;
+    if (f.tokens >= 0) {
+      item.deadline = now + f.sla.delta;
+    } else {
+      item.deadline = now + f.sla.delta + from_sec(-f.tokens / f.sla.rho);
+    }
+    if (!f.queue.empty())
+      item.deadline = std::max(item.deadline, f.queue.back().deadline);
+    f.queue.push_back(item);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    int best = -1;
+    for (int i = 0; i < flow_count(); ++i) {
+      const Flow& f = flows_[static_cast<std::size_t>(i)];
+      if (f.queue.empty()) continue;
+      if (best < 0 ||
+          f.queue.front().deadline <
+              flows_[static_cast<std::size_t>(best)].queue.front().deadline)
+        best = i;
+    }
+    if (best < 0) return std::nullopt;
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override {
+    for (const auto& f : flows_)
+      if (!f.queue.empty()) return false;
+    return true;
+  }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    Time deadline = 0;
+  };
+  struct Flow {
+    PClockSla sla;
+    double tokens = 0;
+    Time last_update = 0;
+    std::deque<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+};
+
+}  // namespace qos::scanref

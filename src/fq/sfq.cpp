@@ -7,6 +7,7 @@ namespace qos {
 SfqScheduler::SfqScheduler(std::vector<double> weights) {
   QOS_EXPECTS(!weights.empty());
   flows_.resize(weights.size());
+  head_start_.reset(static_cast<int>(weights.size()));
   for (std::size_t i = 0; i < weights.size(); ++i) {
     QOS_EXPECTS(weights[i] > 0);
     flows_[i].weight = weights[i];
@@ -23,32 +24,26 @@ void SfqScheduler::enqueue(int flow, std::uint64_t handle, double cost,
   item.start = std::max(v_, f.last_finish);
   item.finish = item.start + cost / f.weight;
   f.last_finish = item.finish;
+  const bool was_empty = f.queue.empty();
   f.queue.push_back(item);
+  if (was_empty) head_start_.push(flow, item.start);
 }
 
 std::optional<FqDispatch> SfqScheduler::dequeue(Time) {
-  int best = -1;
-  for (int i = 0; i < flow_count(); ++i) {
-    const Flow& f = flows_[static_cast<std::size_t>(i)];
-    if (f.queue.empty()) continue;
-    if (best < 0 ||
-        f.queue.front().start <
-            flows_[static_cast<std::size_t>(best)].queue.front().start)
-      best = i;
-  }
-  if (best < 0) return std::nullopt;
+  if (head_start_.empty()) return std::nullopt;
+  const int best = head_start_.top();
   Flow& f = flows_[static_cast<std::size_t>(best)];
   const Item item = f.queue.front();
   f.queue.pop_front();
   v_ = item.start;  // SFQ: virtual time tracks the start tag in service
+  if (f.queue.empty())
+    head_start_.pop();
+  else
+    head_start_.update(best, f.queue.front().start);
   return FqDispatch{best, item.handle};
 }
 
-bool SfqScheduler::empty() const {
-  for (const auto& f : flows_)
-    if (!f.queue.empty()) return false;
-  return true;
-}
+bool SfqScheduler::empty() const { return head_start_.empty(); }
 
 std::size_t SfqScheduler::backlog(int flow) const {
   QOS_EXPECTS(flow >= 0 && flow < flow_count());

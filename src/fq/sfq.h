@@ -6,13 +6,20 @@
 // start tag (flow index breaks ties).  SFQ provides proportional sharing
 // with bounded unfairness and is the simplest member of the family the paper
 // cites for the FairQueue recombination.
+//
+// Hot path: per-flow FIFOs are pooled ring buffers and the backlogged flows
+// sit in an indexed min-heap keyed by (head start tag, flow index), so
+// dequeue is O(log flows) instead of a scan — with the heap's lowest-index
+// tie-break reproducing the scan's dispatch order exactly
+// (tests/test_fq_differential.cpp holds it to the frozen scan reference).
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fq/fair_scheduler.h"
 #include "util/check.h"
+#include "util/indexed_heap.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -39,10 +46,11 @@ class SfqScheduler final : public FairScheduler {
   struct Flow {
     double weight = 1;
     double last_finish = 0;
-    std::deque<Item> queue;
+    RingBuffer<Item> queue;
   };
 
   std::vector<Flow> flows_;
+  IndexedMinHeap<double> head_start_;  ///< backlogged flows by head start tag
   double v_ = 0;
 };
 

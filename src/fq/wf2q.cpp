@@ -7,11 +7,20 @@ namespace qos {
 Wf2qPlusScheduler::Wf2qPlusScheduler(std::vector<double> weights) {
   QOS_EXPECTS(!weights.empty());
   flows_.resize(weights.size());
+  eligible_.reset(static_cast<int>(weights.size()));
+  ineligible_.reset(static_cast<int>(weights.size()));
   for (std::size_t i = 0; i < weights.size(); ++i) {
     QOS_EXPECTS(weights[i] > 0);
     flows_[i].weight = weights[i];
     total_weight_ += weights[i];
   }
+}
+
+void Wf2qPlusScheduler::classify(int flow, const Item& head) {
+  if (head.start <= v_)
+    eligible_.push(flow, head.finish);
+  else
+    ineligible_.push(flow, head.start);
 }
 
 void Wf2qPlusScheduler::enqueue(int flow, std::uint64_t handle, double cost,
@@ -25,45 +34,38 @@ void Wf2qPlusScheduler::enqueue(int flow, std::uint64_t handle, double cost,
   item.start = std::max(v_, f.last_finish);
   item.finish = item.start + cost / f.weight;
   f.last_finish = item.finish;
+  const bool was_empty = f.queue.empty();
   f.queue.push_back(item);
+  if (was_empty) classify(flow, item);
 }
 
 std::optional<FqDispatch> Wf2qPlusScheduler::dequeue(Time) {
-  // Advance V to the minimum backlogged start tag if it fell behind.
-  double min_start = 0;
-  bool any = false;
-  for (const auto& f : flows_) {
-    if (f.queue.empty()) continue;
-    if (!any || f.queue.front().start < min_start)
-      min_start = f.queue.front().start;
-    any = true;
-  }
-  if (!any) return std::nullopt;
-  v_ = std::max(v_, min_start);
+  if (eligible_.empty() && ineligible_.empty()) return std::nullopt;
 
-  // Smallest finish tag among eligible items (start <= V).  By construction
-  // at least the min-start item is eligible.
-  int best = -1;
-  for (int i = 0; i < flow_count(); ++i) {
-    const Flow& f = flows_[static_cast<std::size_t>(i)];
-    if (f.queue.empty() || f.queue.front().start > v_) continue;
-    if (best < 0 ||
-        f.queue.front().finish <
-            flows_[static_cast<std::size_t>(best)].queue.front().finish)
-      best = i;
+  // Advance V to the minimum backlogged start tag if it fell behind.  With
+  // any eligible flow (head start <= V) that minimum cannot exceed V, so
+  // only the all-ineligible case moves V — to the ineligible heap's top,
+  // which is exactly the minimum backlogged head start.
+  if (eligible_.empty()) v_ = std::max(v_, ineligible_.top_key());
+  while (!ineligible_.empty() && ineligible_.top_key() <= v_) {
+    const int flow = ineligible_.pop();
+    eligible_.push(flow,
+                   flows_[static_cast<std::size_t>(flow)].queue.front().finish);
   }
-  QOS_CHECK(best >= 0);
+
+  // Smallest finish tag among eligible heads (lowest flow index on ties).
+  QOS_CHECK(!eligible_.empty());
+  const int best = eligible_.pop();
   Flow& f = flows_[static_cast<std::size_t>(best)];
   const Item item = f.queue.front();
   f.queue.pop_front();
   v_ += item.cost / total_weight_;
+  if (!f.queue.empty()) classify(best, f.queue.front());
   return FqDispatch{best, item.handle};
 }
 
 bool Wf2qPlusScheduler::empty() const {
-  for (const auto& f : flows_)
-    if (!f.queue.empty()) return false;
-  return true;
+  return eligible_.empty() && ineligible_.empty();
 }
 
 std::size_t Wf2qPlusScheduler::backlog(int flow) const {

@@ -6,13 +6,23 @@
 // service quantum of the fluid GPS reference.  V advances by the dispatched
 // cost / total weight and jumps up to the minimum backlogged start tag so it
 // can never stall behind an idle system (the "+" of WF2Q+).
+//
+// Hot path: the classic two-heap eligible-set structure.  Backlogged flows
+// whose head is eligible (start <= V) sit in a min-heap keyed by (head
+// finish tag, flow index); the rest sit in a min-heap keyed by (head start
+// tag, flow index).  Each dequeue advances V off the ineligible heap's top
+// when no flow is eligible, migrates newly eligible heads across, and pops
+// the smallest finish tag — O(log flows) amortized, with the lowest-index
+// tie-break reproducing the original scan order exactly (differential-
+// tested against fq/scan_reference.h).
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fq/fair_scheduler.h"
 #include "util/check.h"
+#include "util/indexed_heap.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -40,10 +50,17 @@ class Wf2qPlusScheduler final : public FairScheduler {
   struct Flow {
     double weight = 1;
     double last_finish = 0;
-    std::deque<Item> queue;
+    RingBuffer<Item> queue;
   };
 
+  /// File the backlogged flow under the heap its head belongs to.  Flow
+  /// heads are immutable between reclassification points (enqueue-to-empty
+  /// and post-dispatch), so heap keys can never go stale.
+  void classify(int flow, const Item& head);
+
   std::vector<Flow> flows_;
+  IndexedMinHeap<double> eligible_;    ///< head start <= V, by head finish
+  IndexedMinHeap<double> ineligible_;  ///< head start  > V, by head start
   double v_ = 0;
   double total_weight_ = 0;
 };

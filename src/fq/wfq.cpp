@@ -7,6 +7,7 @@ namespace qos {
 WfqScheduler::WfqScheduler(std::vector<double> weights) {
   QOS_EXPECTS(!weights.empty());
   flows_.resize(weights.size());
+  head_finish_.reset(static_cast<int>(weights.size()));
   for (std::size_t i = 0; i < weights.size(); ++i) {
     QOS_EXPECTS(weights[i] > 0);
     flows_[i].weight = weights[i];
@@ -24,20 +25,14 @@ void WfqScheduler::enqueue(int flow, std::uint64_t handle, double cost,
   item.cost = cost;
   item.finish = std::max(v_, f.last_finish) + cost / f.weight;
   f.last_finish = item.finish;
+  const bool was_empty = f.queue.empty();
   f.queue.push_back(item);
+  if (was_empty) head_finish_.push(flow, item.finish);
 }
 
 std::optional<FqDispatch> WfqScheduler::dequeue(Time) {
-  int best = -1;
-  for (int i = 0; i < flow_count(); ++i) {
-    const Flow& f = flows_[static_cast<std::size_t>(i)];
-    if (f.queue.empty()) continue;
-    if (best < 0 ||
-        f.queue.front().finish <
-            flows_[static_cast<std::size_t>(best)].queue.front().finish)
-      best = i;
-  }
-  if (best < 0) return std::nullopt;
+  if (head_finish_.empty()) return std::nullopt;
+  const int best = head_finish_.top();
   Flow& f = flows_[static_cast<std::size_t>(best)];
   const Item item = f.queue.front();
   f.queue.pop_front();
@@ -45,14 +40,14 @@ std::optional<FqDispatch> WfqScheduler::dequeue(Time) {
   // the finish tag of the item in service, so a flow waking from idle joins
   // at the current service round rather than being owed its idle history.
   v_ = item.finish;
+  if (f.queue.empty())
+    head_finish_.pop();
+  else
+    head_finish_.update(best, f.queue.front().finish);
   return FqDispatch{best, item.handle};
 }
 
-bool WfqScheduler::empty() const {
-  for (const auto& f : flows_)
-    if (!f.queue.empty()) return false;
-  return true;
-}
+bool WfqScheduler::empty() const { return head_finish_.empty(); }
 
 std::size_t WfqScheduler::backlog(int flow) const {
   QOS_EXPECTS(flow >= 0 && flow < flow_count());

@@ -8,13 +8,19 @@
 // which is the difference from WF2Q and why WFQ can run a flow ahead of its
 // fluid share.  Included for completeness of the cited family and for the
 // ablation bench.
+//
+// Hot path: per-flow FIFOs are pooled ring buffers and backlogged flows sit
+// in an indexed min-heap keyed by (head finish tag, flow index), so dequeue
+// is O(log flows); the lowest-index tie-break matches the original scan
+// order (differential-tested against fq/scan_reference.h).
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "fq/fair_scheduler.h"
 #include "util/check.h"
+#include "util/indexed_heap.h"
+#include "util/ring_buffer.h"
 
 namespace qos {
 
@@ -41,10 +47,11 @@ class WfqScheduler final : public FairScheduler {
   struct Flow {
     double weight = 1;
     double last_finish = 0;
-    std::deque<Item> queue;
+    RingBuffer<Item> queue;
   };
 
   std::vector<Flow> flows_;
+  IndexedMinHeap<double> head_finish_;  ///< backlogged flows by head finish
   double v_ = 0;
   double total_weight_ = 0;
 };

@@ -123,6 +123,16 @@ class LatencyHistogram {
 /// Time-weighted statistics of an integer-valued step function, e.g. queue
 /// occupancy.  `update(t, v)` states that the series takes value `v` from
 /// instant `t` onward; updates must be non-decreasing in time.
+///
+/// Convention for the shared series names: every scheduler that publishes
+/// "q1.occupancy" reports *pending* primary requests — queued plus in
+/// service — updated on admission and on completion (dispatch only moves a
+/// request between the two sub-states and does not change the census).
+/// This is the lenQ1 of the paper's Algorithm 1 and makes the series
+/// comparable across FCFS, Split, FairQueue, Miser and DegradedRtt.
+/// "q2.occupancy" counts *queued* overflow requests only (overflow has no
+/// completion-time guarantee to reason about), updated on enqueue and
+/// dispatch.
 class OccupancySeries {
  public:
   void update(Time now, std::int64_t value) {

@@ -4,15 +4,32 @@
 
 #include "obs/sink.h"
 #include "util/check.h"
+#include "util/indexed_heap.h"
 
 namespace qos {
 
 std::vector<CompletionRecord> SimResult::by_seq() const {
   std::vector<CompletionRecord> out(completions.size());
+  std::vector<bool> seen(completions.size(), false);
   for (const auto& c : completions) {
     QOS_CHECK(c.seq < out.size());
+    // A duplicate seq means the run fanned out (one arrival, multiple
+    // completions) — such results have holes too, since |completions| >
+    // |trace|.  Use by_seq_multi() for fan-out schedulers.
+    QOS_CHECK(!seen[c.seq]);
+    seen[c.seq] = true;
     out[c.seq] = c;
   }
+  // size() slots, unique in-range seqs => every slot filled (pigeonhole).
+  return out;
+}
+
+std::vector<std::vector<CompletionRecord>> SimResult::by_seq_multi() const {
+  std::uint64_t max_seq = 0;
+  for (const auto& c : completions) max_seq = std::max(max_seq, c.seq);
+  std::vector<std::vector<CompletionRecord>> out(
+      completions.empty() ? 0 : max_seq + 1);
+  for (const auto& c : completions) out[c.seq].push_back(c);
   return out;
 }
 
@@ -21,15 +38,6 @@ Time SimResult::makespan() const {
   for (const auto& c : completions) last = std::max(last, c.finish);
   return last;
 }
-
-namespace {
-
-struct InService {
-  bool busy = false;
-  CompletionRecord record;  ///< filled at dispatch; finish set then too
-};
-
-}  // namespace
 
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
                    std::span<Server* const> servers, EventSink* sink) {
@@ -43,24 +51,37 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
   SimResult result;
   result.completions.reserve(trace.size());
 
-  std::vector<InService> slot(servers.size());
+  // Per-server in-flight record, valid while the server is in `pending`.
+  std::vector<CompletionRecord> slot(servers.size());
+  // Busy servers keyed by finish time; (key, id) order makes equal-time
+  // pops come out in server-index order, matching the documented contract.
+  IndexedMinHeap<Time> pending(static_cast<int>(servers.size()));
+  // Idle servers, ascending — the only ones fill_servers has to visit.
+  std::vector<int> idle(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s)
+    idle[s] = static_cast<int>(s);
   std::size_t next_arrival = 0;
 
   // Offer work to every idle server until no server accepts.  A dispatch on
   // one server can change scheduler state (e.g. Miser slack), so loop to a
-  // fixed point.
+  // fixed point.  Visiting only the idle list (kept sorted ascending)
+  // preserves the original full-scan call order on the scheduler exactly.
   auto fill_servers = [&](Time now) {
     bool progress = true;
     while (progress) {
       progress = false;
-      for (std::size_t s = 0; s < servers.size(); ++s) {
-        if (slot[s].busy) continue;
-        auto d = scheduler.next_for(static_cast<int>(s), now);
-        if (!d) continue;
-        const Time dur = servers[s]->service_duration(d->request, now);
+      for (std::size_t k = 0; k < idle.size();) {
+        const int s = idle[k];
+        auto d = scheduler.next_for(s, now);
+        if (!d) {
+          ++k;
+          continue;
+        }
+        const Time dur =
+            servers[static_cast<std::size_t>(s)]->service_duration(d->request,
+                                                                   now);
         QOS_CHECK(dur > 0);
-        slot[s].busy = true;
-        slot[s].record = CompletionRecord{
+        slot[static_cast<std::size_t>(s)] = CompletionRecord{
             .seq = d->request.seq,
             .client = d->request.client,
             .arrival = d->request.arrival,
@@ -69,6 +90,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
             .klass = d->klass,
             .server = static_cast<std::uint8_t>(s),
         };
+        pending.push(s, now + dur);
+        idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(k));
         if (probe) {
           probe.emit({.time = now,
                       .seq = d->request.seq,
@@ -85,9 +108,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
 
   while (true) {
     // Next event: min over pending completions and the next arrival.
-    Time next_completion = kTimeMax;
-    for (const auto& s : slot)
-      if (s.busy) next_completion = std::min(next_completion, s.record.finish);
+    const Time next_completion =
+        pending.empty() ? kTimeMax : pending.top_key();
     const Time arrival_time = next_arrival < trace.size()
                                   ? trace[next_arrival].arrival
                                   : kTimeMax;
@@ -95,27 +117,26 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     if (now == kTimeMax) break;  // drained
 
     // Completions first (see scheduler.h contract).  Process every server
-    // finishing exactly at `now`, in server-index order for determinism.
-    if (next_completion == now) {
-      for (std::size_t s = 0; s < servers.size(); ++s) {
-        if (!slot[s].busy || slot[s].record.finish != now) continue;
-        slot[s].busy = false;
-        result.completions.push_back(slot[s].record);
-        if (probe) {
-          probe.emit({.time = now,
-                      .seq = slot[s].record.seq,
-                      .a = slot[s].record.response_time(),
-                      .client = slot[s].record.client,
-                      .kind = EventKind::kCompletion,
-                      .klass = slot[s].record.klass,
-                      .server = static_cast<std::uint8_t>(s)});
-        }
-        scheduler.on_complete(
-            Request{.arrival = slot[s].record.arrival,
-                    .seq = slot[s].record.seq,
-                    .client = slot[s].record.client},
-            slot[s].record.klass, static_cast<int>(s), now);
+    // finishing exactly at `now`; the heap's (finish, server) order yields
+    // them in server-index order for determinism.
+    while (!pending.empty() && pending.top_key() == now) {
+      const int s = pending.pop();
+      const CompletionRecord& record = slot[static_cast<std::size_t>(s)];
+      result.completions.push_back(record);
+      idle.insert(std::lower_bound(idle.begin(), idle.end(), s), s);
+      if (probe) {
+        probe.emit({.time = now,
+                    .seq = record.seq,
+                    .a = record.response_time(),
+                    .client = record.client,
+                    .kind = EventKind::kCompletion,
+                    .klass = record.klass,
+                    .server = static_cast<std::uint8_t>(s)});
       }
+      scheduler.on_complete(Request{.arrival = record.arrival,
+                                    .seq = record.seq,
+                                    .client = record.client},
+                            record.klass, s, now);
     }
 
     // Then all arrivals at `now`.

@@ -5,6 +5,10 @@
 // whenever a server is idle, and records exact start/finish times per
 // request.  Single-threaded and fully deterministic: events are ordered by
 // (time, kind, sequence) with completions before arrivals at equal times.
+// Completions live in an indexed min-heap keyed by (finish, server index)
+// and dispatch offers walk an idle-server free list, so each event costs
+// O(log servers) instead of a scan over every slot; equal-time completions
+// still retire in server-index order (the heap's tie-break).
 #pragma once
 
 #include <span>
@@ -21,7 +25,17 @@ struct SimResult {
   std::vector<CompletionRecord> completions;  ///< in finish order
 
   /// Completions indexed by request seq (same size as the input trace).
+  /// Requires exactly one completion per seq: duplicate or out-of-range
+  /// seqs — the signature of a fan-out run (Scheduler::fans_out()) — are
+  /// invariant violations, not silently aliased.  Fan-out callers use
+  /// by_seq_multi().
   std::vector<CompletionRecord> by_seq() const;
+
+  /// All completions grouped by request seq (inner vectors in finish
+  /// order), sized max-seen-seq + 1.  Safe for fan-out schedulers where
+  /// one arrival yields several completions; non-fan-out runs get
+  /// singleton groups.
+  std::vector<std::vector<CompletionRecord>> by_seq_multi() const;
 
   /// Latest finish instant (0 for empty results).
   Time makespan() const;

@@ -1,0 +1,152 @@
+// Indexed binary min-heap over small dense integer ids.
+//
+// The event simulator keys it by completion time over server ids; the fair
+// schedulers key it by head tag over flow ids.  Both need the exact total
+// order their original linear scans induced: ascending key, ties broken by
+// the *lowest id* (the scans used a strict `<` improvement test walking ids
+// in ascending order).  The heap therefore orders nodes lexicographically by
+// (key, id), which makes every pop bit-compatible with the scan it replaced.
+//
+// A position table gives O(log n) update/erase of an arbitrary id, so head
+// tag changes (or a server redispatch) never require rebuilding.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qos {
+
+template <typename Key>
+class IndexedMinHeap {
+ public:
+  IndexedMinHeap() = default;
+  explicit IndexedMinHeap(int id_capacity) { reset(id_capacity); }
+
+  /// Empty the heap and size the id space to [0, id_capacity).
+  void reset(int id_capacity) {
+    QOS_EXPECTS(id_capacity >= 0);
+    heap_.clear();
+    heap_.reserve(static_cast<std::size_t>(id_capacity));
+    pos_.assign(static_cast<std::size_t>(id_capacity), kAbsent);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(int id) const { return pos_[check_id(id)] != kAbsent; }
+
+  /// Id with the smallest (key, id).
+  int top() const {
+    QOS_EXPECTS(!heap_.empty());
+    return heap_[0].id;
+  }
+
+  const Key& top_key() const {
+    QOS_EXPECTS(!heap_.empty());
+    return heap_[0].key;
+  }
+
+  const Key& key_of(int id) const {
+    const std::size_t p = pos_[check_id(id)];
+    QOS_EXPECTS(p != kAbsent);
+    return heap_[p].key;
+  }
+
+  void push(int id, Key key) {
+    QOS_EXPECTS(pos_[check_id(id)] == kAbsent);
+    pos_[static_cast<std::size_t>(id)] = heap_.size();
+    heap_.push_back(Node{key, id});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Re-key an id already in the heap (key may move either way).
+  void update(int id, Key key) {
+    const std::size_t p = pos_[check_id(id)];
+    QOS_EXPECTS(p != kAbsent);
+    heap_[p].key = key;
+    sift_up(p);
+    sift_down(pos_[static_cast<std::size_t>(id)]);
+  }
+
+  /// Remove and return the top id.
+  int pop() {
+    QOS_EXPECTS(!heap_.empty());
+    const int id = heap_[0].id;
+    remove_at(0);
+    return id;
+  }
+
+  void erase(int id) {
+    const std::size_t p = pos_[check_id(id)];
+    QOS_EXPECTS(p != kAbsent);
+    remove_at(p);
+  }
+
+ private:
+  struct Node {
+    Key key;
+    int id;
+  };
+
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  std::size_t check_id(int id) const {
+    QOS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < pos_.size());
+    return static_cast<std::size_t>(id);
+  }
+
+  /// (key, id) lexicographic — the scan-equivalent total order.
+  static bool less(const Node& a, const Node& b) {
+    if (a.key < b.key) return true;
+    if (b.key < a.key) return false;
+    return a.id < b.id;
+  }
+
+  void place(std::size_t i, const Node& n) {
+    heap_[i] = n;
+    pos_[static_cast<std::size_t>(n.id)] = i;
+  }
+
+  void sift_up(std::size_t i) {
+    const Node n = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(n, heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, n);
+  }
+
+  void sift_down(std::size_t i) {
+    const Node n = heap_[i];
+    const std::size_t count = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= count) break;
+      if (child + 1 < count && less(heap_[child + 1], heap_[child])) ++child;
+      if (!less(heap_[child], n)) break;
+      place(i, heap_[child]);
+      i = child;
+    }
+    place(i, n);
+  }
+
+  void remove_at(std::size_t p) {
+    pos_[static_cast<std::size_t>(heap_[p].id)] = kAbsent;
+    const Node last = heap_.back();
+    heap_.pop_back();
+    if (p < heap_.size()) {
+      place(p, last);
+      sift_up(p);
+      sift_down(pos_[static_cast<std::size_t>(last.id)]);
+    }
+  }
+
+  std::vector<Node> heap_;
+  std::vector<std::size_t> pos_;  ///< id -> heap index, kAbsent when out
+};
+
+}  // namespace qos

@@ -1,0 +1,53 @@
+// Sliding-window minimum over a FIFO of integers.
+//
+// Miser's slack bookkeeping needs exactly three operations: append a slack
+// when a primary request is admitted (push_back), retire the oldest slack
+// when the front of Q1 dispatches (pop_front), and read the current minimum
+// at every dispatch decision.  Because removal order equals insertion order,
+// the classic monotone-deque technique applies: the window keeps a
+// non-decreasing subsequence of the live values whose front is always the
+// minimum, making all three operations amortized O(1) — against O(log n)
+// per insert/erase for the std::multiset it replaces.
+//
+// push_back evicts strictly greater tail entries, so equal values are all
+// retained; pop_front(v) then drops the window head iff it equals the value
+// leaving the FIFO, which keeps duplicates balanced.  Values are stored
+// offset-shifted by the caller (Miser adds its running Q2-dispatch offset),
+// so "decrement every slack" stays a single counter bump.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/ring_buffer.h"
+
+namespace qos {
+
+class MonotoneMinQueue {
+ public:
+  bool empty() const { return window_.empty(); }
+
+  /// Current minimum of the live FIFO contents.
+  std::int64_t min() const {
+    QOS_EXPECTS(!window_.empty());
+    return window_.front();
+  }
+
+  /// The FIFO appended `value`.
+  void push_back(std::int64_t value) {
+    while (!window_.empty() && window_.back() > value) window_.pop_back();
+    window_.push_back(value);
+  }
+
+  /// The FIFO removed its oldest element, which was `value`.
+  void pop_front(std::int64_t value) {
+    if (!window_.empty() && window_.front() == value) window_.pop_front();
+  }
+
+  void clear() { window_.clear(); }
+
+ private:
+  RingBuffer<std::int64_t> window_;  ///< non-decreasing; front == min
+};
+
+}  // namespace qos

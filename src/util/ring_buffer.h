@@ -1,0 +1,111 @@
+// Pooled FIFO ring buffer — the hot-path replacement for std::deque.
+//
+// The schedulers' queues are strict FIFOs (push_back / pop_front) whose
+// depth oscillates around a workload-dependent steady state.  std::deque
+// allocates and frees fixed-size chunks as the queue breathes; RingBuffer
+// instead keeps one power-of-two backing array that only ever grows, so
+// after warm-up every push and pop is a couple of stores with no allocator
+// traffic and perfect locality.  MonotoneMinQueue (util/monotone_min.h)
+// additionally uses pop_back to maintain its monotone window.
+//
+// Indexing is FIFO-relative: operator[](0) is the front (oldest) element.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qos {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  T& front() {
+    QOS_EXPECTS(count_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    QOS_EXPECTS(count_ > 0);
+    return buf_[head_];
+  }
+  T& back() {
+    QOS_EXPECTS(count_ > 0);
+    return buf_[(head_ + count_ - 1) & mask()];
+  }
+  const T& back() const {
+    QOS_EXPECTS(count_ > 0);
+    return buf_[(head_ + count_ - 1) & mask()];
+  }
+
+  /// i-th element from the front (0 = oldest).
+  const T& operator[](std::size_t i) const {
+    QOS_EXPECTS(i < count_);
+    return buf_[(head_ + i) & mask()];
+  }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask()] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    QOS_EXPECTS(count_ > 0);
+    head_ = (head_ + 1) & mask();
+    --count_;
+  }
+
+  void pop_back() {
+    QOS_EXPECTS(count_ > 0);
+    --count_;
+  }
+
+  /// Drop all elements; the backing storage (the pool) is retained.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  /// Ensure capacity for at least `n` elements without further growth.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) grow_to(ceil_pow2(n));
+  }
+
+ private:
+  std::size_t mask() const { return buf_.size() - 1; }
+
+  static std::size_t ceil_pow2(std::size_t n) {
+    std::size_t p = kMinCapacity;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void grow() { grow_to(buf_.empty() ? kMinCapacity : buf_.size() * 2); }
+
+  void grow_to(std::size_t new_capacity) {
+    std::vector<T> next(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask()]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kMinCapacity = 8;
+
+  std::vector<T> buf_;     ///< power-of-two sized (or empty before first push)
+  std::size_t head_ = 0;   ///< index of the front element
+  std::size_t count_ = 0;  ///< live elements
+};
+
+}  // namespace qos

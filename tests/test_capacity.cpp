@@ -159,6 +159,42 @@ TEST(CapacityProfile, WarmStartSpendsFewerProbesThanIndependentSearches) {
                      min_capacity(t, point.fraction, 10'000).cmin_iops);
 }
 
+TEST(MinCapacity, VerifyAcceptsTruthfulHints) {
+  Trace t = generate_poisson(900, 20 * kUsPerSec, 41);
+  const CapacityResult plain = min_capacity(t, 0.95, 10'000);
+
+  CapacityHint hint;
+  hint.infeasible_below = static_cast<std::int64_t>(plain.cmin_iops) - 1;
+  hint.feasible_at = static_cast<std::int64_t>(plain.cmin_iops);
+  hint.verify = true;
+  const CapacityResult checked = min_capacity(t, 0.95, 10'000, hint);
+  EXPECT_DOUBLE_EQ(checked.cmin_iops, plain.cmin_iops);
+  // Verification probes run outside the census: probe counts match the
+  // unverified hinted search exactly.
+  hint.verify = false;
+  EXPECT_EQ(checked.probes, min_capacity(t, 0.95, 10'000, hint).probes);
+}
+
+TEST(MinCapacity, VerifyAbortsOnLyingInfeasibleBelow) {
+  // Claiming the true Cmin (a feasible capacity) is infeasible would make
+  // the unverified search return a wrong answer; verify mode aborts instead.
+  Trace t = generate_poisson(900, 20 * kUsPerSec, 43);
+  const CapacityResult plain = min_capacity(t, 0.95, 10'000);
+  CapacityHint lie;
+  lie.infeasible_below = static_cast<std::int64_t>(plain.cmin_iops);
+  lie.verify = true;
+  EXPECT_DEATH((void)min_capacity(t, 0.95, 10'000, lie), "Invariant failed");
+}
+
+TEST(MinCapacity, VerifyAbortsOnLyingFeasibleAt) {
+  Trace t = generate_poisson(900, 20 * kUsPerSec, 47);
+  const CapacityResult plain = min_capacity(t, 0.95, 10'000);
+  CapacityHint lie;
+  lie.feasible_at = static_cast<std::int64_t>(plain.cmin_iops) - 1;
+  lie.verify = true;
+  EXPECT_DEATH((void)min_capacity(t, 0.95, 10'000, lie), "Invariant failed");
+}
+
 TEST(MinCapacity, FullGuaranteeCoversWorstBurst) {
   // A trace with one giant burst: Cmin(100%) is set by the burst, while
   // Cmin(90%) is set by the smooth part — the paper's knee.  (Knee ratio

@@ -51,6 +51,25 @@ TEST(Fcfs, BurstSpillsOverToLaterRequests) {
   EXPECT_GE(by_seq[100].response_time(), 900'000);
 }
 
+TEST(Fcfs, OccupancyCountsQueuedPlusInService) {
+  // The shared "q1.occupancy" convention (obs/metrics.h): pending requests,
+  // updated on admission and completion.  Two arrivals at t=0, 10 ms each:
+  // census is 2 on [0, 10ms), 1 on [10ms, 20ms), 0 after.
+  std::vector<Request> reqs{Request{.arrival = 0}, Request{.arrival = 0}};
+  Trace t(std::move(reqs));
+  FcfsScheduler fcfs;
+  MetricRegistry registry;
+  fcfs.attach_observability(nullptr, &registry);
+  ConstantRateServer server(100);
+  simulate(t, fcfs, server);
+  const OccupancySeries* occ = registry.find_occupancy("q1.occupancy");
+  ASSERT_NE(occ, nullptr);
+  EXPECT_EQ(occ->max(), 2);
+  EXPECT_EQ(occ->current(), 0);  // drained: completions decrement the census
+  EXPECT_DOUBLE_EQ(occ->mean(), 1.5);
+  EXPECT_EQ(fcfs.len_q1(), 0);
+}
+
 TEST(Fcfs, ResponseDegradesWithBurstiness) {
   // Same mean rate; bursty arrangement produces a worse p99 under FCFS.
   Trace smooth = generate_poisson(400, 30 * kUsPerSec, 3);

@@ -103,6 +103,55 @@ TEST(Simulator, EmptyTrace) {
   EXPECT_EQ(r.makespan(), 0);
 }
 
+CompletionRecord rec(std::uint64_t seq, Time finish) {
+  CompletionRecord c;
+  c.seq = seq;
+  c.finish = finish;
+  return c;
+}
+
+TEST(SimResultBySeq, DuplicateSeqAborts) {
+  SimResult r;
+  r.completions = {rec(0, 10), rec(1, 20), rec(1, 30)};
+  EXPECT_DEATH((void)r.by_seq(), "Invariant failed");
+}
+
+TEST(SimResultBySeq, OutOfRangeSeqAborts) {
+  // Three completions but a seq of 5: some seq in [0,3) necessarily has no
+  // completion, so the result would contain default-constructed holes.
+  SimResult r;
+  r.completions = {rec(0, 10), rec(1, 20), rec(5, 30)};
+  EXPECT_DEATH((void)r.by_seq(), "Invariant failed");
+}
+
+TEST(SimResultBySeqMulti, GroupsFanOutBySeqInFinishOrder) {
+  SimResult r;
+  r.completions = {rec(1, 10), rec(0, 20), rec(1, 30), rec(1, 40)};
+  const auto groups = r.by_seq_multi();
+  ASSERT_EQ(groups.size(), 2u);
+  ASSERT_EQ(groups[0].size(), 1u);
+  EXPECT_EQ(groups[0][0].finish, 20);
+  ASSERT_EQ(groups[1].size(), 3u);
+  EXPECT_EQ(groups[1][0].finish, 10);
+  EXPECT_EQ(groups[1][1].finish, 30);
+  EXPECT_EQ(groups[1][2].finish, 40);
+}
+
+TEST(SimResultBySeqMulti, SeqWithNoCompletionYieldsEmptyGroup) {
+  SimResult r;
+  r.completions = {rec(2, 10)};
+  const auto groups = r.by_seq_multi();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_TRUE(groups[0].empty());
+  EXPECT_TRUE(groups[1].empty());
+  EXPECT_EQ(groups[2].size(), 1u);
+}
+
+TEST(SimResultBySeqMulti, EmptyResult) {
+  SimResult r;
+  EXPECT_TRUE(r.by_seq_multi().empty());
+}
+
 TEST(Simulator, WorkConservationAtFullLoad) {
   // Saturated server: busy time equals total service demand, so the last
   // finish is N / C after the first start.

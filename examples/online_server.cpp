@@ -1,0 +1,96 @@
+// online_server — serving a bursty arrival stream through online::Shaper
+// on a real wall clock.
+//
+// The offline facade (shape_and_run) answers "what would shaping have done
+// to this trace"; this demo shows the same policy making the same decisions
+// *live*: a SteadyClock Shaper with the Miser backend admits a two-state
+// bursty stream at real time for about two seconds, a backend loop
+// completes dispatched work at the provisioned rate, and the summary shows
+// the graduated outcome — Q1 requests held to the deadline, burst overflow
+// degraded to best-effort instead of dragging the tail.
+//
+// Runs in ~2 s with no arguments.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "online/shaper.h"
+#include "trace/generator.h"
+#include "util/clock.h"
+
+using namespace qos;
+using namespace qos::online;
+
+int main() {
+  // A two-state stream: calm 300 IOPS base, 1500 IOPS bursts — the shape
+  // the paper decomposes.  Generated once, replayed against the wall clock.
+  WorkloadSpec spec;
+  spec.states = {{300, 0.7}, {1500, 0.3}};
+  const Trace arrivals = generate_workload(spec, 2 * kUsPerSec, 7);
+
+  // Provision from the base rate, not the burst peak: bursts overflow to
+  // best effort by design.  500 IOPS Q1 capacity, 10 ms deadline.
+  ShaperOptions options;
+  options.shaping.policy = Policy::kMiser;
+  options.shaping.delta = from_ms(10);
+  options.cmin_iops = 500;
+
+  SteadyClock clock;
+  Shaper shaper(options, clock);
+  const Time service_us = 1'600;  // ~625 IOPS backend
+
+  std::printf("online_server: %zu arrivals over %.1f s, cmin %.0f IOPS, "
+              "delta %lld ms\n",
+              arrivals.size(),
+              static_cast<double>(arrivals.duration()) / kUsPerSec,
+              options.cmin_iops,
+              static_cast<long long>(options.shaping.delta / 1'000));
+
+  std::uint64_t deadline_met = 0, q1_done = 0;
+  std::vector<std::pair<Time, DispatchCommand>> in_flight;  // (finish, cmd)
+
+  std::size_t next = 0;
+  while (next < arrivals.size() || !in_flight.empty()) {
+    const Time now = clock.now();
+    // Complete backend work that has finished by now.
+    for (std::size_t i = 0; i < in_flight.size();) {
+      if (in_flight[i].first <= now) {
+        const DispatchCommand& cmd = in_flight[i].second;
+        if (cmd.klass == ServiceClass::kPrimary) {
+          ++q1_done;
+          if (now - cmd.request.arrival <= options.shaping.delta)
+            ++deadline_met;
+        }
+        shaper.on_completion(cmd.request, cmd.klass, cmd.server, now);
+        in_flight[i] = in_flight.back();
+        in_flight.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // Admit every arrival whose trace instant has passed.
+    while (next < arrivals.size() &&
+           arrivals[next].arrival - arrivals.start_time() <= now) {
+      shaper.admit(arrivals[next], now);
+      ++next;
+    }
+    for (const DispatchCommand& cmd : shaper.poll_dispatch(now))
+      in_flight.emplace_back(clock.now() + service_us, cmd);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  std::printf("admitted  Q1 %llu   Q2 %llu   shed %llu\n",
+              static_cast<unsigned long long>(shaper.admitted_q1()),
+              static_cast<unsigned long long>(shaper.admitted_q2()),
+              static_cast<unsigned long long>(shaper.shed()));
+  std::printf("Q1 deadline met: %llu / %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(deadline_met),
+              static_cast<unsigned long long>(q1_done),
+              q1_done > 0 ? 100.0 * static_cast<double>(deadline_met) /
+                                static_cast<double>(q1_done)
+                          : 0.0);
+  std::printf("Q2 backlog at shutdown: %zu (best effort keeps no promise)\n",
+              shaper.q2_backlog());
+  return 0;
+}

@@ -1,15 +1,14 @@
 #!/usr/bin/env python3
-"""Gate BENCH_micro.json against the committed perf baseline.
+"""Gate a freshly measured bench JSON against the committed perf baseline.
 
-Compares a freshly measured BENCH_micro.json (bench/micro_algorithms) with
-bench/BENCH_micro.baseline.json and fails on scheduler throughput
-regressions.
+Two modes, selected by --online:
 
-The gated quantity is each backend's *speedup* — heap ops/sec divided by the
-frozen scan reference's ops/sec, both measured in the same process moments
-apart — because that ratio cancels the raw speed of the machine running the
-job.  Absolute ops/sec against a baseline recorded on different hardware
-would gate the runner, not the code.  Two checks per (backend, flows) cell:
+Default (BENCH_micro.json, bench/micro_algorithms): the gated quantity is
+each backend's *speedup* — heap ops/sec divided by the frozen scan
+reference's ops/sec, both measured in the same process moments apart —
+because that ratio cancels the raw speed of the machine running the job.
+Absolute ops/sec against a baseline recorded on different hardware would
+gate the runner, not the code.  Two checks per (backend, flows) cell:
 
   1. Regression: current speedup >= (1 - tolerance) * baseline speedup
      (default tolerance 0.25, i.e. fail on a >25% regression).
@@ -21,7 +20,23 @@ heap cannot beat a one-element scan and the ratio is run-to-run noise) are
 printed as informational and not gated; every backend is still gated at 16
 and 256 flows.  Absolute ops/sec are printed for the log but never gated.
 
-usage: check_perf.py BASELINE CURRENT [--tolerance F] [--min-speedup S]
+--online (BENCH_online.json, bench/online_loadgen): the gated quantity is
+each (policy, mode) cell's *normalized* throughput — admission decisions
+per second divided by the harness's in-process calibration rate (a loop of
+the fixed costs every admission pays: clock read, uncontended lock,
+counter update) — the same machine-cancelling trick.  Two checks per cell:
+
+  1. Regression: normalized >= (1 - tolerance) * baseline normalized.
+     Wall-clock multi-thread runs are noisier than the micro harness, so
+     the online default tolerance is 0.50.
+  2. Floor: normalized >= --min-normalized (default 0.02: one admission
+     must cost no more than ~50 calibration ops), regardless of baseline.
+
+Admission latency percentiles are printed for the log but never gated
+(they measure the CI runner's scheduler as much as the code).
+
+usage: check_perf.py BASELINE CURRENT [--online] [--tolerance F]
+                     [--min-speedup S] [--min-normalized R]
 """
 
 import argparse
@@ -31,20 +46,76 @@ import sys
 FLOOR_KEY = "flows_256"
 
 
+def check_online(baseline, current, tolerance, min_normalized):
+    failures = []
+    print(f"{'policy':<8} {'mode':>7} {'base':>8} {'now':>8} "
+          f"{'dec/s':>12} {'p99 ns':>9}  status")
+    for policy, base_modes in baseline["policies"].items():
+        cur_modes = current["policies"].get(policy)
+        if cur_modes is None:
+            failures.append(f"{policy}: missing from current results")
+            continue
+        for mode, base in base_modes.items():
+            cur = cur_modes.get(mode)
+            if cur is None:
+                failures.append(f"{policy}/{mode}: missing from current")
+                continue
+            base_norm = base["normalized"]
+            cur_norm = cur["normalized"]
+            allowed = (1.0 - tolerance) * base_norm
+            problems = []
+            if cur_norm < allowed:
+                problems.append(
+                    f"normalized {cur_norm:.4f} < {allowed:.4f} "
+                    f"(>{tolerance:.0%} regression from {base_norm:.4f})")
+            if cur_norm < min_normalized:
+                problems.append(
+                    f"normalized {cur_norm:.4f} below the "
+                    f"{min_normalized:.3f} floor")
+            status = "FAIL" if problems else "ok"
+            print(f"{policy:<8} {mode:>7} {base_norm:>8.4f} "
+                  f"{cur_norm:>8.4f} {cur['decisions_per_sec']:>12.0f} "
+                  f"{cur['p99_ns']:>9d}  {status}")
+            failures.extend(f"{policy}/{mode}: {p}" for p in problems)
+    cal = current.get("calibration_ops_per_sec", 0)
+    print(f"calibration: {cal:.0f} ops/s "
+          f"(baseline machine: {baseline.get('calibration_ops_per_sec', 0):.0f})")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_micro.baseline.json")
-    parser.add_argument("current", help="freshly measured BENCH_micro.json")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional speedup regression")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--online", action="store_true",
+                        help="gate BENCH_online.json (normalized decisions/s)"
+                             " instead of BENCH_micro.json (speedups)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional regression "
+                             "(default 0.25 micro, 0.50 online)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
-                        help="hard speedup floor at 256 flows")
+                        help="micro: hard speedup floor at 256 flows")
+    parser.add_argument("--min-normalized", type=float, default=0.02,
+                        help="online: hard normalized-throughput floor")
     args = parser.parse_args()
+    if args.tolerance is None:
+        args.tolerance = 0.50 if args.online else 0.25
 
     with open(args.baseline) as f:
         baseline = json.load(f)
     with open(args.current) as f:
         current = json.load(f)
+
+    if args.online:
+        failures = check_online(baseline, current, args.tolerance,
+                                args.min_normalized)
+        if failures:
+            print("\nperf-smoke FAILED:", file=sys.stderr)
+            for f_ in failures:
+                print(f"  {f_}", file=sys.stderr)
+            return 1
+        print("\nperf-smoke passed")
+        return 0
 
     failures = []
     print(f"{'backend':<8} {'flows':>9} {'base':>8} {'now':>8} "

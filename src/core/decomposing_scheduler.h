@@ -39,6 +39,10 @@ class DecomposingScheduler : public Scheduler {
     }
   }
 
+  bool arrival_joins_primary(Time) override {
+    return admission_.admit(len_q1_);
+  }
+
   void on_arrival(const Request& r, Time now) override {
     if (admission_.admit(len_q1_)) {
       q1_.push_back(r);

@@ -53,6 +53,10 @@ class MiserScheduler final : public Scheduler {
     }
   }
 
+  bool arrival_joins_primary(Time) override {
+    return admission_.admit(len_q1_);
+  }
+
   void on_arrival(const Request& r, Time now) override {
     if (admission_.admit(len_q1_)) {
       ++len_q1_;

@@ -44,17 +44,13 @@ std::unique_ptr<Scheduler> make_scheduler(const ShapingConfig& config,
   return scheduler;
 }
 
-std::unique_ptr<Scheduler> make_scheduler(Policy policy, double cmin_iops,
-                                          Time delta, double headroom_iops) {
-  ShapingConfig config;
-  config.policy = policy;
-  config.delta = delta;
-  config.headroom_override_iops = headroom_iops;
-  return make_scheduler(config, cmin_iops);
-}
-
-ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& config) {
-  QOS_EXPECTS(config.delta > 0);
+ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& raw) {
+  QOS_EXPECTS(raw.delta > 0);
+  // Wire the sink chain on a private copy: the explicit setup step the
+  // observability contract in shaper.h requires, kept out of the caller's
+  // const config.
+  ShapingConfig config = raw;
+  config.wire_sinks();
   ShapingOutcome out;
   out.cmin_iops = config.capacity_override_iops > 0
                       ? config.capacity_override_iops

@@ -46,16 +46,28 @@ struct ShapingConfig {
   /// >= 0 overrides the overflow headroom dC; default is 1/delta.
   double headroom_override_iops = -1;
 
-  /// Optional observability (not owned; must outlive the run).  Attaching
-  /// any enables instrumentation and report building.
+  // ---- Observability ownership / lifetime contract (the one place) ----
+  //
+  // registry, sink and tracer are borrowed: the config never owns them and
+  // all three must outlive every run (and every scheduler / online::Shaper)
+  // built from this config.  Attaching any of them enables instrumentation
+  // and report building.
+  //
+  // When a tracer is set the event stream flows *through* it and the
+  // tracer forwards every event to `sink` downstream — tracing composes
+  // with an explicit sink instead of replacing it.  That chaining is a
+  // mutation of the tracer object, so it is an explicit setup step:
+  // call wire_sinks() once, after both fields are final and before the
+  // run.  The run entry points (shape_and_run, run_chaos, online::Shaper)
+  // wire a private copy of the config at entry; only code that calls
+  // make_scheduler or effective_sink() directly with a tracer attached
+  // needs to call wire_sinks() itself.
   MetricRegistry* registry = nullptr;
   EventSink* sink = nullptr;
 
-  /// Optional request-level tracer (not owned).  When set, the run's event
-  /// stream flows through the tracer, which forwards every event to `sink`
-  /// (if any) downstream — tracing composes with an explicit sink instead
-  /// of replacing it.  Null keeps the pipeline on the plain Probe path:
-  /// one branch per hook, zero tracing cost.
+  /// Optional request-level tracer (see the contract above).  Null keeps
+  /// the pipeline on the plain Probe path: one branch per hook, zero
+  /// tracing cost.
   Tracer* tracer = nullptr;
 
   /// Optional decorator applied to each backing server just before the run
@@ -75,12 +87,17 @@ struct ShapingConfig {
     return registry != nullptr || sink != nullptr || tracer != nullptr;
   }
 
-  /// The sink the pipeline should emit into: the tracer (chained onto
-  /// `sink`) when tracing, else `sink` directly.
+  /// Explicit setup step: chain the tracer onto `sink` (see the contract
+  /// above).  Idempotent; a no-op without a tracer.  Non-const on purpose —
+  /// it mutates the borrowed tracer, which a const accessor must not do.
+  void wire_sinks() {
+    if (tracer != nullptr) tracer->set_downstream(sink);
+  }
+
+  /// The sink the pipeline emits into: the tracer when tracing (chained
+  /// onto `sink` by wire_sinks()), else `sink` directly.  Pure accessor.
   EventSink* effective_sink() const {
-    if (tracer == nullptr) return sink;
-    tracer->set_downstream(sink);
-    return tracer;
+    return tracer != nullptr ? tracer : sink;
   }
 };
 
@@ -100,12 +117,6 @@ struct ShapingOutcome {
 /// so benches can drive policies directly without shape_and_run's profiling.
 std::unique_ptr<Scheduler> make_scheduler(const ShapingConfig& config,
                                           double cmin_iops);
-
-/// Deprecated positional form; forwards to the ShapingConfig overload
-/// (without observability).
-[[deprecated("use make_scheduler(const ShapingConfig&, double cmin_iops)")]]
-std::unique_ptr<Scheduler> make_scheduler(Policy policy, double cmin_iops,
-                                          Time delta, double headroom_iops);
 
 /// Profile (unless overridden), schedule and simulate.  FCFS receives the
 /// same total capacity (Cmin + dC) on a single server, matching the paper's

@@ -45,7 +45,11 @@ void fill_degradation_metrics(const ChaosConfig& config, ChaosOutcome& out) {
 }
 
 ChaosOutcome run_degraded(const Trace& trace, const ChaosConfig& config) {
-  const ShapingConfig& shaping = config.shaping;
+  // Explicit sink-chain setup on a private copy (see the observability
+  // contract in core/shaper.h); the non-degraded path gets the same from
+  // shape_and_run.
+  ShapingConfig shaping = config.shaping;
+  shaping.wire_sinks();
   ChaosOutcome out;
   out.shaping.cmin_iops =
       shaping.capacity_override_iops > 0

@@ -52,6 +52,8 @@ struct Event {
   EventKind kind = EventKind::kArrival;
   ServiceClass klass = ServiceClass::kPrimary;
   std::uint8_t server = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
 };
 
 }  // namespace qos

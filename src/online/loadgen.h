@@ -1,0 +1,70 @@
+// Multi-threaded load generator for online::Shaper.
+//
+// Drives a Shaper with the arrival structure of a Trace (an SPC file, an
+// MMPP preset, anything trace/) from several worker threads and measures
+// the admission hot path the way a storage front-end would experience it:
+// per-decision latency (p50/p99/p999 ns, sampled around each admit call)
+// and sustained decisions per second.  Two loop disciplines:
+//
+//   closed loop (target_iops == 0)  every thread admits as fast as the
+//     Shaper lets it — the saturation throughput measurement;
+//   open loop   (target_iops > 0)   arrivals are paced so the aggregate
+//     rate matches the target while keeping the trace's inter-arrival
+//     shape — the latency-under-load measurement.
+//
+// Workers also drain: after each admission they poll dispatch and complete
+// finished work against a simulated backend of `drain_iops` (0 = infinitely
+// fast), so queue censuses move and both admit paths (Q1 and Q2) stay
+// exercised.  All workers share the one Shaper; its internal lock is the
+// serialization point and its cost is part of what is measured.
+//
+// Determinism: the generator issues exactly `requests` decisions split
+// across threads regardless of thread count (the smoke test pins this);
+// the Q1/Q2 split under wall-clock time is timing-dependent by nature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "online/shaper.h"
+#include "trace/trace.h"
+
+namespace qos::online {
+
+struct LoadGenOptions {
+  int threads = 1;             ///< worker threads (>= 1)
+  std::uint64_t requests = 0;  ///< total admissions; 0 = one pass (trace size)
+  double target_iops = 0;      ///< open-loop aggregate pacing; 0 = closed loop
+  std::uint64_t batch = 1;     ///< admit_batch size; 1 = single-request admit
+  /// Simulated backend rate each busy server drains at (IOPS); 0 completes
+  /// dispatched work immediately (infinitely fast backend).
+  double drain_iops = 0;
+  /// Cap on retained latency samples (memory bound for giant runs); once
+  /// full, later decisions go unsampled but are still counted.
+  std::size_t max_latency_samples = 1 << 22;
+};
+
+struct LoadGenResult {
+  std::uint64_t decisions = 0;
+  std::uint64_t admitted_q1 = 0;
+  std::uint64_t admitted_q2 = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completions = 0;
+  double wall_seconds = 0;
+  double decisions_per_sec = 0;
+
+  /// Admission-decision latency in nanoseconds (batch mode: elapsed /
+  /// batch size, one sample per request).
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Run `options.requests` admissions against `shaper`, drawing request
+/// shape and (open loop) inter-arrival structure from `arrivals` (cycled
+/// when shorter; must be non-empty).  Blocks until every thread is done.
+LoadGenResult run_loadgen(Shaper& shaper, const Trace& arrivals,
+                          const LoadGenOptions& options);
+
+}  // namespace qos::online

@@ -1,0 +1,41 @@
+// replay_trace — drive an online::Shaper from a materialized trace under a
+// VirtualClock, reconstructing exactly the run shape_and_run would produce.
+//
+// This is the proof obligation that keeps the online path honest: the
+// Shaper exposes the same scheduler machinery imperatively, and this
+// harness shows the exposure is lossless.  It mirrors simulate()'s event
+// loop — completions before arrivals at equal instants, a dispatch fill
+// after every event time — but only through the Shaper's public API
+// (admit / poll_dispatch / on_completion), with server models supplying
+// service durations the way simulate() asks them.  The differential tests
+// (tests/test_online_shaper.cpp) assert per policy that the admission
+// decisions, the completion records and the emitted event stream are
+// bit-identical to shape_and_run's.
+//
+// Servers are built exactly as shape_and_run builds them — ConstantRate at
+// Cmin + dC (Split: Cmin primary + dC overflow), each passed through
+// `shaping.server_decorator` — so the fault layer composes here too.
+#pragma once
+
+#include <vector>
+
+#include "online/shaper.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace qos::online {
+
+struct ReplayOutcome {
+  /// One decision per trace request, in arrival order.
+  std::vector<Decision> decisions;
+  /// Completion records in finish order — the same shape (and, for a
+  /// faithful replay, the same bytes) as shape_and_run's SimResult.
+  SimResult sim;
+};
+
+/// Replay `trace` through a fresh Shaper built from `options`.
+/// options.max_q2_depth must be 0 (shedding changes the stream the
+/// scheduler sees; the replay contract is the unbounded one).
+ReplayOutcome replay_trace(const Trace& trace, const ShaperOptions& options);
+
+}  // namespace qos::online

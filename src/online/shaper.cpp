@@ -1,0 +1,280 @@
+#include "online/shaper.h"
+
+#include <algorithm>
+
+#include "fault/degraded_scheduler.h"
+#include "util/check.h"
+
+namespace qos::online {
+
+const char* admit_name(Admit a) {
+  switch (a) {
+    case Admit::kQ1: return "Q1";
+    case Admit::kQ2: return "Q2";
+    case Admit::kShed: return "shed";
+  }
+  QOS_CHECK(false);
+}
+
+// Interposes between the scheduler and the configured downstream sink: the
+// scheduler's kAdmit / kReject / kDemote emission *is* the admission
+// decision, so recording it here turns the existing event stream into
+// admit()'s return value without forking any scheduler logic.  Everything
+// (recorded or not) is forwarded downstream, so observers see the exact
+// stream shape_and_run produces.
+class Shaper::DecisionCapture final : public EventSink {
+ public:
+  explicit DecisionCapture(EventSink* downstream) : downstream_(downstream) {}
+
+  void on_event(const Event& e) override {
+    switch (e.kind) {
+      case EventKind::kAdmit:
+        last_ = Decision{.seq = e.seq,
+                         .admit = Admit::kQ1,
+                         .depth = e.a,
+                         .max_q1 = e.b};
+        break;
+      case EventKind::kReject:
+        last_ = Decision{.seq = e.seq,
+                         .admit = Admit::kQ2,
+                         .depth = e.a,
+                         .max_q1 = e.b};
+        break;
+      case EventKind::kDemote:
+        last_ = Decision{.seq = e.seq,
+                         .admit = Admit::kQ2,
+                         .demoted = true,
+                         .depth = e.a,
+                         .max_q1 = e.b};
+        break;
+      default:
+        break;
+    }
+    if (downstream_ != nullptr) downstream_->on_event(e);
+  }
+
+  const Decision& last() const { return last_; }
+
+ private:
+  EventSink* downstream_;
+  Decision last_;
+};
+
+Shaper::Shaper(const ShaperOptions& options, Clock& clock)
+    : options_(options), clock_(&clock) {
+  QOS_EXPECTS(options_.cmin_iops > 0);
+  QOS_EXPECTS(options_.shaping.delta > 0);
+  options_.shaping.wire_sinks();
+  capture_ =
+      std::make_unique<DecisionCapture>(options_.shaping.effective_sink());
+  if (options_.use_degraded_admission) {
+    const double server_iops =
+        options_.server_iops > 0
+            ? options_.server_iops
+            : options_.cmin_iops + options_.shaping.resolved_headroom_iops();
+    scheduler_ = std::make_unique<DegradedRttScheduler>(
+        options_.cmin_iops, options_.shaping.delta, server_iops,
+        options_.degraded);
+  } else {
+    scheduler_ = make_scheduler(options_.shaping, options_.cmin_iops);
+  }
+  // The capture sink must see the scheduler's admission events even when
+  // the caller attached no observability; re-attach unconditionally (the
+  // capture chains to the configured downstream, so nothing is lost).
+  scheduler_->attach_observability(capture_.get(), options_.shaping.registry);
+  // kArrival / kDispatch / kCompletion are the engine's own events (the
+  // simulator emits them outside the scheduler); they go straight
+  // downstream, exactly as simulate() sends them.
+  probe_ = Probe(options_.shaping.effective_sink());
+  idle_.resize(static_cast<std::size_t>(scheduler_->server_count()));
+  for (std::size_t s = 0; s < idle_.size(); ++s)
+    idle_[s] = static_cast<int>(s);
+}
+
+Shaper::~Shaper() = default;
+
+Decision Shaper::admit_locked(const Request& r, Time now) {
+  // Shed before entering the scheduler: a bounded best-effort queue is the
+  // online-only policy knob (the simulator never drops — Q2 is unbounded
+  // there), so it must act before the shared algorithm, not inside it.
+  if (options_.max_q2_depth > 0 && q2_backlog_ >= options_.max_q2_depth &&
+      !scheduler_->arrival_joins_primary(now)) {
+    ++shed_;
+    return Decision{.seq = r.seq, .admit = Admit::kShed};
+  }
+  Request stamped = r;
+  stamped.arrival = now;
+  if (probe_) {
+    probe_.emit({.time = now,
+                 .seq = stamped.seq,
+                 .client = stamped.client,
+                 .kind = EventKind::kArrival});
+  }
+  scheduler_->on_arrival(stamped, now);
+  Decision d = capture_->last();
+  QOS_CHECK(d.seq == stamped.seq);  // every on_arrival emits its decision
+  if (d.admit == Admit::kQ1) {
+    d.deadline = now + options_.shaping.delta;
+    ++admitted_q1_;
+  } else {
+    ++admitted_q2_;
+    ++q2_backlog_;
+    if (d.demoted) ++demotions_;
+  }
+  return d;
+}
+
+Decision Shaper::admit(const Request& r, Time now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admit_locked(r, now);
+}
+
+Decision Shaper::admit(const Request& r) {
+  // The clock is read *inside* the lock: with several threads stamping
+  // their own "now" before acquiring it, the scheduler could observe
+  // decreasing arrival times — a contract violation.  Under the lock the
+  // monotone clock guarantees ordered timestamps.
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admit_locked(r, clock_->now());
+}
+
+std::vector<Decision> Shaper::admit_batch(std::span<const Request> batch,
+                                          Time now) {
+  std::vector<Decision> decisions;
+  decisions.reserve(batch.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Request& r : batch) decisions.push_back(admit_locked(r, now));
+  return decisions;
+}
+
+std::vector<Decision> Shaper::admit_batch(std::span<const Request> batch) {
+  std::vector<Decision> decisions;
+  decisions.reserve(batch.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Time now = clock_->now();
+  for (const Request& r : batch) decisions.push_back(admit_locked(r, now));
+  return decisions;
+}
+
+void Shaper::poll_dispatch_locked(Time now,
+                                  std::vector<DispatchCommand>& out) {
+  // Same fixed point as the simulator's fill_servers: offer work to every
+  // idle backend (ascending) until no backend accepts — a dispatch can
+  // change scheduler state (Miser slack), so one pass is not enough.  The
+  // offer sequence on the scheduler is identical, which the replay
+  // differential depends on.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t k = 0; k < idle_.size();) {
+      const int s = idle_[k];
+      auto d = scheduler_->next_for(s, now);
+      if (!d) {
+        ++k;
+        continue;
+      }
+      idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(k));
+      ++busy_;
+      if (d->klass == ServiceClass::kOverflow) {
+        QOS_CHECK(q2_backlog_ > 0);
+        --q2_backlog_;
+      }
+      if (probe_) {
+        probe_.emit({.time = now,
+                     .seq = d->request.seq,
+                     .a = now - d->request.arrival,
+                     .client = d->request.client,
+                     .kind = EventKind::kDispatch,
+                     .klass = d->klass,
+                     .server = static_cast<std::uint8_t>(s)});
+      }
+      out.push_back(DispatchCommand{d->request, d->klass, s});
+      progress = true;
+    }
+  }
+}
+
+std::vector<DispatchCommand> Shaper::poll_dispatch(Time now) {
+  std::vector<DispatchCommand> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  poll_dispatch_locked(now, out);
+  return out;
+}
+
+std::vector<DispatchCommand> Shaper::poll_dispatch() {
+  std::vector<DispatchCommand> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  poll_dispatch_locked(clock_->now(), out);
+  return out;
+}
+
+void Shaper::on_completion(const Request& r, ServiceClass klass, int server,
+                           Time now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_completion_locked(r, klass, server, now);
+}
+
+void Shaper::on_completion_locked(const Request& r, ServiceClass klass,
+                                  int server, Time now) {
+  QOS_EXPECTS(server >= 0 && server < scheduler_->server_count());
+  QOS_EXPECTS(!std::binary_search(idle_.begin(), idle_.end(), server));
+  if (probe_) {
+    probe_.emit({.time = now,
+                 .seq = r.seq,
+                 .a = now - r.arrival,
+                 .client = r.client,
+                 .kind = EventKind::kCompletion,
+                 .klass = klass,
+                 .server = static_cast<std::uint8_t>(server)});
+  }
+  idle_.insert(std::lower_bound(idle_.begin(), idle_.end(), server), server);
+  --busy_;
+  scheduler_->on_complete(r, klass, server, now);
+}
+
+void Shaper::on_completion(const Request& r, ServiceClass klass,
+                           int server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_completion_locked(r, klass, server, clock_->now());
+}
+
+int Shaper::server_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_->server_count();
+}
+
+int Shaper::busy_servers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_;
+}
+
+std::size_t Shaper::q2_backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return q2_backlog_;
+}
+
+std::uint64_t Shaper::admitted_q1() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_q1_;
+}
+
+std::uint64_t Shaper::admitted_q2() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_q2_;
+}
+
+std::uint64_t Shaper::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t Shaper::demotions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return demotions_;
+}
+
+EventSink* Shaper::event_sink() const {
+  return options_.shaping.effective_sink();
+}
+
+}  // namespace qos::online

@@ -24,6 +24,9 @@ struct CompletionRecord {
 
   Time response_time() const { return finish - arrival; }
   Time wait_time() const { return start - arrival; }
+
+  friend bool operator==(const CompletionRecord&,
+                         const CompletionRecord&) = default;
 };
 
 }  // namespace qos

@@ -43,6 +43,17 @@ class Scheduler {
   /// request invariant; SimResult::by_seq() is unavailable for such runs.
   virtual bool fans_out() const { return false; }
 
+  /// True when an arrival at `now` would classify into the primary class
+  /// (Q1).  Must agree with what on_arrival would decide at the same
+  /// instant; the online admission layer uses it to shed best-effort work
+  /// *before* it enters the queues (a bounded Q2 is an online-only policy —
+  /// the simulator never drops).  Default: everything is primary, matching
+  /// the non-decomposing schedulers.
+  virtual bool arrival_joins_primary(Time now) {
+    (void)now;
+    return true;
+  }
+
   virtual void on_arrival(const Request& r, Time now) = 0;
 
   struct Dispatch {

@@ -4,6 +4,7 @@
 
 #include "obs/sink.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/indexed_heap.h"
 
 namespace qos {
@@ -106,6 +107,10 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     }
   };
 
+  // The engine's notion of "now" is a VirtualClock advanced to each event
+  // instant — the same clock seam the online layer serves wall time
+  // through (util/clock.h), and a monotonicity check on the event order.
+  VirtualClock clock;
   while (true) {
     // Next event: min over pending completions and the next arrival.
     const Time next_completion =
@@ -113,8 +118,10 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     const Time arrival_time = next_arrival < trace.size()
                                   ? trace[next_arrival].arrival
                                   : kTimeMax;
-    const Time now = std::min(next_completion, arrival_time);
-    if (now == kTimeMax) break;  // drained
+    const Time next_event = std::min(next_completion, arrival_time);
+    if (next_event == kTimeMax) break;  // drained
+    clock.advance_to(next_event);
+    const Time now = clock.now();
 
     // Completions first (see scheduler.h contract).  Process every server
     // finishing exactly at `now`; the heap's (finish, server) order yields

@@ -8,7 +8,6 @@
 #include <limits>
 #include <sstream>
 
-#include "util/check.h"
 
 namespace qos {
 namespace {
@@ -117,12 +116,6 @@ std::optional<Trace> try_load_spc_file(const std::string& path,
   ss << in.rdbuf();
   if (in.bad()) return std::nullopt;
   return parse_spc(ss.str(), skipped_lines);
-}
-
-Trace load_spc_file(const std::string& path) {
-  auto trace = try_load_spc_file(path);
-  QOS_EXPECTS(trace.has_value());
-  return *std::move(trace);
 }
 
 }  // namespace qos

@@ -35,8 +35,4 @@ std::string to_spc(const Trace& trace);
 std::optional<Trace> try_load_spc_file(const std::string& path,
                                        std::size_t* skipped_lines = nullptr);
 
-/// Deprecated forwarding shim: aborts if the file cannot be read.
-[[deprecated("use try_load_spc_file and handle the nullopt failure path")]]
-Trace load_spc_file(const std::string& path);
-
 }  // namespace qos

@@ -1,0 +1,80 @@
+// Clock seam: VirtualClock monotonicity contract, SteadyClock sanity.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/clock.h"
+
+namespace qos {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(VirtualClock, AdvanceToMovesForward) {
+  VirtualClock clock;
+  clock.advance_to(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(100);  // same instant is allowed (equal-time events)
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(250);
+  EXPECT_EQ(clock.now(), 250);
+}
+
+TEST(VirtualClock, AdvanceIsRelative) {
+  VirtualClock clock;
+  clock.advance(40);
+  clock.advance(0);
+  clock.advance(2);
+  EXPECT_EQ(clock.now(), 42);
+}
+
+TEST(VirtualClock, PolymorphicThroughBase) {
+  VirtualClock virtual_clock;
+  Clock& clock = virtual_clock;
+  virtual_clock.advance_to(7);
+  EXPECT_EQ(clock.now(), 7);
+}
+
+using VirtualClockDeath = ::testing::Test;
+
+TEST(VirtualClockDeath, MovingBackwardAborts) {
+  VirtualClock clock;
+  clock.advance_to(100);
+  EXPECT_DEATH(clock.advance_to(99), "Precondition");
+}
+
+TEST(SteadyClock, StartsNearZeroAndNeverDecreases) {
+  SteadyClock clock;
+  Time prev = clock.now();
+  EXPECT_GE(prev, 0);
+  // Rebased at construction, so the first reading is microseconds-scale,
+  // not epoch-scale.
+  EXPECT_LT(prev, 10 * kUsPerSec);
+  for (int i = 0; i < 1000; ++i) {
+    const Time now = clock.now();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(SteadyClock, AdvancesAcrossASleep) {
+  SteadyClock clock;
+  const Time before = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(clock.now() - before, 4'000);  // >= 4 ms in microseconds
+}
+
+TEST(SteadyClock, IndependentInstancesRebaseIndependently) {
+  SteadyClock a;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  SteadyClock b;
+  // b was constructed later, so its origin is later and its reading smaller.
+  EXPECT_LT(b.now(), a.now() + 1'000);
+}
+
+}  // namespace
+}  // namespace qos

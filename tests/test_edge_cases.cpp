@@ -114,11 +114,9 @@ TEST(EdgeCases, LoadSpcFileRoundTrip) {
     std::ofstream out(path);
     out << "0,100,4096,r,0.5\n0,200,4096,w,1.5\n";
   }
-  // The deprecated shim must keep working until callers migrate.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Trace t = load_spc_file(path);
-#pragma GCC diagnostic pop
+  auto loaded = try_load_spc_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  Trace t = *std::move(loaded);
   ASSERT_EQ(t.size(), 2u);
   EXPECT_EQ(t[0].arrival, 500'000);
   EXPECT_TRUE(t[1].is_write);
@@ -144,14 +142,6 @@ TEST(EdgeCases, TryLoadSpcFileCountsSkippedLines) {
   EXPECT_EQ(t->size(), 2u);
   EXPECT_EQ(skipped, 1u);
   std::remove(path);
-}
-
-TEST(EdgeCasesDeath, LoadMissingSpcFileAborts) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_DEATH(load_spc_file("/nonexistent/definitely_missing.spc"),
-               "Precondition");
-#pragma GCC diagnostic pop
 }
 
 TEST(EdgeCasesDeath, NegativeArrivalRejected) {

@@ -106,14 +106,16 @@ TEST(Shaper, MakeSchedulerProducesDistinctTypes) {
   EXPECT_EQ(split->server_count(), 2);
 }
 
-TEST(Shaper, DeprecatedMakeSchedulerStillWorks) {
-  // The positional signature must keep building the same policies until
-  // callers are gone.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto split = make_scheduler(Policy::kSplit, 100, from_ms(10), 20);
-#pragma GCC diagnostic pop
+TEST(Shaper, MakeSchedulerWithExplicitHeadroom) {
+  // The config form covers what the retired positional signature did:
+  // policy, capacity, deadline and an explicit headroom override.
+  ShapingConfig config;
+  config.policy = Policy::kSplit;
+  config.delta = from_ms(10);
+  config.headroom_override_iops = 20;
+  auto split = make_scheduler(config, 100);
   EXPECT_EQ(split->server_count(), 2);
+  EXPECT_DOUBLE_EQ(config.resolved_headroom_iops(), 20.0);
 }
 
 TEST(Shaper, ObservedRunBuildsReportAndReconciles) {

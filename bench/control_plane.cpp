@@ -1,0 +1,285 @@
+// Control-plane sweep: closed-loop re-provisioning vs static plans under
+// chaos, across fleet sizes.
+//
+// Every cell runs the same data path (run_control_plane): n tenants whose
+// demand *swaps* mid-run — evens 480 -> 960 IOPS at t = 6 s, odds the
+// mirror — through one shared ControlledTenantScheduler provisioned from a
+// 5 s profiling prefix, under an optional mid-run capacity brownout.  The
+// grid is
+//
+//   tenants {8, 64, 256} x chaos {calm, brown30, brown50} x mode
+//   {static, local, controller}
+//
+// and the printed metric is the paper's actual promise: the fraction of
+// tenants whose *guaranteed-class* (Q1) within-delta fraction ended below
+// the target f.  Under a brownout the static plan keeps admitting into the
+// shared FIFO Q1 at rates the server no longer delivers and the backlog
+// breaks the guarantee for everyone; local degradation re-tightens each
+// bound to monitored health (honest shedding, guarantee holds) but cannot
+// move capacity; the controller both re-tightens and chases the demand
+// swap, which shows up as `hot gain` — IOPS re-provisioned toward the
+// tenants that turned hot — and fewer demotions for the same guarantee.
+//
+// A second section re-runs the 8-tenant brown50 static and controller
+// cells serially with the PR 4 tracer attached and prints per-cause
+// deadline-miss attribution.  Fault evidence wins the attribution chain, so
+// both columns charge to fault_window; the controller's defence shows as
+// roughly half the total misses for the same fault (it stops feeding the
+// backlog) and an order less Q2 starvation.
+//
+// Cells fan out over --threads workers; planning solves hit the shared
+// result cache (tenant traces repeat across chaos levels and modes), so
+// warm re-runs skip every Cmin search.  Stdout is byte-identical across
+// --threads values and cache states — the tables carry simulation results
+// only; wall-clock goes to the JSON (BENCH_control_plane.json), which also
+// carries a "headline" object per cell that scripts/check_perf.py --chaos
+// gates against bench/BENCH_chaos.baseline.json in CI.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "control/harness.h"
+#include "fault/fault_schedule.h"
+#include "obs/trace.h"
+#include "obs/trace_analysis.h"
+#include "runner/bench_io.h"
+#include "runner/thread_pool.h"
+#include "trace/generator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace qos;
+
+constexpr Time kDelta = from_ms(10);
+constexpr double kFraction = 0.95;
+constexpr Time kDuration = 20 * kUsPerSec;
+constexpr Time kShift = 6 * kUsPerSec;
+constexpr std::uint64_t kSeed = 42;
+
+constexpr std::size_t kTenantCounts[] = {8, 64, 256};
+
+struct ChaosSpec {
+  const char* name;
+  double loss;  ///< brownout severity over [8 s, 16 s); 0 = fault-free
+};
+
+constexpr ChaosSpec kChaos[] = {
+    {"calm", 0.0},
+    {"brown30", 0.30},
+    {"brown50", 0.50},
+};
+
+constexpr ControlMode kModes[] = {ControlMode::kStatic,
+                                  ControlMode::kLocalDegraded,
+                                  ControlMode::kController};
+
+// Mid-run demand swap: the static plan profiles the first 5 s, so evens are
+// provisioned for 480 IOPS and then offer 960 — the reallocation case.
+std::vector<Trace> make_tenants(std::size_t n) {
+  std::vector<Trace> tenants;
+  tenants.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RegimeSchedule schedule;
+    if (i % 2 == 0) {
+      schedule.phase(0, 480).phase(kShift, 960);
+    } else {
+      schedule.phase(0, 960).phase(kShift, 480);
+    }
+    tenants.push_back(generate_regime_switching(schedule, kDuration,
+                                                kSeed + 17 * i + 1));
+  }
+  return tenants;
+}
+
+ControlPlaneConfig make_config(ControlMode mode, const ChaosSpec& chaos,
+                               ResultCache* cache) {
+  ControlPlaneConfig config;
+  config.fraction = kFraction;
+  config.delta = kDelta;
+  config.mode = mode;
+  config.profile_window = 5 * kUsPerSec;
+  config.controller.epoch = kUsPerSec;
+  config.controller.demand_window = 2 * kUsPerSec;
+  config.controller.step_fraction = 0.5;
+  config.cache = cache;
+  if (chaos.loss > 0)
+    config.faults.brownout(8 * kUsPerSec, 16 * kUsPerSec, chaos.loss);
+  return config;
+}
+
+struct Cell {
+  std::size_t tenant_index = 0;  ///< into the per-count trace sets
+  std::size_t tenants = 0;
+  const ChaosSpec* chaos = nullptr;
+  ControlMode mode = ControlMode::kStatic;
+  ControlOutcome outcome;
+};
+
+// IOPS the run moved toward the tenants that turned hot (evens), the
+// controller's reallocation signature; ~0 for the frozen modes.
+double hot_gain(const ControlOutcome& out) {
+  double gain = 0;
+  for (std::size_t i = 0; i < out.tenants.size(); i += 2)
+    gain += out.tenants[i].final_iops - out.tenants[i].planned_iops;
+  return gain;
+}
+
+// Global all-class within-delta fraction (the tail someone must lose in
+// overload; printed alongside the guarantee, never gated).
+double all_within(const ControlOutcome& out) {
+  std::uint64_t requests = 0, misses = 0;
+  for (const TenantOutcome& t : out.tenants) {
+    requests += t.requests;
+    misses += t.misses;
+  }
+  return requests == 0 ? 1.0
+                       : 1.0 - static_cast<double>(misses) /
+                                   static_cast<double>(requests);
+}
+
+void print_grid(const std::vector<Cell>& cells) {
+  std::printf(
+      "-- Sweep: tenants x chaos x mode (Q1 viol = fraction of tenants "
+      "whose Q1 guarantee broke) --\n");
+  AsciiTable table;
+  table.add("tenants", "chaos", "mode", "Q1 viol", "Q1 miss", "all within",
+            "demoted", "reprov", "hot gain (IOPS)");
+  for (const Cell& cell : cells)
+    table.add(cell.tenants, cell.chaos->name,
+              control_mode_name(cell.mode),
+              format_double(cell.outcome.tail_violation_fraction, 3),
+              format_double(cell.outcome.q1_miss_fraction, 4),
+              format_double(all_within(cell.outcome), 4),
+              cell.outcome.demotions, cell.outcome.reprovisions,
+              format_double(hot_gain(cell.outcome), 0));
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void print_attribution(const std::vector<Trace>& tenants,
+                       ResultCache* cache) {
+  std::printf(
+      "-- Miss attribution: 8 tenants, brown50, static vs controller --\n");
+  AttributionReport reports[2];
+  const char* labels[2] = {"static", "controller"};
+  const ControlMode modes[2] = {ControlMode::kStatic,
+                                ControlMode::kController};
+  for (int m = 0; m < 2; ++m) {
+    Tracer tracer;
+    tracer.annotate(labels[m], "regime-swap-8", kDelta);
+    ControlPlaneConfig config = make_config(modes[m], kChaos[2], cache);
+    config.tracer = &tracer;
+    run_control_plane(tenants, config);
+    reports[m] = attribute_misses(tracer.data(), kDelta);
+  }
+  AsciiTable table;
+  table.add("cause", "static", "controller");
+  for (int c = 0; c < kMissCauseCount; ++c)
+    table.add(miss_cause_name(static_cast<MissCause>(c)),
+              reports[0].by_cause[c], reports[1].by_cause[c]);
+  table.add("total misses", reports[0].misses.size(),
+            reports[1].misses.size());
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+// Hand-rolled JSON: the headline object is what check_perf.py --chaos
+// diffs, so its shape (tenants -> chaos -> mode -> metrics) is the contract
+// with bench/BENCH_chaos.baseline.json.
+void write_json(const BenchOptions& options, const std::vector<Cell>& cells,
+                double wall_seconds) {
+  const std::string path = options.json_path.empty()
+                               ? "BENCH_control_plane.json"
+                               : options.json_path;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "control_plane: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"name\": \"control_plane\",\n");
+  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+  std::fprintf(f, "  \"threads\": %d,\n", options.threads);
+  std::fprintf(f, "  \"cells\": %zu,\n", cells.size());
+  std::fprintf(f, "  \"headline\": {\n");
+  for (std::size_t t = 0; t < std::size(kTenantCounts); ++t) {
+    std::fprintf(f, "    \"t%zu\": {\n", kTenantCounts[t]);
+    for (std::size_t c = 0; c < std::size(kChaos); ++c) {
+      std::fprintf(f, "      \"%s\": {\n", kChaos[c].name);
+      for (std::size_t m = 0; m < std::size(kModes); ++m) {
+        const Cell& cell =
+            cells[(t * std::size(kChaos) + c) * std::size(kModes) + m];
+        std::fprintf(
+            f,
+            "        \"%s\": {\"tail_violation\": %.6f, \"q1_miss\": %.6f, "
+            "\"within\": %.6f, \"demotions\": %llu, \"reprovisions\": %llu, "
+            "\"hot_gain_iops\": %.1f}%s\n",
+            control_mode_name(cell.mode),
+            cell.outcome.tail_violation_fraction,
+            cell.outcome.q1_miss_fraction, all_within(cell.outcome),
+            static_cast<unsigned long long>(cell.outcome.demotions),
+            static_cast<unsigned long long>(cell.outcome.reprovisions),
+            hot_gain(cell.outcome), m + 1 == std::size(kModes) ? "" : ",");
+      }
+      std::fprintf(f, "      }%s\n",
+                   c + 1 == std::size(kChaos) ? "" : ",");
+    }
+    std::fprintf(f, "    }%s\n",
+                 t + 1 == std::size(kTenantCounts) ? "" : ",");
+  }
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "control_plane: wrote %s\n", path.c_str());
+}
+
+void run(const BenchOptions& options) {
+  const double t0 = bench_now_seconds();
+  std::printf("Control plane: runtime re-provisioning vs static plans\n");
+  std::printf(
+      "demand swap at t=%.0f s (evens 480->960 IOPS, odds mirror), "
+      "delta=%.0f ms, f=%.2f\n\n",
+      to_sec(kShift), to_ms(kDelta), kFraction);
+
+  std::vector<std::vector<Trace>> tenant_sets;
+  tenant_sets.reserve(std::size(kTenantCounts));
+  for (std::size_t n : kTenantCounts) tenant_sets.push_back(make_tenants(n));
+
+  auto cache = options.make_cache();
+  std::vector<Cell> cells;
+  for (std::size_t t = 0; t < std::size(kTenantCounts); ++t)
+    for (const ChaosSpec& chaos : kChaos)
+      for (ControlMode mode : kModes) {
+        Cell cell;
+        cell.tenant_index = t;
+        cell.tenants = kTenantCounts[t];
+        cell.chaos = &chaos;
+        cell.mode = mode;
+        cells.push_back(cell);
+      }
+
+  // Cells are independent simulations; the harness itself stays serial per
+  // cell (run_control_plane plans inline when its pool is null), so the
+  // fan-out is across cells only and results land by index — stdout is
+  // bit-identical for any --threads.
+  ThreadPool pool(options.threads);
+  std::vector<ControlOutcome> outcomes =
+      pool.parallel_map(cells.size(), [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        const ControlPlaneConfig config =
+            make_config(cell.mode, *cell.chaos, cache.get());
+        return run_control_plane(tenant_sets[cell.tenant_index], config);
+      });
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    cells[i].outcome = std::move(outcomes[i]);
+
+  print_grid(cells);
+  print_attribution(tenant_sets[0], cache.get());
+  write_json(options, cells, bench_now_seconds() - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run(parse_bench_args(argc, argv, "control_plane"));
+  return 0;
+}

@@ -21,10 +21,19 @@
 // scripts/check_perf.py --online gates that ratio against
 // bench/BENCH_online.baseline.json; see README "Perf baseline".
 //
+// --load-curve adds the latency-under-load sweep: after the closed-loop
+// saturation measurement, the open-loop pacer replays the trace at a
+// ladder of offered loads (fractions of the measured saturation rate) and
+// reports each point's achieved decisions/sec and admission p50/p99 — the
+// classic hockey-stick curve, emitted as "load_curve" in the JSON.  Each
+// point is sized to ~2 s of pacing so the sweep stays bounded on any
+// machine.  The curve is measured for one policy (miser when selected,
+// the paper's headline recombinator; otherwise the first --policy).
+//
 // usage: online_loadgen [--policy fcfs|split|fq|miser|all] [--workload WS|FT|OM]
 //                       [--spc PATH] [--requests N] [--threads T] [--batch B]
 //                       [--target-iops X] [--drain-iops X] [--seed S]
-//                       [--repeats R] [--json PATH]
+//                       [--repeats R] [--json PATH] [--load-curve]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -62,6 +71,7 @@ struct Options {
   std::uint64_t seed = 0;
   int repeats = 3;
   std::string json_path = "BENCH_online.json";
+  bool load_curve = false;
 };
 
 [[noreturn]] void usage_abort() {
@@ -71,7 +81,7 @@ struct Options {
       "                      [--workload WS|FT|OM] [--spc PATH]\n"
       "                      [--requests N] [--threads T] [--batch B]\n"
       "                      [--target-iops X] [--drain-iops X] [--seed S]\n"
-      "                      [--repeats R] [--json PATH]\n");
+      "                      [--repeats R] [--json PATH] [--load-curve]\n");
   std::exit(2);
 }
 
@@ -105,6 +115,8 @@ Options parse_args(int argc, char** argv) {
       o.repeats = std::atoi(value());
     } else if (std::strcmp(a, "--json") == 0) {
       o.json_path = value();
+    } else if (std::strcmp(a, "--load-curve") == 0) {
+      o.load_curve = true;
     } else {
       usage_abort();
     }
@@ -215,6 +227,49 @@ void print_row(const char* policy, const char* mode, const LoadGenResult& r) {
               static_cast<unsigned long long>(r.p999_ns));
 }
 
+struct CurvePoint {
+  double multiplier = 0;    ///< fraction of the measured saturation rate
+  double offered_iops = 0;  ///< the open-loop pacing target
+  LoadGenResult result;
+};
+
+// Latency-under-load: pace the open loop at a ladder of fractions of the
+// measured closed-loop saturation rate.  Each point issues ~2 s worth of
+// paced arrivals (clamped to [20k, --requests]) so a slow or fast machine
+// sweeps in comparable wall time; the pacer keeps the trace's
+// inter-arrival shape at every point, so rising p99 is queue-state and
+// contention, not burst-shape change.
+std::vector<CurvePoint> run_load_curve(const Options& o,
+                                       const Trace& arrivals, double cmin,
+                                       Policy policy, double saturation) {
+  constexpr double kMultipliers[] = {0.10, 0.25, 0.50, 0.75, 0.90};
+  std::vector<CurvePoint> points;
+  for (double mult : kMultipliers) {
+    CurvePoint p;
+    p.multiplier = mult;
+    p.offered_iops = mult * saturation;
+    const double budget = 2.0 * p.offered_iops;  // ~2 s of pacing
+    const std::uint64_t requests = static_cast<std::uint64_t>(std::clamp(
+        budget, 20'000.0, static_cast<double>(o.requests)));
+
+    ShaperOptions so;
+    so.shaping.policy = policy;
+    so.cmin_iops = cmin;
+    SteadyClock clock;
+    Shaper shaper(so, clock);
+
+    LoadGenOptions lg;
+    lg.threads = o.threads;
+    lg.requests = requests;
+    lg.target_iops = p.offered_iops;
+    lg.batch = 1;
+    lg.drain_iops = o.drain_iops;
+    p.result = run_loadgen(shaper, arrivals, lg);
+    points.push_back(p);
+  }
+  return points;
+}
+
 void json_mode(std::FILE* f, const char* mode, const LoadGenResult& r,
                double calibration, bool last) {
   std::fprintf(f,
@@ -270,6 +325,30 @@ int main(int argc, char** argv) {
     results.push_back(pr);
   }
 
+  std::vector<CurvePoint> curve;
+  const char* curve_policy = nullptr;
+  if (options.load_curve) {
+    // Prefer miser (the paper's recombinator) when it was measured.
+    const PolicyResult* base = &results.front();
+    for (const PolicyResult& pr : results)
+      if (std::strcmp(pr.key, "miser") == 0) base = &pr;
+    curve_policy = base->key;
+    Policy policy = Policy::kMiser;
+    for (const PolicyEntry& e : kPolicies)
+      if (std::strcmp(e.key, curve_policy) == 0) policy = e.policy;
+    const double saturation = base->single.best.decisions_per_sec;
+    curve = run_load_curve(options, arrivals, cmin, policy, saturation);
+    std::printf("load curve (%s, saturation %.0f dec/s):\n", curve_policy,
+                saturation);
+    for (const CurvePoint& p : curve)
+      std::printf("  %4.0f%%  offered %12.0f  achieved %12.0f dec/s  "
+                  "p50 %6llu ns  p99 %8llu ns\n",
+                  100 * p.multiplier, p.offered_iops,
+                  p.result.decisions_per_sec,
+                  static_cast<unsigned long long>(p.result.p50_ns),
+                  static_cast<unsigned long long>(p.result.p99_ns));
+  }
+
   std::FILE* f = std::fopen(options.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "online_loadgen: cannot write %s\n",
@@ -294,7 +373,31 @@ int main(int argc, char** argv) {
     json_mode(f, "batch", results[i].batch.best, calibration, true);
     std::fprintf(f, "  }%s\n", i + 1 == results.size() ? "" : ",");
   }
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  }%s\n", curve.empty() ? "" : ",");
+  if (!curve.empty()) {
+    std::fprintf(f, "  \"load_curve\": {\n");
+    std::fprintf(f, "    \"policy\": \"%s\",\n", curve_policy);
+    std::fprintf(f, "    \"points\": [\n");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const CurvePoint& p = curve[i];
+      std::fprintf(
+          f,
+          "      {\"multiplier\": %.2f, \"offered_iops\": %.0f, "
+          "\"achieved_dps\": %.0f, \"p50_ns\": %llu, \"p99_ns\": %llu, "
+          "\"p999_ns\": %llu, \"q1\": %llu, \"q2\": %llu, "
+          "\"shed\": %llu}%s\n",
+          p.multiplier, p.offered_iops, p.result.decisions_per_sec,
+          static_cast<unsigned long long>(p.result.p50_ns),
+          static_cast<unsigned long long>(p.result.p99_ns),
+          static_cast<unsigned long long>(p.result.p999_ns),
+          static_cast<unsigned long long>(p.result.admitted_q1),
+          static_cast<unsigned long long>(p.result.admitted_q2),
+          static_cast<unsigned long long>(p.result.shed),
+          i + 1 == curve.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
+  }
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "online_loadgen: wrote %s\n",

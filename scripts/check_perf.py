@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate a freshly measured bench JSON against the committed perf baseline.
 
-Two modes, selected by --online:
+Three modes, selected by --online / --chaos:
 
 Default (BENCH_micro.json, bench/micro_algorithms): the gated quantity is
 each backend's *speedup* — heap ops/sec divided by the frozen scan
@@ -35,7 +35,23 @@ counter update) — the same machine-cancelling trick.  Two checks per cell:
 Admission latency percentiles are printed for the log but never gated
 (they measure the CI runner's scheduler as much as the code).
 
-usage: check_perf.py BASELINE CURRENT [--online] [--tolerance F]
+--chaos (BENCH_control_plane.json, bench/control_plane): the gated
+quantities are *simulation results*, deterministic in the workload and
+independent of the machine, so the gate is tight: per
+(tenants, chaos, mode) cell the Q1-guarantee tail_violation and q1_miss
+fractions must match the baseline within an absolute tolerance (default
+0.02 — headroom for cross-compiler FP drift in the capacity search, not
+for behaviour change).  Two structural checks run on the *current* numbers
+alone, so they hold even if the baseline is regenerated:
+
+  1. Integrity: controller tail_violation <= static tail_violation in
+     every cell (the control plane never breaks a guarantee the static
+     plan kept).
+  2. Defence: in each deepest-chaos scenario the static plan must violate
+     and the controller must not — the headline claim the bench exists to
+     demonstrate.
+
+usage: check_perf.py BASELINE CURRENT [--online | --chaos] [--tolerance F]
                      [--min-speedup S] [--min-normalized R]
 """
 
@@ -83,6 +99,69 @@ def check_online(baseline, current, tolerance, min_normalized):
     return failures
 
 
+def check_chaos(baseline, current, tolerance):
+    failures = []
+    print(f"{'tenants':<8} {'chaos':<8} {'mode':<11} {'base viol':>9} "
+          f"{'now viol':>9} {'base miss':>9} {'now miss':>9}  status")
+    for tkey, base_scenarios in baseline["headline"].items():
+        cur_scenarios = current["headline"].get(tkey)
+        if cur_scenarios is None:
+            failures.append(f"{tkey}: missing from current results")
+            continue
+        for chaos, base_modes in base_scenarios.items():
+            cur_modes = cur_scenarios.get(chaos)
+            if cur_modes is None:
+                failures.append(f"{tkey}/{chaos}: missing from current")
+                continue
+            for mode, base in base_modes.items():
+                cur = cur_modes.get(mode)
+                if cur is None:
+                    failures.append(f"{tkey}/{chaos}/{mode}: missing")
+                    continue
+                problems = []
+                for key in ("tail_violation", "q1_miss"):
+                    drift = abs(cur[key] - base[key])
+                    if drift > tolerance:
+                        problems.append(
+                            f"{key} {cur[key]:.4f} vs baseline "
+                            f"{base[key]:.4f} (drift {drift:.4f} > "
+                            f"{tolerance:.4f})")
+                status = "FAIL" if problems else "ok"
+                print(f"{tkey:<8} {chaos:<8} {mode:<11} "
+                      f"{base['tail_violation']:>9.3f} "
+                      f"{cur['tail_violation']:>9.3f} "
+                      f"{base['q1_miss']:>9.4f} {cur['q1_miss']:>9.4f}  "
+                      f"{status}")
+                failures.extend(f"{tkey}/{chaos}/{mode}: {p}"
+                                for p in problems)
+            # Structural checks on the current numbers alone.
+            static = cur_modes.get("static")
+            ctrl = cur_modes.get("controller")
+            if static is None or ctrl is None:
+                continue
+            if ctrl["tail_violation"] > static["tail_violation"] + 1e-9:
+                failures.append(
+                    f"{tkey}/{chaos}: controller tail_violation "
+                    f"{ctrl['tail_violation']:.4f} exceeds static "
+                    f"{static['tail_violation']:.4f}")
+        # Defence check at the scenario with the most static violations.
+        worst = max(cur_scenarios, key=lambda c: cur_scenarios[c]
+                    .get("static", {}).get("tail_violation", 0.0))
+        static = cur_scenarios[worst].get("static", {})
+        ctrl = cur_scenarios[worst].get("controller", {})
+        if static.get("tail_violation", 0.0) < 0.5:
+            failures.append(
+                f"{tkey}/{worst}: static tail_violation "
+                f"{static.get('tail_violation', 0.0):.4f} < 0.5 — the "
+                f"chaos scenario no longer stresses the static plan")
+        if ctrl.get("tail_violation", 1.0) > 0.25:
+            failures.append(
+                f"{tkey}/{worst}: controller tail_violation "
+                f"{ctrl.get('tail_violation', 1.0):.4f} > 0.25 — the "
+                f"control plane failed to defend the Q1 guarantee")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -90,21 +169,38 @@ def main() -> int:
     parser.add_argument("--online", action="store_true",
                         help="gate BENCH_online.json (normalized decisions/s)"
                              " instead of BENCH_micro.json (speedups)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="gate BENCH_control_plane.json (Q1-guarantee "
+                             "violations, deterministic absolute tolerance)")
     parser.add_argument("--tolerance", type=float, default=None,
-                        help="allowed fractional regression "
-                             "(default 0.25 micro, 0.50 online)")
+                        help="allowed regression: fractional for micro/"
+                             "online (default 0.25 / 0.50), absolute "
+                             "metric drift for --chaos (default 0.02)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="micro: hard speedup floor at 256 flows")
     parser.add_argument("--min-normalized", type=float, default=0.02,
                         help="online: hard normalized-throughput floor")
     args = parser.parse_args()
+    if args.online and args.chaos:
+        parser.error("--online and --chaos are mutually exclusive")
     if args.tolerance is None:
-        args.tolerance = 0.50 if args.online else 0.25
+        args.tolerance = (0.02 if args.chaos else
+                          0.50 if args.online else 0.25)
 
     with open(args.baseline) as f:
         baseline = json.load(f)
     with open(args.current) as f:
         current = json.load(f)
+
+    if args.chaos:
+        failures = check_chaos(baseline, current, args.tolerance)
+        if failures:
+            print("\nperf-smoke FAILED:", file=sys.stderr)
+            for f_ in failures:
+                print(f"  {f_}", file=sys.stderr)
+            return 1
+        print("\nperf-smoke passed")
+        return 0
 
     if args.online:
         failures = check_online(baseline, current, args.tolerance,

@@ -1,0 +1,83 @@
+#include "control/control_loop.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qos {
+
+ControlLoop::ControlLoop(ControlLoopConfig config, std::size_t tenant_count,
+                         ControlledTenantScheduler* scheduler,
+                         QosController* controller, EventSink* downstream)
+    : config_(config),
+      scheduler_(scheduler),
+      controller_(controller),
+      downstream_(downstream),
+      next_epoch_(config.epoch) {
+  QOS_EXPECTS(tenant_count > 0);
+  QOS_EXPECTS(scheduler != nullptr);
+  QOS_EXPECTS(scheduler->tenant_count() == tenant_count);
+  QOS_EXPECTS(config.epoch > 0);
+  QOS_EXPECTS(controller == nullptr ||
+              controller->tenant_count() == tenant_count);
+  detectors_.reserve(tenant_count);
+  tags_.reserve(tenant_count);
+  const GraduatedSla sla{{{config.sla_fraction, config.delta}}};
+  for (std::size_t i = 0; i < tenant_count; ++i) {
+    tags_.push_back(std::make_unique<TenantTag>());
+    tags_.back()->loop = this;
+    tags_.back()->tenant = static_cast<std::uint32_t>(i);
+    detectors_.push_back(
+        std::make_unique<SlaBreachDetector>(sla, config.breach));
+    detectors_.back()->attach_observability(tags_.back().get(), nullptr);
+  }
+}
+
+void ControlLoop::on_breach_event(const Event& e) {
+  if (controller_ != nullptr) controller_->on_event(e);
+  if (downstream_ != nullptr) downstream_->on_event(e);
+}
+
+void ControlLoop::fire_epochs_through(Time now) {
+  while (now >= next_epoch_) {
+    const Time boundary = next_epoch_;
+    next_epoch_ += config_.epoch;
+    ++epochs_fired_;
+    const std::uint64_t epoch_index = epoch_index_++;
+    if (controller_ == nullptr) continue;
+    controller_->set_health(scheduler_->health());
+    const std::vector<double>& alloc = controller_->run_epoch(boundary);
+    for (std::size_t t = 0; t < alloc.size(); ++t) {
+      const double old_share = scheduler_->allocation(t);
+      if (alloc[t] == old_share) continue;
+      scheduler_->set_tenant_capacity(t, alloc[t]);
+      ++reprovisions_;
+      if (downstream_ != nullptr) {
+        downstream_->on_event({.time = boundary,
+                               .a = std::llround(old_share),
+                               .b = std::llround(alloc[t]),
+                               .c = static_cast<std::int64_t>(epoch_index),
+                               .client = static_cast<std::uint32_t>(t),
+                               .kind = EventKind::kReprovision});
+      }
+    }
+  }
+}
+
+void ControlLoop::on_event(const Event& e) {
+  fire_epochs_through(e.time);
+  switch (e.kind) {
+    case EventKind::kArrival:
+      if (controller_ != nullptr) controller_->on_event(e);
+      break;
+    case EventKind::kCompletion:
+      if (e.client < detectors_.size())
+        detectors_[e.client]->on_completion(e.time, e.a);
+      break;
+    default:
+      break;
+  }
+  if (downstream_ != nullptr) downstream_->on_event(e);
+}
+
+}  // namespace qos

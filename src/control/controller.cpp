@@ -1,0 +1,200 @@
+#include "control/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/capacity.h"
+#include "runner/hash.h"
+#include "runner/parallel_capacity.h"
+#include "trace/trace.h"
+#include "util/check.h"
+
+namespace qos {
+
+QosController::QosController(ControllerConfig config,
+                             std::vector<double> initial_iops,
+                             double total_iops, ResultCache* cache,
+                             ThreadPool* pool)
+    : config_(config),
+      allocation_(std::move(initial_iops)),
+      tenants_(allocation_.size()),
+      breached_(allocation_.size(), false),
+      total_(total_iops),
+      budget_(total_iops - overflow_headroom_iops(config.delta)),
+      cache_(cache),
+      pool_(pool) {
+  QOS_EXPECTS(!allocation_.empty());
+  QOS_EXPECTS(total_iops > 0);
+  QOS_EXPECTS(config.fraction > 0 && config.fraction <= 1);
+  QOS_EXPECTS(config.delta > 0);
+  QOS_EXPECTS(config.epoch > 0);
+  QOS_EXPECTS(config.demand_window >= config.epoch);
+  QOS_EXPECTS(config.min_share_iops > 0);
+  QOS_EXPECTS(config.max_share_fraction > 0 && config.max_share_fraction <= 1);
+  QOS_EXPECTS(config.step_fraction > 0);
+  QOS_EXPECTS(config.hysteresis >= 0);
+  QOS_EXPECTS(config.breach_boost >= 1);
+  QOS_EXPECTS(budget_ > 0);
+  for (std::size_t i = 0; i < allocation_.size(); ++i) {
+    QOS_EXPECTS(allocation_[i] > 0);
+    tenants_[i].demand_iops = allocation_[i];
+    tenants_[i].last_cmin = allocation_[i];
+  }
+}
+
+void QosController::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kArrival: {
+      if (e.client < tenants_.size())
+        tenants_[e.client].arrivals.push_back(e.time);
+      break;
+    }
+    case EventKind::kSlaBreach:
+    case EventKind::kSlaRecover: {
+      if (e.client >= breached_.size()) break;
+      const bool breach = e.kind == EventKind::kSlaBreach;
+      if (breached_[e.client] != breach) {
+        breached_[e.client] = breach;
+        breach_changed_ = true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void QosController::set_health(double health) {
+  health_ = std::clamp(health, 0.0, 1.0);
+}
+
+double QosController::solve_demand(std::size_t t, Time now) {
+  TenantState& state = tenants_[t];
+  const Time window_start = now - config_.demand_window;
+  std::vector<Request> requests;
+  requests.reserve(state.arrivals.size());
+  for (Time arrival : state.arrivals) {
+    Request r;
+    r.arrival = arrival > window_start ? arrival - window_start : 0;
+    requests.push_back(r);
+  }
+  const Trace window(std::move(requests));
+
+  // Honest warm-start bracket: hints assert knowledge, so establish it by
+  // probing the previous answer against *this* window before asserting
+  // anything (see CapacityHint).  Feasible there => upper bound; infeasible
+  // => lower bound, then expand geometrically until feasible.
+  CapacityHint hint;
+  const std::int64_t c0 = std::llround(state.last_cmin);
+  if (c0 >= 1) {
+    if (fraction_guaranteed(window, static_cast<double>(c0),
+                            config_.delta) >= config_.fraction) {
+      hint.feasible_at = c0;
+    } else {
+      hint.infeasible_below = c0;
+      std::int64_t hi = c0 * 2;
+      while (hi < std::int64_t{1} << 40) {
+        if (fraction_guaranteed(window, static_cast<double>(hi),
+                                config_.delta) >= config_.fraction) {
+          hint.feasible_at = hi;
+          break;
+        }
+        hint.infeasible_below = hi;
+        hi *= 2;
+      }
+    }
+  }
+  const Digest digest = hash_trace(window);
+  const CapacityResult result = min_capacity_cached(
+      window, config_.fraction, config_.delta, cache_, &digest, hint);
+  state.last_cmin = result.cmin_iops;
+  return result.cmin_iops;
+}
+
+const std::vector<double>& QosController::run_epoch(Time now) {
+  ++stats_.epochs;
+  const std::size_t n = tenants_.size();
+
+  // Evict arrivals that fell out of the demand window, then decide which
+  // tenants have enough fresh signal to re-solve.
+  const Time window_start = now - config_.demand_window;
+  std::vector<std::size_t> to_solve;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::deque<Time>& arrivals = tenants_[i].arrivals;
+    while (!arrivals.empty() && arrivals.front() <= window_start)
+      arrivals.pop_front();
+    if (arrivals.size() >= config_.min_window_arrivals) {
+      to_solve.push_back(i);
+    } else {
+      ++stats_.unstable_windows;  // keep the previous demand estimate
+    }
+  }
+
+  // Fan the demand solves out; results land by index, so the demands vector
+  // is identical whether pool_ is null, single- or multi-threaded.
+  std::vector<double> solved;
+  if (pool_ != nullptr) {
+    solved = pool_->parallel_map(to_solve.size(), [&](std::size_t k) {
+      return solve_demand(to_solve[k], now);
+    });
+  } else {
+    solved.reserve(to_solve.size());
+    for (std::size_t k = 0; k < to_solve.size(); ++k)
+      solved.push_back(solve_demand(to_solve[k], now));
+  }
+  stats_.resolves += to_solve.size();
+  for (std::size_t k = 0; k < to_solve.size(); ++k) {
+    if (!std::isfinite(solved[k]) || solved[k] <= 0) {
+      ++stats_.fallbacks;  // abandon the epoch, keep the last-good plan
+      return allocation_;
+    }
+    tenants_[to_solve[k]].demand_iops = solved[k];
+  }
+
+  // Distribute the health-scaled budget: boost breached tenants, clamp to
+  // the per-tenant guardrails, proportionally scale down when
+  // oversubscribed (floors re-applied, so the scaled sum may exceed the
+  // budget by at most n * min_share — the admission bound quantisation
+  // absorbs that).
+  const double budget =
+      std::max(budget_ * health_,
+               config_.min_share_iops * static_cast<double>(n));
+  const double cap =
+      std::max(config_.max_share_fraction * budget, config_.min_share_iops);
+  std::vector<double> desired(n);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = tenants_[i].demand_iops;
+    if (breached_[i]) d *= config_.breach_boost;
+    d = std::clamp(d, config_.min_share_iops, cap);
+    desired[i] = d;
+    sum += d;
+  }
+  if (sum > budget) {
+    const double scale = budget / sum;
+    for (double& d : desired) d = std::max(config_.min_share_iops, d * scale);
+  }
+
+  // Bounded step toward the desired plan, and hysteresis: when nothing
+  // breach-related changed and every desired move is relatively small,
+  // skip the epoch entirely.
+  std::vector<double> next(n);
+  double max_rel_move = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cur = allocation_[i];
+    const double step = std::max(config_.step_fraction * cur, 1.0);
+    next[i] = cur + std::clamp(desired[i] - cur, -step, step);
+    max_rel_move =
+        std::max(max_rel_move, std::abs(desired[i] - cur) / std::max(cur, 1.0));
+  }
+  if (!breach_changed_ && max_rel_move < config_.hysteresis) {
+    ++stats_.skipped;
+    return allocation_;
+  }
+  breach_changed_ = false;
+  allocation_ = std::move(next);
+  ++stats_.applied;
+  return allocation_;
+}
+
+}  // namespace qos

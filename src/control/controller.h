@@ -1,0 +1,134 @@
+// QosController — the closed-loop global capacity re-provisioner.
+//
+// PRs 2–6 built local reactions: DegradedRtt tightens one tenant's admission
+// when its server browns out, SlaBreachDetector says *that* a tenant's tail
+// fell below target.  Neither can move capacity between tenants.  The
+// controller closes the loop globally (following the software-defined QoS
+// control approach of PAPERS.md): it watches per-tenant arrivals and
+// breach/recover events, and at each epoch re-solves every tenant's demand
+// Cmin over a sliding window of its recent arrivals, then redistributes the
+// (health-scaled) capacity budget toward the tenants whose tail actually
+// needs it.
+//
+// Stability guardrails, in the order they are applied:
+//   * unstable-window fallback — a tenant whose demand window holds fewer
+//     than `min_window_arrivals` arrivals keeps its previous demand estimate
+//     instead of re-solving on noise;
+//   * breach boost — a tenant currently in SLA breach asks for
+//     `breach_boost` × its solved demand (the windowed Cmin is what the
+//     *admitted* tail needed; a breached tenant needs headroom above it);
+//   * per-tenant min/max — shares never fall below `min_share_iops` nor rise
+//     above `max_share_fraction` of the budget, so no tenant is starved or
+//     monopolises;
+//   * proportional scale-down — when desires oversubscribe the budget all
+//     are scaled by budget/Σdesired (then re-floored), so relative need is
+//     preserved;
+//   * bounded step — each epoch moves a share at most
+//     `step_fraction` × current (≥ 1 IOPS), so one noisy window cannot slam
+//     the allocation;
+//   * hysteresis — when no breach state changed and every move is below
+//     `hysteresis` × current, the epoch is skipped entirely (re-provisioning
+//     has real cost: admission bounds re-quantise);
+//   * last-good fallback — a re-solve producing a non-finite or non-positive
+//     demand abandons the epoch and keeps the last applied plan.
+//
+// Determinism contract: run_epoch is a pure function of (config, observed
+// event history, health) — it never reads clocks or random state — and the
+// per-tenant demand solves are fanned out with ThreadPool::parallel_map,
+// whose results land by index.  The allocation is therefore bit-identical
+// across thread counts and (because min_capacity_cached hits return stored
+// results bit-for-bit) across cold/warm cache states.  NOTE: the pool is
+// used from inside run_epoch, so callers already executing on a ThreadPool
+// (e.g. a sweep cell) must pass pool = nullptr — ThreadPool is not
+// reentrant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "obs/event.h"
+#include "runner/result_cache.h"
+#include "runner/thread_pool.h"
+#include "util/time.h"
+
+namespace qos {
+
+struct ControllerConfig {
+  double fraction = 0.95;          ///< per-tenant QoS target for demand solves
+  Time delta = from_ms(10);        ///< response-time bound
+  Time epoch = 2 * kUsPerSec;      ///< re-provisioning period
+  Time demand_window = 4 * kUsPerSec;  ///< arrival lookback per tenant
+  std::size_t min_window_arrivals = 16;  ///< below this: keep old demand
+  double min_share_iops = 1.0;     ///< per-tenant floor
+  double max_share_fraction = 0.5; ///< per-tenant cap as fraction of budget
+  double step_fraction = 0.25;     ///< max per-epoch move, fraction of current
+  double hysteresis = 0.05;        ///< skip epoch when all moves are smaller
+  double breach_boost = 1.25;      ///< demand multiplier for breached tenants
+};
+
+struct ControllerStats {
+  std::uint64_t epochs = 0;        ///< run_epoch calls
+  std::uint64_t applied = 0;       ///< epochs that changed the allocation
+  std::uint64_t skipped = 0;       ///< epochs suppressed by hysteresis
+  std::uint64_t fallbacks = 0;     ///< epochs abandoned to the last-good plan
+  std::uint64_t resolves = 0;      ///< per-tenant demand solves executed
+  std::uint64_t unstable_windows = 0;  ///< tenant-epochs kept on old demand
+};
+
+class QosController {
+ public:
+  /// `initial_iops` is the static plan (one share per tenant) the controller
+  /// starts from and falls back to scale; `total_iops` the physical capacity
+  /// behind all tenants (Σ shares + overflow headroom).  `cache` memoizes
+  /// demand solves content-addressed (nullable); `pool` fans them out
+  /// (nullable = serial; see the reentrancy note above).  Both borrowed.
+  QosController(ControllerConfig config, std::vector<double> initial_iops,
+                double total_iops, ResultCache* cache = nullptr,
+                ThreadPool* pool = nullptr);
+
+  /// Feed the observability stream.  Consumes kArrival (client = tenant:
+  /// grows that tenant's demand window) and kSlaBreach / kSlaRecover
+  /// (client = tenant: flips its breach flag); ignores everything else.
+  void on_event(const Event& e);
+
+  /// Latest delivered-capacity health in [0, 1] (from the scheduler's
+  /// CapacityMonitor); scales the budget the next epoch distributes.
+  void set_health(double health);
+
+  /// Re-solve demands and recompute the allocation as of `now` (the epoch
+  /// boundary instant).  Returns the active allocation — updated in place
+  /// when applied, unchanged when the epoch was skipped or fell back.
+  const std::vector<double>& run_epoch(Time now);
+
+  const std::vector<double>& allocation() const { return allocation_; }
+  const ControllerStats& stats() const { return stats_; }
+  std::size_t tenant_count() const { return allocation_.size(); }
+  double total_iops() const { return total_; }
+
+  /// True when tenant `t` is currently flagged in breach.
+  bool in_breach(std::size_t t) const { return breached_.at(t); }
+
+ private:
+  struct TenantState {
+    std::deque<Time> arrivals;   ///< window of recent arrival instants
+    double demand_iops = 0;      ///< last demand estimate (solved or kept)
+    double last_cmin = 0;        ///< previous solve's answer (bracket seed)
+  };
+
+  double solve_demand(std::size_t t, Time now);
+
+  ControllerConfig config_;
+  std::vector<double> allocation_;   ///< active per-tenant shares
+  std::vector<TenantState> tenants_;
+  std::vector<bool> breached_;
+  double total_;
+  double budget_;                    ///< distributable = total - headroom
+  double health_ = 1.0;
+  bool breach_changed_ = false;      ///< since the last applied/skipped epoch
+  ResultCache* cache_;
+  ThreadPool* pool_;
+  ControllerStats stats_;
+};
+
+}  // namespace qos

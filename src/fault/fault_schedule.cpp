@@ -107,6 +107,26 @@ FaultySchedule FaultySchedule::random(const RandomFaultSpec& spec,
   return FaultySchedule(std::move(windows));
 }
 
+FaultySchedule FaultySchedule::shifted(Time offset) const {
+  std::vector<FaultWindow> windows;
+  windows.reserve(windows_.size());
+  for (FaultWindow w : windows_) {
+    w.begin += offset;
+    w.end += offset;
+    if (w.end <= 0) continue;       // entirely before the origin: dropped
+    if (w.begin < 0) w.begin = 0;   // straddling the origin: clipped
+    windows.push_back(w);
+  }
+  return FaultySchedule(std::move(windows));
+}
+
+FaultySchedule FaultySchedule::merged(const FaultySchedule& a,
+                                      const FaultySchedule& b) {
+  std::vector<FaultWindow> windows = a.windows_;
+  windows.insert(windows.end(), b.windows_.begin(), b.windows_.end());
+  return FaultySchedule(std::move(windows));
+}
+
 const FaultWindow* FaultySchedule::active_at(Time t) const {
   // First window with begin > t, then step back one.
   auto it = std::upper_bound(

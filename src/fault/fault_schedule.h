@@ -76,6 +76,18 @@ class FaultySchedule {
   static FaultySchedule random(const RandomFaultSpec& spec,
                                std::uint64_t seed);
 
+  /// Same windows translated by `offset` (may be negative).  Windows pushed
+  /// entirely before t=0 are dropped; one straddling 0 is clipped to start
+  /// at 0.  Lets a schedule authored relative to a regime shift be placed at
+  /// the shift's absolute time.
+  FaultySchedule shifted(Time offset) const;
+
+  /// Union of two schedules.  The combined window set must still be
+  /// non-overlapping (it is QOS_EXPECTS-checked); compose chaos windows with
+  /// regime-aligned windows that were authored not to collide.
+  static FaultySchedule merged(const FaultySchedule& a,
+                               const FaultySchedule& b);
+
   /// Window active at instant `t`, or nullptr.  O(log n).
   const FaultWindow* active_at(Time t) const;
 

@@ -36,9 +36,12 @@ enum class EventKind : std::uint8_t {
                        ///< b = achieved fraction in ppm
   kSlaRecover,         ///< SLA tier back above target; a = tier index,
                        ///< b = achieved fraction in ppm
+  kReprovision,        ///< control plane changed a tenant's capacity share;
+                       ///< client = tenant, a = old share (IOPS), b = new
+                       ///< share (IOPS), c = controller epoch index
 };
 
-inline constexpr int kEventKindCount = 13;
+inline constexpr int kEventKindCount = 14;
 
 const char* event_kind_name(EventKind k);
 

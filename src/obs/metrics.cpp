@@ -22,6 +22,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kDemote: return "demote";
     case EventKind::kSlaBreach: return "sla_breach";
     case EventKind::kSlaRecover: return "sla_recover";
+    case EventKind::kReprovision: return "reprovision";
   }
   QOS_CHECK(false);
 }

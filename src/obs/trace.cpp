@@ -125,6 +125,7 @@ void Tracer::on_event(const Event& e) {
     case EventKind::kDiskService:
     case EventKind::kSlaBreach:
     case EventKind::kSlaRecover:
+    case EventKind::kReprovision:
       break;  // not part of the request lifecycle model
   }
   if (downstream_ != nullptr) downstream_->on_event(e);

@@ -62,12 +62,16 @@ class Shaper::DecisionCapture final : public EventSink {
 
 Shaper::Shaper(const ShaperOptions& options, Clock& clock)
     : options_(options), clock_(&clock) {
-  QOS_EXPECTS(options_.cmin_iops > 0);
+  QOS_EXPECTS(options_.cmin_iops > 0 ||
+              options_.make_custom_scheduler != nullptr);
   QOS_EXPECTS(options_.shaping.delta > 0);
   options_.shaping.wire_sinks();
   capture_ =
       std::make_unique<DecisionCapture>(options_.shaping.effective_sink());
-  if (options_.use_degraded_admission) {
+  if (options_.make_custom_scheduler != nullptr) {
+    scheduler_ = options_.make_custom_scheduler();
+    QOS_CHECK(scheduler_ != nullptr);
+  } else if (options_.use_degraded_admission) {
     const double server_iops =
         options_.server_iops > 0
             ? options_.server_iops
@@ -236,6 +240,12 @@ void Shaper::on_completion(const Request& r, ServiceClass klass,
                            int server) {
   std::lock_guard<std::mutex> lock(mutex_);
   on_completion_locked(r, klass, server, clock_->now());
+}
+
+void Shaper::reconfigure(const std::function<void(Scheduler&, Time)>& fn) {
+  QOS_EXPECTS(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  fn(*scheduler_, clock_->now());
 }
 
 int Shaper::server_count() const {

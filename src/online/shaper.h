@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -114,6 +115,14 @@ struct ShaperOptions {
   /// Total backing-server rate the capacity monitor treats as healthy;
   /// < 0 resolves to cmin + resolved headroom.
   double server_iops = -1;
+
+  /// Build a custom scheduler backend instead of the policy / degraded
+  /// ones (e.g. a ControlledTenantScheduler for the control plane).  The
+  /// scheduler must honour the one-decision-event-per-arrival contract
+  /// (exactly one kAdmit / kReject / kDemote per on_arrival).  When set,
+  /// `shaping.policy` and `use_degraded_admission` are ignored and
+  /// `cmin_iops` may be 0 (there is no single Cmin to provision from).
+  std::function<std::unique_ptr<Scheduler>()> make_custom_scheduler;
 };
 
 /// Clock-abstracted admission front-end.  One instance per shaped stream;
@@ -154,6 +163,14 @@ class Shaper {
   void on_completion(const Request& r, ServiceClass klass, int server,
                      Time now);
   void on_completion(const Request& r, ServiceClass klass, int server);
+
+  /// Run `fn(scheduler, now)` under the Shaper's lock, `now` stamped from
+  /// the clock — the control-plane epoch seam: a controller can
+  /// re-provision the backend (e.g. ControlledTenantScheduler::
+  /// set_tenant_capacity) atomically with respect to concurrent
+  /// admissions, so no decision ever sees a half-applied plan.  `fn` must
+  /// not call back into this Shaper (the lock is held, non-reentrant).
+  void reconfigure(const std::function<void(Scheduler&, Time)>& fn);
 
   // ---- introspection (each takes the lock) ----
 

@@ -229,4 +229,111 @@ Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
   return finalize(std::move(out));
 }
 
+RegimeSchedule::RegimeSchedule(std::vector<RegimePhase> phases) {
+  std::sort(phases.begin(), phases.end(),
+            [](const RegimePhase& a, const RegimePhase& b) {
+              return a.begin < b.begin;
+            });
+  phases_ = std::move(phases);
+  QOS_EXPECTS(validate());
+}
+
+RegimeSchedule& RegimeSchedule::phase(Time begin, double rate_iops,
+                                      BatchSpec batches) {
+  phases_.push_back({begin, rate_iops, batches});
+  std::sort(phases_.begin(), phases_.end(),
+            [](const RegimePhase& a, const RegimePhase& b) {
+              return a.begin < b.begin;
+            });
+  QOS_EXPECTS(validate());
+  return *this;
+}
+
+const RegimePhase* RegimeSchedule::active_at(Time t) const {
+  auto it = std::upper_bound(
+      phases_.begin(), phases_.end(), t,
+      [](Time value, const RegimePhase& p) { return value < p.begin; });
+  if (it == phases_.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+bool RegimeSchedule::validate() const {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const RegimePhase& p = phases_[i];
+    if (p.rate_iops < 0) return false;
+    if (i == 0 && p.begin != 0) return false;
+    if (i > 0 && p.begin <= phases_[i - 1].begin) return false;
+  }
+  return true;
+}
+
+Trace generate_regime_switching(const RegimeSchedule& schedule, Time duration,
+                                std::uint64_t seed,
+                                const AddressSpec& addr_spec) {
+  QOS_EXPECTS(!schedule.empty());
+  QOS_EXPECTS(schedule.validate());
+  QOS_EXPECTS(duration > 0);
+
+  Rng rng(seed);
+  AddressAssigner addr(addr_spec, rng.fork());
+  std::vector<Request> out;
+
+  const std::vector<RegimePhase>& phases = schedule.phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const RegimePhase& ph = phases[i];
+    if (ph.begin >= duration) break;
+    const Time end = i + 1 < phases.size()
+                         ? std::min(phases[i + 1].begin, duration)
+                         : duration;
+    // Per-phase streams keyed on (seed, phase index): phase content is a
+    // function of its own window alone, never of how earlier phases drew.
+    Rng base_rng(hash_node(seed, 2 * i + 1));
+    Rng batch_rng(hash_node(seed, 2 * i + 2));
+    const double begin_sec = to_sec(ph.begin);
+    const double end_sec = to_sec(end);
+
+    if (ph.rate_iops > 0) {
+      double t = begin_sec;
+      const double mean_gap = 1.0 / ph.rate_iops;
+      while (true) {
+        t += base_rng.exponential(mean_gap);
+        if (t >= end_sec) break;
+        Request r;
+        r.arrival = from_sec(t);
+        addr.fill(r);
+        out.push_back(r);
+      }
+    }
+
+    if (ph.batches.batches_per_sec > 0) {
+      double b = begin_sec;
+      const double mean_gap = 1.0 / ph.batches.batches_per_sec;
+      while (true) {
+        b += batch_rng.exponential(mean_gap);
+        if (b >= end_sec) break;
+        double size = static_cast<double>(
+            batch_rng.geometric(1.0 / ph.batches.mean_size));
+        if (ph.batches.giant_prob > 0 &&
+            batch_rng.next_double() < ph.batches.giant_prob) {
+          size *= ph.batches.giant_factor;
+        }
+        const Time base = from_sec(b);
+        std::int64_t count = static_cast<std::int64_t>(size);
+        if (ph.batches.max_size > 0 && count > ph.batches.max_size)
+          count = ph.batches.max_size;
+        for (std::int64_t j = 0; j < count; ++j) {
+          Request r;
+          r.arrival = base + batch_rng.uniform_int(0, ph.batches.spread_us);
+          // Clip the cluster at the phase boundary so a shift is sharp.
+          if (r.arrival >= end) continue;
+          addr.fill(r);
+          out.push_back(r);
+        }
+      }
+    }
+  }
+
+  return finalize(std::move(out));
+}
+
 }  // namespace qos

@@ -86,4 +86,50 @@ Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
                             Time duration, std::uint64_t seed,
                             const AddressSpec& addr = {});
 
+/// One traffic regime: Poisson base at `rate_iops` plus an optional batch
+/// overlay, active from `begin` until the next phase starts (or the trace
+/// ends).  Unlike MMPP dwells, phase boundaries are *scheduled*, which is
+/// what lets chaos fault windows be placed deliberately around a shift.
+struct RegimePhase {
+  Time begin = 0;
+  double rate_iops = 0;
+  BatchSpec batches;
+};
+
+/// An ordered list of regime phases.  The first phase must begin at 0 so the
+/// whole trace horizon is covered.
+class RegimeSchedule {
+ public:
+  RegimeSchedule() = default;
+
+  /// Takes phases in arbitrary order; sorts by begin.  Must validate().
+  explicit RegimeSchedule(std::vector<RegimePhase> phases);
+
+  /// Fluent builder, chainable: schedule.phase(0, 500).phase(10s, 2000, b).
+  RegimeSchedule& phase(Time begin, double rate_iops, BatchSpec batches = {});
+
+  /// Phase active at instant `t`, or nullptr when t precedes every phase.
+  const RegimePhase* active_at(Time t) const;
+
+  /// True when phases are sorted, start at 0, have strictly increasing
+  /// begins, and non-negative rates.
+  bool validate() const;
+
+  bool empty() const { return phases_.empty(); }
+  std::size_t size() const { return phases_.size(); }
+  const std::vector<RegimePhase>& phases() const { return phases_; }
+
+ private:
+  std::vector<RegimePhase> phases_;  ///< sorted by begin, strictly increasing
+};
+
+/// Generate `duration` worth of regime-switching traffic.  Each phase draws
+/// from its own seeded stream (derived from `seed` and the phase index), so a
+/// phase's content depends only on its own spec and window — editing one
+/// phase never reshuffles arrivals in another.  Deterministic in
+/// (schedule, duration, seed, addr).
+Trace generate_regime_switching(const RegimeSchedule& schedule, Time duration,
+                                std::uint64_t seed,
+                                const AddressSpec& addr = {});
+
 }  // namespace qos

@@ -3,6 +3,7 @@
 // hysteresis, DegradedRtt re-tightening, SlaBreachDetector transitions.
 #include <gtest/gtest.h>
 
+#include "core/adaptive.h"
 #include "core/fcfs.h"
 #include "fault/capacity_monitor.h"
 #include "fault/degraded_rtt.h"
@@ -379,6 +380,88 @@ TEST(SlaBreachDetector, ConsumesCompletionEvents) {
   // Non-completion events are ignored.
   detector.on_event({.time = t, .kind = EventKind::kArrival});
   EXPECT_TRUE(detector.in_breach(0));
+}
+
+TEST(CapacityMonitor, ZeroTrafficWindowReportsReferenceNotZero) {
+  // Demand-independence edge case: a lull longer than the window evicts
+  // every sample.  The raw estimate must fall back to the reference — a
+  // 1/mean over zero samples must not read as zero capacity, or the
+  // controller would wrongly collapse the budget on an idle system.
+  CapacityMonitorConfig config;
+  config.window = kUsPerSec / 2;
+  config.min_samples = 4;
+  CapacityMonitor monitor(1000, config);
+  EXPECT_EQ(monitor.raw_estimate(), 1000);  // no traffic at all
+  EXPECT_EQ(monitor.health(), 1.0);
+
+  // Degrade hard: 4 ms services => ~250 IOPS delivered.
+  Time t = 0;
+  for (int i = 0; i < 12; ++i) monitor.on_service(t += 4'000, 4'000);
+  EXPECT_LT(monitor.estimate_iops(), 500);
+  const double degraded = monitor.estimate_iops();
+
+  // A single completion after a 10 s lull: the window holds one sample,
+  // below min_samples, so the raw estimate is the reference again and the
+  // smoothed estimate recovers toward it instead of collapsing.
+  monitor.on_service(t + 10 * kUsPerSec, 1'000);
+  EXPECT_EQ(monitor.window_size(), 1u);
+  EXPECT_EQ(monitor.raw_estimate(), 1000);
+  EXPECT_GT(monitor.estimate_iops(), degraded);
+  EXPECT_GT(monitor.health(), 0.0);
+}
+
+TEST(SlaBreachDetector, NoFlappingAtTierBoundary) {
+  // Achieved fraction oscillating in the hysteresis band [fraction,
+  // fraction + recover_margin) must hold ONE breach open, not emit a
+  // breach/recover pair per oscillation.
+  SlaBreachConfig config;
+  config.window = 20;
+  config.min_samples = 20;
+  config.recover_margin = 0.05;  // recover needs >= 0.95 => 19/20 within
+  SlaBreachDetector detector(one_tier_sla(0.9, from_ms(1)), config);
+  Time t = 0;
+  const Time hit = 500;     // within the 1 ms tier
+  const Time miss = 5'000;  // misses it
+  // Prime exactly at the target: 18 within + 2 misses = 0.9, no breach.
+  for (int i = 0; i < 18; ++i) detector.on_completion(t += 1'000, hit);
+  for (int i = 0; i < 2; ++i) detector.on_completion(t += 1'000, miss);
+  EXPECT_FALSE(detector.in_breach(0));
+  // One more miss dips below target: the breach opens once.
+  detector.on_completion(t += 1'000, miss);
+  EXPECT_TRUE(detector.in_breach(0));
+  EXPECT_EQ(detector.breach_count(0), 1u);
+  // Oscillate achieved between 0.85 and 0.90 for a while — inside the
+  // deadband, so the breach stays open and the count stays 1.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    detector.on_completion(t += 1'000, hit);
+    detector.on_completion(t += 1'000, miss);
+    EXPECT_TRUE(detector.in_breach(0));
+  }
+  EXPECT_EQ(detector.breach_count(0), 1u);
+  // Only a sustained recovery past the margin closes it.
+  for (int i = 0; i < 20; ++i) detector.on_completion(t += 1'000, hit);
+  EXPECT_FALSE(detector.in_breach(0));
+  EXPECT_EQ(detector.breach_count(0), 1u);
+}
+
+TEST(AsymmetricEwma, FirstSampleAndReset) {
+  // A default-constructed series starts at 0: the first observation climbs
+  // by up_gain only.  CapacityMonitor therefore reset()s to the reference
+  // at construction — pin both behaviours.
+  AsymmetricEwma fresh(0.5, 0.9);
+  EXPECT_EQ(fresh.value(), 0.0);
+  EXPECT_DOUBLE_EQ(fresh.observe(100), 50.0);  // up gain from the 0 start
+  // After reset the next sample is folded against the reset value with the
+  // direction-appropriate gain.
+  AsymmetricEwma seeded(0.1, 0.8);
+  seeded.reset(1000);
+  EXPECT_EQ(seeded.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(seeded.observe(500), 1000 + 0.8 * (500 - 1000));
+  EXPECT_DOUBLE_EQ(seeded.observe(2000), 600 + 0.1 * (2000 - 600));
+  // Equal sample: "not greater" takes the down gain and is a no-op.
+  AsymmetricEwma flat(0.3, 0.7);
+  flat.reset(42);
+  EXPECT_DOUBLE_EQ(flat.observe(42), 42.0);
 }
 
 TEST(SlaBreachDetector, MultiTierIndependence) {

@@ -1,0 +1,145 @@
+// Regime-switching generator + fault-schedule composition.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_schedule.h"
+#include "trace/generator.h"
+#include "trace/trace.h"
+#include "util/time.h"
+
+namespace qos {
+namespace {
+
+RegimeSchedule two_phase(double rate0, double rate1, Time shift) {
+  RegimeSchedule s;
+  s.phase(0, rate0).phase(shift, rate1);
+  return s;
+}
+
+TEST(RegimeSwitch, Deterministic) {
+  const RegimeSchedule schedule = two_phase(500, 2000, 5 * kUsPerSec);
+  const Trace a = generate_regime_switching(schedule, 10 * kUsPerSec, 7);
+  const Trace b = generate_regime_switching(schedule, 10 * kUsPerSec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].lba, b[i].lba);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+  const Trace c = generate_regime_switching(schedule, 10 * kUsPerSec, 8);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(RegimeSwitch, PhaseRatesRealized) {
+  const Time shift = 5 * kUsPerSec;
+  const Trace t =
+      generate_regime_switching(two_phase(500, 2000, shift), 10 * kUsPerSec, 1);
+  std::size_t before = 0;
+  for (const Request& r : t)
+    if (r.arrival < shift) ++before;
+  const std::size_t after = t.size() - before;
+  // 5 s at 500 IOPS vs 5 s at 2000 IOPS, each within ±20% of expectation.
+  EXPECT_NEAR(static_cast<double>(before), 2500, 500);
+  EXPECT_NEAR(static_cast<double>(after), 10000, 2000);
+}
+
+TEST(RegimeSwitch, PhaseContentIndependentOfOtherPhases) {
+  const Time shift = 5 * kUsPerSec;
+  const Trace a =
+      generate_regime_switching(two_phase(500, 2000, shift), 10 * kUsPerSec, 3);
+  const Trace b =
+      generate_regime_switching(two_phase(500, 8000, shift), 10 * kUsPerSec, 3);
+  // Phase 0's arrival instants must be identical: only phase 1 changed.
+  std::vector<Time> first_a, first_b;
+  for (const Request& r : a)
+    if (r.arrival < shift) first_a.push_back(r.arrival);
+  for (const Request& r : b)
+    if (r.arrival < shift) first_b.push_back(r.arrival);
+  EXPECT_EQ(first_a, first_b);
+}
+
+TEST(RegimeSwitch, BatchOverlayConfinedToItsPhase) {
+  BatchSpec batches;
+  batches.batches_per_sec = 50;
+  batches.mean_size = 16;
+  RegimeSchedule schedule;
+  schedule.phase(0, 100).phase(5 * kUsPerSec, 100, batches);
+  const Trace t = generate_regime_switching(schedule, 10 * kUsPerSec, 11);
+  std::size_t before = 0, after = 0;
+  for (const Request& r : t) {
+    if (r.arrival < 5 * kUsPerSec) {
+      ++before;
+    } else {
+      ++after;
+    }
+  }
+  // The bursty half carries the overlay's extra mass on top of the base.
+  EXPECT_GT(after, 3 * before);
+}
+
+TEST(RegimeSwitch, ActiveAt) {
+  const RegimeSchedule s = two_phase(500, 2000, 5 * kUsPerSec);
+  ASSERT_NE(s.active_at(0), nullptr);
+  EXPECT_EQ(s.active_at(0)->rate_iops, 500);
+  EXPECT_EQ(s.active_at(5 * kUsPerSec - 1)->rate_iops, 500);
+  EXPECT_EQ(s.active_at(5 * kUsPerSec)->rate_iops, 2000);
+  EXPECT_EQ(s.active_at(99 * kUsPerSec)->rate_iops, 2000);
+}
+
+TEST(RegimeSwitch, ValidateRejectsBadSchedules) {
+  RegimeSchedule empty;
+  EXPECT_TRUE(empty.validate());  // vacuously valid; generator requires
+                                  // non-empty separately
+  const Trace t = generate_regime_switching(
+      RegimeSchedule().phase(0, 300), kUsPerSec, 5);
+  EXPECT_GT(t.size(), 0u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(RegimeSwitch, FaultScheduleShifted) {
+  FaultySchedule s;
+  s.brownout(kUsPerSec, 2 * kUsPerSec, 0.4).stall(3 * kUsPerSec,
+                                                  4 * kUsPerSec);
+  const FaultySchedule moved = s.shifted(10 * kUsPerSec);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.windows()[0].begin, 11 * kUsPerSec);
+  EXPECT_EQ(moved.windows()[0].end, 12 * kUsPerSec);
+  EXPECT_EQ(moved.windows()[1].begin, 13 * kUsPerSec);
+  EXPECT_TRUE(moved.validate());
+}
+
+TEST(RegimeSwitch, FaultScheduleShiftedClipsAndDrops) {
+  FaultySchedule s;
+  s.brownout(0, 2 * kUsPerSec, 0.4)
+      .stall(3 * kUsPerSec, 4 * kUsPerSec)
+      .brownout(5 * kUsPerSec, 6 * kUsPerSec, 0.2);
+  const FaultySchedule moved = s.shifted(-7 * kUsPerSec / 2);  // -3.5 s
+  // Window 1 fell entirely before 0 (dropped), window 2 straddles (clipped),
+  // window 3 moves intact.
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.windows()[0].begin, 0);
+  EXPECT_EQ(moved.windows()[0].end, kUsPerSec / 2);
+  EXPECT_EQ(moved.windows()[1].begin, 3 * kUsPerSec / 2);
+  EXPECT_TRUE(moved.validate());
+}
+
+TEST(RegimeSwitch, FaultScheduleMergedComposesWithRegimeShifts) {
+  // Chaos background noise plus a brownout authored relative to a regime
+  // shift: the composition idiom the control-plane bench uses.
+  const Time shift = 10 * kUsPerSec;
+  FaultySchedule background;
+  background.brownout(2 * kUsPerSec, 3 * kUsPerSec, 0.3);
+  FaultySchedule at_shift;  // authored relative to the shift instant
+  at_shift.brownout(0, kUsPerSec, 0.5);
+  const FaultySchedule combined =
+      FaultySchedule::merged(background, at_shift.shifted(shift));
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_TRUE(combined.validate());
+  EXPECT_EQ(combined.windows()[1].begin, shift);
+  ASSERT_NE(combined.active_at(shift), nullptr);
+  EXPECT_DOUBLE_EQ(combined.active_at(shift)->severity, 0.5);
+  EXPECT_EQ(combined.active_at(4 * kUsPerSec), nullptr);
+}
+
+}  // namespace
+}  // namespace qos

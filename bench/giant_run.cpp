@@ -1,0 +1,331 @@
+// Giant-run streaming benchmark: drives a multi-tenant synthetic run
+// through stream::simulate_sharded without ever materializing the trace or
+// the completion log, and emits BENCH_stream.json for the CI perf-smoke job
+// (scripts/check_perf.py --stream).
+//
+// The harness makes two claims, and its two output channels separate them:
+//
+//   stdout   the *deterministic* summary — request/completion counts, the
+//            input-stream digest (TraceDigester, cache-identical to
+//            hash_trace of the materialized equivalent) and a digest folded
+//            over the canonical completion sequence, plus the makespan.
+//            Nothing shard- or timing-dependent is printed, so CI runs the
+//            binary at --shards 1/2/8 and `cmp`s the outputs byte for byte:
+//            shard count is a pure parallelism knob.
+//
+//   --json   the *performance* numbers — events/sec, wall time, peak RSS
+//            against the --rss-ceiling-mb contract, and the machine-
+//            normalized throughput (events/sec divided by an in-process
+//            calibration rate, the same machine-cancelling trick the online
+//            harness uses) that check_perf.py --stream gates against
+//            bench/BENCH_stream.baseline.json (>25% regression fails).
+//
+// The workload is T identical-rate Poisson tenants merged into one stream;
+// --requests picks the per-tenant rate so the expected total matches, which
+// makes the harness scale smoothly from the CI default (2M requests) to the
+// 1e8-request acceptance run (--requests 100000000) with the same bounded
+// footprint: memory holds one barrier window of arrivals plus per-lane
+// in-flight state, never the run.
+//
+// usage: giant_run [--requests N] [--tenants T] [--duration-sec S]
+//                  [--shards K] [--lookahead-us D] [--seed S]
+//                  [--rss-ceiling-mb M] [--repeats R] [--json PATH]
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iterator>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/shaper.h"
+#include "runner/hash.h"
+#include "sim/server.h"
+#include "stream/gen_stream.h"
+#include "stream/sharded.h"
+#include "stream/stream.h"
+#include "util/time.h"
+
+namespace {
+
+using namespace qos;
+
+volatile std::uint64_t g_sink = 0;
+
+struct Options {
+  std::uint64_t requests = 2'000'000;  ///< expected total (Poisson mean)
+  int tenants = 4;
+  double duration_sec = 600;
+  int shards = 1;
+  Time lookahead_us = 10'000;
+  std::uint64_t seed = 1;
+  double rss_ceiling_mb = 256;
+  int repeats = 2;
+  std::string json_path;
+};
+
+[[noreturn]] void usage_abort() {
+  std::fprintf(stderr,
+               "usage: giant_run [--requests N] [--tenants T]\n"
+               "                 [--duration-sec S] [--shards K]\n"
+               "                 [--lookahead-us D] [--seed S]\n"
+               "                 [--rss-ceiling-mb M] [--repeats R]\n"
+               "                 [--json PATH]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_abort();
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--requests") == 0) {
+      o.requests = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(a, "--tenants") == 0) {
+      o.tenants = std::atoi(value());
+    } else if (std::strcmp(a, "--duration-sec") == 0) {
+      o.duration_sec = std::atof(value());
+    } else if (std::strcmp(a, "--shards") == 0) {
+      o.shards = std::atoi(value());
+    } else if (std::strcmp(a, "--lookahead-us") == 0) {
+      o.lookahead_us = std::strtoll(value(), nullptr, 10);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      o.seed = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(a, "--rss-ceiling-mb") == 0) {
+      o.rss_ceiling_mb = std::atof(value());
+    } else if (std::strcmp(a, "--repeats") == 0) {
+      o.repeats = std::atoi(value());
+    } else if (std::strcmp(a, "--json") == 0) {
+      o.json_path = value();
+    } else {
+      usage_abort();
+    }
+  }
+  if (o.requests == 0 || o.tenants < 1 || o.duration_sec <= 0 ||
+      o.shards < 1 || o.lookahead_us < 1 || o.rss_ceiling_mb <= 0 ||
+      o.repeats < 1)
+    usage_abort();
+  return o;
+}
+
+// Fixed-cost calibration loop, identical in shape to online_loadgen's: one
+// steady-clock read plus an uncontended lock/unlock and a counter update per
+// op.  events/sec divided by this rate is the machine-normalized throughput
+// check_perf.py --stream gates.
+double calibration_ops_per_sec(int repeats) {
+  constexpr std::uint64_t kOps = 2'000'000;
+  std::mutex m;
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    std::uint64_t acc = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      const auto now = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(m);
+      acc += static_cast<std::uint64_t>(now.time_since_epoch().count());
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    g_sink = g_sink ^ acc;
+    best = std::max(best, static_cast<double>(kOps) / elapsed);
+  }
+  return best;
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+}
+
+// Every policy family behind the sharding layer: tenant t cycles through
+// the four schedulers so the determinism claim covers single-server,
+// dual-server and fair-queue lanes at once.
+constexpr Policy kPolicyCycle[] = {Policy::kMiser, Policy::kSplit,
+                                   Policy::kFairQueue, Policy::kFcfs};
+
+// Mirrors shape_and_run's server construction (see core/shaper.cpp): Split
+// gets a dedicated primary at Cmin plus an overflow server at dC;
+// shared-server policies get one server at Cmin + dC.  Cmin is provisioned
+// at 1.5x the tenant's offered rate and the headroom at 0.25x, so every
+// lane is stable and queues — and therefore memory — stay bounded.
+stream::TenantSim build_tenant(double rate_iops, std::uint32_t client) {
+  ShapingConfig config;
+  config.policy = kPolicyCycle[client % std::size(kPolicyCycle)];
+  config.headroom_override_iops = 0.25 * rate_iops;
+  const double cmin = 1.5 * rate_iops;
+  stream::TenantSim sim;
+  sim.scheduler = make_scheduler(config, cmin);
+  const double headroom = config.resolved_headroom_iops();
+  if (sim.scheduler->server_count() == 2) {
+    sim.servers.push_back(std::make_unique<ConstantRateServer>(cmin));
+    sim.servers.push_back(std::make_unique<ConstantRateServer>(headroom));
+  } else {
+    sim.servers.push_back(
+        std::make_unique<ConstantRateServer>(cmin + headroom));
+  }
+  return sim;
+}
+
+void write_json(const Options& o, const stream::ShardedStats& stats,
+                const Digest& request_digest, const Digest& completion_digest,
+                double wall_sec, double events_per_sec, double calibration,
+                std::uint64_t rss, std::uint64_t ceiling_bytes) {
+  std::FILE* f = std::fopen(o.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "giant_run: cannot write %s\n", o.json_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"harness\": \"giant_run\",\n");
+  std::fprintf(f, "  \"requests\": %llu,\n",
+               static_cast<unsigned long long>(stats.requests));
+  std::fprintf(f, "  \"completions\": %llu,\n",
+               static_cast<unsigned long long>(stats.completions));
+  std::fprintf(f, "  \"dispatches\": %llu,\n",
+               static_cast<unsigned long long>(stats.dispatches));
+  std::fprintf(f, "  \"events\": %llu,\n",
+               static_cast<unsigned long long>(stats.events()));
+  std::fprintf(f, "  \"windows\": %llu,\n",
+               static_cast<unsigned long long>(stats.windows));
+  std::fprintf(f, "  \"tenants\": %llu,\n",
+               static_cast<unsigned long long>(stats.tenants));
+  std::fprintf(f, "  \"shards\": %d,\n", o.shards);
+  std::fprintf(f, "  \"lookahead_us\": %lld,\n",
+               static_cast<long long>(o.lookahead_us));
+  std::fprintf(f, "  \"duration_sec\": %.3f,\n", o.duration_sec);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(o.seed));
+  std::fprintf(f, "  \"makespan_us\": %lld,\n",
+               static_cast<long long>(stats.makespan));
+  std::fprintf(f, "  \"request_digest\": \"%s\",\n",
+               request_digest.to_hex().c_str());
+  std::fprintf(f, "  \"completion_digest\": \"%s\",\n",
+               completion_digest.to_hex().c_str());
+  std::fprintf(f, "  \"wall_sec\": %.6f,\n", wall_sec);
+  std::fprintf(f, "  \"events_per_sec\": %.1f,\n", events_per_sec);
+  std::fprintf(f, "  \"calibration_ops_per_sec\": %.1f,\n", calibration);
+  std::fprintf(f, "  \"normalized\": %.6f,\n",
+               calibration > 0 ? events_per_sec / calibration : 0.0);
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(rss));
+  std::fprintf(f, "  \"rss_ceiling_bytes\": %llu,\n",
+               static_cast<unsigned long long>(ceiling_bytes));
+  std::fprintf(f, "  \"rss_ok\": %s\n", rss <= ceiling_bytes ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int run(const Options& o) {
+  // Calibrate before the run so the loop measures an otherwise-quiet
+  // process, exactly like the online harness.
+  const double calibration = calibration_ops_per_sec(o.repeats);
+
+  const double rate_iops =
+      static_cast<double>(o.requests) /
+      (static_cast<double>(o.tenants) * o.duration_sec);
+  const Time duration =
+      static_cast<Time>(o.duration_sec * static_cast<double>(kUsPerSec));
+
+  std::vector<std::unique_ptr<stream::RequestStream>> sources;
+  sources.reserve(static_cast<std::size_t>(o.tenants));
+  for (int t = 0; t < o.tenants; ++t)
+    sources.push_back(stream::make_poisson_stream(
+        rate_iops, duration, o.seed + static_cast<std::uint64_t>(t)));
+  stream::MergedStream merged(std::move(sources));
+  stream::DigestingStream input(merged);
+
+  auto factory = [rate_iops](std::uint32_t client) {
+    return build_tenant(rate_iops, client);
+  };
+
+  // The completion log is never materialized: the canonical sequence is
+  // folded into a digest on the fly, which is both the memory contract and
+  // the cross-shard identity witness.
+  ContentHasher completions;
+  const auto t0 = std::chrono::steady_clock::now();
+  stream::ShardedStats stats = stream::simulate_sharded(
+      input, factory,
+      stream::ShardedOptions{.shards = o.shards, .lookahead = o.lookahead_us},
+      [&completions](const CompletionRecord& r) {
+        completions.u64(r.seq)
+            .u64(r.client)
+            .i64(r.arrival)
+            .i64(r.start)
+            .i64(r.finish)
+            .u64(static_cast<std::uint64_t>(r.klass))
+            .u64(r.server);
+      });
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const Digest request_digest = input.finish();
+  const Digest completion_digest = completions.digest();
+  const double events_per_sec =
+      wall_sec > 0 ? static_cast<double>(stats.events()) / wall_sec : 0.0;
+  const std::uint64_t rss = peak_rss_bytes();
+  const auto ceiling_bytes =
+      static_cast<std::uint64_t>(o.rss_ceiling_mb * 1024.0 * 1024.0);
+
+  // Deterministic, shard-independent summary: CI diffs this block byte for
+  // byte across --shards 1/2/8.  Keep timings, shard count and RSS out.
+  std::printf("giant_run summary (shard-independent)\n");
+  std::printf("tenants            %llu\n",
+              static_cast<unsigned long long>(stats.tenants));
+  std::printf("requests           %llu\n",
+              static_cast<unsigned long long>(stats.requests));
+  std::printf("dispatches         %llu\n",
+              static_cast<unsigned long long>(stats.dispatches));
+  std::printf("completions        %llu\n",
+              static_cast<unsigned long long>(stats.completions));
+  std::printf("makespan_us        %lld\n",
+              static_cast<long long>(stats.makespan));
+  std::printf("request_digest     %s\n", request_digest.to_hex().c_str());
+  std::printf("completion_digest  %s\n", completion_digest.to_hex().c_str());
+
+  // Performance lines go to stderr so stdout stays comparable.
+  std::fprintf(stderr,
+               "giant_run: shards=%d lookahead=%lldus wall=%.3fs "
+               "events/s=%.0f normalized=%.4f peak_rss=%.1fMiB "
+               "(ceiling %.0fMiB)\n",
+               o.shards, static_cast<long long>(o.lookahead_us), wall_sec,
+               events_per_sec,
+               calibration > 0 ? events_per_sec / calibration : 0.0,
+               static_cast<double>(rss) / (1024.0 * 1024.0),
+               o.rss_ceiling_mb);
+
+  if (!o.json_path.empty())
+    write_json(o, stats, request_digest, completion_digest, wall_sec,
+               events_per_sec, calibration, rss, ceiling_bytes);
+
+  if (stats.completions != stats.requests) {
+    std::fprintf(stderr, "giant_run: completions != requests\n");
+    return 1;
+  }
+  if (rss > ceiling_bytes) {
+    std::fprintf(stderr, "giant_run: peak RSS %llu exceeds ceiling %llu\n",
+                 static_cast<unsigned long long>(rss),
+                 static_cast<unsigned long long>(ceiling_bytes));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(parse_args(argc, argv)); }

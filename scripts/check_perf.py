@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate a freshly measured bench JSON against the committed perf baseline.
 
-Three modes, selected by --online / --chaos:
+Four modes, selected by --online / --chaos / --stream:
 
 Default (BENCH_micro.json, bench/micro_algorithms): the gated quantity is
 each backend's *speedup* — heap ops/sec divided by the frozen scan
@@ -51,8 +51,26 @@ alone, so they hold even if the baseline is regenerated:
      and the controller must not — the headline claim the bench exists to
      demonstrate.
 
-usage: check_perf.py BASELINE CURRENT [--online | --chaos] [--tolerance F]
-                     [--min-speedup S] [--min-normalized R]
+--stream (BENCH_stream.json, bench/giant_run): the gated quantity is the
+sharded streaming engine's *normalized* throughput — simulation events per
+second divided by the harness's in-process calibration rate, the same
+machine-cancelling trick as --online.  Checks:
+
+  1. Regression: normalized >= (1 - tolerance) * baseline normalized
+     (default tolerance 0.25, i.e. fail on a >25% regression).
+  2. Memory contract: the current run's peak RSS must be under its ceiling
+     (rss_ok) — the streaming claim is that memory is bounded by the
+     barrier window, not the run length, so this is absolute and
+     machine-checked on the current numbers alone.
+  3. Integrity: completions == requests in the current run.
+
+Digests are printed for the log but not gated against the baseline (the
+cross-shard byte-identity check is CI's `cmp` over the harness's stdout;
+cross-machine FP drift in the generators' libm calls would make a digest
+gate flaky).
+
+usage: check_perf.py BASELINE CURRENT [--online | --chaos | --stream]
+                     [--tolerance F] [--min-speedup S] [--min-normalized R]
 """
 
 import argparse
@@ -162,6 +180,34 @@ def check_chaos(baseline, current, tolerance):
     return failures
 
 
+def check_stream(baseline, current, tolerance):
+    failures = []
+    base_norm = baseline["normalized"]
+    cur_norm = current["normalized"]
+    allowed = (1.0 - tolerance) * base_norm
+    if cur_norm < allowed:
+        failures.append(
+            f"normalized {cur_norm:.4f} < {allowed:.4f} "
+            f"(>{tolerance:.0%} regression from {base_norm:.4f})")
+    if not current.get("rss_ok", False):
+        failures.append(
+            f"peak_rss_bytes {current.get('peak_rss_bytes', 0)} exceeds "
+            f"ceiling {current.get('rss_ceiling_bytes', 0)} — the bounded-"
+            f"memory streaming contract is broken")
+    if current["completions"] != current["requests"]:
+        failures.append(
+            f"completions {current['completions']} != requests "
+            f"{current['requests']}")
+    print(f"{'metric':<24} {'baseline':>14} {'current':>14}")
+    for key in ("normalized", "events_per_sec", "calibration_ops_per_sec",
+                "wall_sec", "peak_rss_bytes", "requests", "windows"):
+        print(f"{key:<24} {baseline.get(key, 0):>14} {current.get(key, 0):>14}")
+    for key in ("request_digest", "completion_digest"):
+        print(f"{key:<24} {baseline.get(key, ''):>14} "
+              f"{current.get(key, ''):>14}  (informational)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -172,6 +218,9 @@ def main() -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="gate BENCH_control_plane.json (Q1-guarantee "
                              "violations, deterministic absolute tolerance)")
+    parser.add_argument("--stream", action="store_true",
+                        help="gate BENCH_stream.json (normalized events/s "
+                             "from bench/giant_run plus the RSS ceiling)")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed regression: fractional for micro/"
                              "online (default 0.25 / 0.50), absolute "
@@ -181,8 +230,8 @@ def main() -> int:
     parser.add_argument("--min-normalized", type=float, default=0.02,
                         help="online: hard normalized-throughput floor")
     args = parser.parse_args()
-    if args.online and args.chaos:
-        parser.error("--online and --chaos are mutually exclusive")
+    if sum((args.online, args.chaos, args.stream)) > 1:
+        parser.error("--online, --chaos and --stream are mutually exclusive")
     if args.tolerance is None:
         args.tolerance = (0.02 if args.chaos else
                           0.50 if args.online else 0.25)
@@ -194,6 +243,16 @@ def main() -> int:
 
     if args.chaos:
         failures = check_chaos(baseline, current, args.tolerance)
+        if failures:
+            print("\nperf-smoke FAILED:", file=sys.stderr)
+            for f_ in failures:
+                print(f"  {f_}", file=sys.stderr)
+            return 1
+        print("\nperf-smoke passed")
+        return 0
+
+    if args.stream:
+        failures = check_stream(baseline, current, args.tolerance)
         if failures:
             print("\nperf-smoke FAILED:", file=sys.stderr)
             for f_ in failures:

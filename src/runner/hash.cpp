@@ -28,8 +28,11 @@ ContentHasher& ContentHasher::bytes(const void* data, std::size_t n) {
 }
 
 Digest hash_trace(const Trace& trace) {
+  // The count is folded LAST (after the per-request fields) so the digest
+  // can also be produced one request at a time by TraceDigester, which only
+  // knows the count at the end.  Folding it at all keeps the empty trace,
+  // and any two streams where one is a proper prefix of the other, distinct.
   ContentHasher h;
-  h.u64(trace.size());
   for (const Request& r : trace) {
     h.i64(r.arrival);
     h.u64(r.client);
@@ -37,7 +40,22 @@ Digest hash_trace(const Trace& trace) {
     h.u64(r.size_blocks);
     h.u64(r.is_write ? 1 : 0);
   }
+  h.u64(trace.size());
   return h.digest();
+}
+
+void TraceDigester::feed(const Request& r) {
+  h_.i64(r.arrival);
+  h_.u64(r.client);
+  h_.u64(r.lba);
+  h_.u64(r.size_blocks);
+  h_.u64(r.is_write ? 1 : 0);
+  ++count_;
+}
+
+Digest TraceDigester::finish() {
+  h_.u64(count_);
+  return h_.digest();
 }
 
 void hash_shaping_config(ContentHasher& h, const ShapingConfig& config) {

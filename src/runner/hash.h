@@ -57,10 +57,32 @@ class ContentHasher {
   std::uint64_t lo_ = 0x9ae16a3b2f90404full;
 };
 
+struct Request;
+
 /// Digest of a trace's full request stream (arrival, client, lba, size,
 /// direction per request).  O(n); hot consumers hash each trace once and
-/// reuse the digest across cells.
+/// reuse the digest across cells.  Equals a TraceDigester fed the same
+/// requests in the same order — streamed runs key the cache identically to
+/// materialized ones.
 Digest hash_trace(const Trace& trace);
+
+/// Incremental form of hash_trace for sources that never materialize a
+/// Trace: feed() each request in arrival order, then finish() once.  The
+/// request count is folded at finish (hash_trace folds the identical value),
+/// so the digest never depends on knowing the length up front.
+class TraceDigester {
+ public:
+  void feed(const Request& r);
+
+  /// Finalize; feed() must not be called afterwards.
+  Digest finish();
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  ContentHasher h_;
+  std::uint64_t count_ = 0;
+};
 
 /// Fold the simulation-relevant ShapingConfig fields (fraction, delta,
 /// policy, capacity/headroom overrides) into `h`.  Observability pointers

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 
-#include "obs/sink.h"
+#include "sim/engine.h"
 #include "util/check.h"
-#include "util/clock.h"
-#include "util/indexed_heap.h"
 
 namespace qos {
 
@@ -42,125 +40,23 @@ Time SimResult::makespan() const {
 
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
                    std::span<Server* const> servers, EventSink* sink) {
-  QOS_EXPECTS(static_cast<int>(servers.size()) == scheduler.server_count());
-  QOS_EXPECTS(!servers.empty());
   QOS_EXPECTS(trace.validate());
 
-  const Probe probe(sink);
-  if (sink != nullptr)
-    for (Server* s : servers) s->attach_observability(sink);
+  // The event loop lives in SimEngine (sim/engine.h) so the materialized,
+  // streamed and sharded drivers share one event order.  This driver is the
+  // reference cadence: retire everything before each arrival instant, buffer
+  // the arrival, drain at the end.
+  SimEngine engine(scheduler, servers, sink);
   SimResult result;
   result.completions.reserve(trace.size());
-
-  // Per-server in-flight record, valid while the server is in `pending`.
-  std::vector<CompletionRecord> slot(servers.size());
-  // Busy servers keyed by finish time; (key, id) order makes equal-time
-  // pops come out in server-index order, matching the documented contract.
-  IndexedMinHeap<Time> pending(static_cast<int>(servers.size()));
-  // Idle servers, ascending — the only ones fill_servers has to visit.
-  std::vector<int> idle(servers.size());
-  for (std::size_t s = 0; s < servers.size(); ++s)
-    idle[s] = static_cast<int>(s);
-  std::size_t next_arrival = 0;
-
-  // Offer work to every idle server until no server accepts.  A dispatch on
-  // one server can change scheduler state (e.g. Miser slack), so loop to a
-  // fixed point.  Visiting only the idle list (kept sorted ascending)
-  // preserves the original full-scan call order on the scheduler exactly.
-  auto fill_servers = [&](Time now) {
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (std::size_t k = 0; k < idle.size();) {
-        const int s = idle[k];
-        auto d = scheduler.next_for(s, now);
-        if (!d) {
-          ++k;
-          continue;
-        }
-        const Time dur =
-            servers[static_cast<std::size_t>(s)]->service_duration(d->request,
-                                                                   now);
-        QOS_CHECK(dur > 0);
-        slot[static_cast<std::size_t>(s)] = CompletionRecord{
-            .seq = d->request.seq,
-            .client = d->request.client,
-            .arrival = d->request.arrival,
-            .start = now,
-            .finish = now + dur,
-            .klass = d->klass,
-            .server = static_cast<std::uint8_t>(s),
-        };
-        pending.push(s, now + dur);
-        idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(k));
-        if (probe) {
-          probe.emit({.time = now,
-                      .seq = d->request.seq,
-                      .a = now - d->request.arrival,
-                      .client = d->request.client,
-                      .kind = EventKind::kDispatch,
-                      .klass = d->klass,
-                      .server = static_cast<std::uint8_t>(s)});
-        }
-        progress = true;
-      }
-    }
+  auto collect = [&result](const CompletionRecord& record) {
+    result.completions.push_back(record);
   };
-
-  // The engine's notion of "now" is a VirtualClock advanced to each event
-  // instant — the same clock seam the online layer serves wall time
-  // through (util/clock.h), and a monotonicity check on the event order.
-  VirtualClock clock;
-  while (true) {
-    // Next event: min over pending completions and the next arrival.
-    const Time next_completion =
-        pending.empty() ? kTimeMax : pending.top_key();
-    const Time arrival_time = next_arrival < trace.size()
-                                  ? trace[next_arrival].arrival
-                                  : kTimeMax;
-    const Time next_event = std::min(next_completion, arrival_time);
-    if (next_event == kTimeMax) break;  // drained
-    clock.advance_to(next_event);
-    const Time now = clock.now();
-
-    // Completions first (see scheduler.h contract).  Process every server
-    // finishing exactly at `now`; the heap's (finish, server) order yields
-    // them in server-index order for determinism.
-    while (!pending.empty() && pending.top_key() == now) {
-      const int s = pending.pop();
-      const CompletionRecord& record = slot[static_cast<std::size_t>(s)];
-      result.completions.push_back(record);
-      idle.insert(std::lower_bound(idle.begin(), idle.end(), s), s);
-      if (probe) {
-        probe.emit({.time = now,
-                    .seq = record.seq,
-                    .a = record.response_time(),
-                    .client = record.client,
-                    .kind = EventKind::kCompletion,
-                    .klass = record.klass,
-                    .server = static_cast<std::uint8_t>(s)});
-      }
-      scheduler.on_complete(Request{.arrival = record.arrival,
-                                    .seq = record.seq,
-                                    .client = record.client},
-                            record.klass, s, now);
-    }
-
-    // Then all arrivals at `now`.
-    while (next_arrival < trace.size() &&
-           trace[next_arrival].arrival == now) {
-      if (probe) {
-        probe.emit({.time = now,
-                    .seq = trace[next_arrival].seq,
-                    .client = trace[next_arrival].client,
-                    .kind = EventKind::kArrival});
-      }
-      scheduler.on_arrival(trace[next_arrival], now);
-      ++next_arrival;
-    }
-
-    fill_servers(now);
+  for (const Request& r : trace) {
+    engine.advance_until(r.arrival, collect);
+    engine.push_arrival(r);
   }
+  engine.advance_until(kTimeMax, collect);
 
   if (scheduler.fans_out())
     QOS_ENSURES(result.completions.size() >= trace.size());

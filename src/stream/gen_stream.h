@@ -1,0 +1,74 @@
+// Streaming adapters for the synthetic workload generators.
+//
+// Each adapter drives the same incremental cores (trace/generator_core.h)
+// the materialized generators are built on, merges base-process and batch-
+// overlay arrivals in sorted order on the fly, and assigns addresses and
+// sequence numbers at emission.  Because addresses are a function of the
+// arrival-sorted order (see generator.cpp) and the cores replay identical
+// Rng streams, every adapter yields the request sequence of its materialized
+// counterpart byte for byte — without ever holding more than the overlay's
+// bounded lookahead window in memory.
+//
+// The overlay merge is conservative, not clairvoyant: BatchCore draws the
+// next batch's base instant one batch ahead, so its frontier() lower-bounds
+// every arrival still inside the core, and a buffered candidate is emitted
+// only once the frontier has passed it.  The buffered window is therefore at
+// most one batch beyond the emission point, independent of trace length.
+//
+// The b-model generator is the one exception: a multiplicative cascade
+// places every request by global position, so it is inherently offline.
+// make_bmodel_stream materializes internally and streams the result — same
+// sequence, but trace-sized memory; callers needing bounded memory should
+// prefer the other sources.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "stream/stream.h"
+#include "trace/generator.h"
+#include "trace/presets.h"
+#include "util/time.h"
+
+namespace qos::stream {
+
+/// Streaming generate_workload: MMPP base + batch overlay + address model.
+std::unique_ptr<RequestStream> make_workload_stream(const WorkloadSpec& spec,
+                                                    Time duration,
+                                                    std::uint64_t seed);
+
+/// Streaming generate_poisson.
+std::unique_ptr<RequestStream> make_poisson_stream(double rate_iops,
+                                                   Time duration,
+                                                   std::uint64_t seed,
+                                                   const AddressSpec& addr = {});
+
+/// Streaming generate_pareto_onoff.
+std::unique_ptr<RequestStream> make_pareto_onoff_stream(
+    double on_rate_iops, double alpha_on, double xm_on_sec,
+    double mean_off_sec, Time duration, std::uint64_t seed,
+    const AddressSpec& addr = {});
+
+/// Streaming generate_regime_switching.  Phases are time-disjoint, so the
+/// stream simply plays each phase's base+overlay merge in schedule order.
+std::unique_ptr<RequestStream> make_regime_stream(const RegimeSchedule& schedule,
+                                                  Time duration,
+                                                  std::uint64_t seed,
+                                                  const AddressSpec& addr = {});
+
+/// generate_bmodel behind the stream interface — materializes internally
+/// (see header comment); memory is O(trace), not O(window).
+std::unique_ptr<RequestStream> make_bmodel_stream(double mean_rate_iops,
+                                                  double b, int levels,
+                                                  Time duration,
+                                                  std::uint64_t seed,
+                                                  const AddressSpec& addr = {});
+
+/// Streaming preset_trace: the calibrated paper-workload stand-ins.
+/// `duration <= 0` uses kPresetDuration and `seed == 0` uses preset_seed(w),
+/// exactly as preset_trace does.
+std::unique_ptr<RequestStream> make_preset_stream(Workload w,
+                                                  Time duration = 0,
+                                                  std::uint64_t seed = 0);
+
+}  // namespace qos::stream

@@ -1,0 +1,157 @@
+#include "stream/sharded.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "runner/thread_pool.h"
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace qos::stream {
+namespace {
+
+struct Lane {
+  std::uint32_t tenant = 0;
+  TenantSim sim;
+  std::vector<Server*> servers;  ///< raw views for the engine
+  std::unique_ptr<SimEngine> engine;
+  std::vector<Request> inbox;                 ///< this window's arrivals
+  std::vector<CompletionRecord> window_out;   ///< this window's completions
+};
+
+bool merged_before(const CompletionRecord& a, const CompletionRecord& b) {
+  if (a.finish != b.finish) return a.finish < b.finish;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.server < b.server;
+}
+
+}  // namespace
+
+ShardedStats simulate_sharded(
+    RequestStream& requests, const TenantFactory& factory,
+    const ShardedOptions& options,
+    const std::function<void(const CompletionRecord&)>& out) {
+  QOS_EXPECTS(options.shards >= 1);
+  QOS_EXPECTS(options.lookahead > 0);
+
+  ThreadPool pool(options.shards);
+  std::vector<std::unique_ptr<Lane>> lanes;  ///< kept sorted by tenant id
+  std::unordered_map<std::uint32_t, Lane*> by_tenant;
+
+  auto lane_for = [&](std::uint32_t tenant) -> Lane& {
+    if (auto it = by_tenant.find(tenant); it != by_tenant.end())
+      return *it->second;
+    auto lane = std::make_unique<Lane>();
+    lane->tenant = tenant;
+    lane->sim = factory(tenant);
+    QOS_CHECK(lane->sim.scheduler != nullptr);
+    QOS_CHECK(static_cast<int>(lane->sim.servers.size()) ==
+              lane->sim.scheduler->server_count());
+    for (auto& s : lane->sim.servers) {
+      QOS_CHECK(s != nullptr);
+      lane->servers.push_back(s.get());
+    }
+    lane->engine = std::make_unique<SimEngine>(*lane->sim.scheduler,
+                                               lane->servers, nullptr);
+    Lane& ref = *lane;
+    by_tenant.emplace(tenant, &ref);
+    lanes.insert(std::lower_bound(lanes.begin(), lanes.end(), tenant,
+                                  [](const std::unique_ptr<Lane>& l,
+                                     std::uint32_t t) { return l->tenant < t; }),
+                 std::move(lane));
+    return ref;
+  };
+
+  // The stream contract is validated at the coordinator, exactly as
+  // simulate_stream does — lanes then only ever see per-tenant subsequences
+  // of an already-checked stream.
+  std::uint64_t expected_seq = 0;
+  Time prev_arrival = 0;
+  auto validate = [&](const Request& r) {
+    QOS_CHECK(request_record_ok(r));
+    QOS_CHECK(r.seq == expected_seq);
+    QOS_CHECK(r.arrival >= prev_arrival);
+    ++expected_seq;
+    prev_arrival = r.arrival;
+  };
+
+  ShardedStats stats;
+  const Time delta = options.lookahead;
+  std::optional<Request> peek = requests.next();
+  if (peek) validate(*peek);
+  std::vector<CompletionRecord> merged;
+
+  while (true) {
+    // Realign the window to the next event anywhere — buffered stream head
+    // or any lane's pending arrival/completion — so empty virtual time
+    // costs nothing.
+    Time next_event = peek ? peek->arrival : kTimeMax;
+    for (const auto& lane : lanes)
+      next_event = std::min(next_event, lane->engine->next_event_time());
+    if (next_event == kTimeMax) break;
+    const Time window = next_event - next_event % delta;
+    const Time limit = window > kTimeMax - delta ? kTimeMax : window + delta;
+
+    // Feed: every arrival inside this window goes to its tenant's inbox.
+    while (peek && peek->arrival < limit) {
+      lane_for(peek->client).inbox.push_back(*peek);
+      peek = requests.next();
+      if (peek) validate(*peek);
+    }
+
+    // Barrier step: all lanes advance to the window edge in parallel.  A
+    // lane's evolution is a pure function of its inbox and prior state;
+    // the pool only chooses which worker runs it.
+    pool.parallel_for(lanes.size(), [&lanes, limit](std::size_t i) {
+      Lane& lane = *lanes[i];
+      auto collect = [&lane](const CompletionRecord& record) {
+        lane.window_out.push_back(record);
+      };
+      for (const Request& r : lane.inbox) {
+        lane.engine->advance_until(r.arrival, collect);
+        lane.engine->push_arrival(r);
+      }
+      lane.inbox.clear();
+      lane.engine->advance_until(limit, collect);
+    });
+
+    // Canonical merge: tenant-ascending concatenation, then a stable sort
+    // on (finish, seq, server).  Every finish in this window precedes every
+    // finish of later windows, so per-window emission is globally sorted.
+    merged.clear();
+    for (auto& lane : lanes) {
+      merged.insert(merged.end(), lane->window_out.begin(),
+                    lane->window_out.end());
+      lane->window_out.clear();
+    }
+    std::stable_sort(merged.begin(), merged.end(), merged_before);
+    for (const CompletionRecord& record : merged) {
+      stats.makespan = std::max(stats.makespan, record.finish);
+      out(record);
+    }
+    ++stats.windows;
+  }
+
+  for (const auto& lane : lanes) {
+    QOS_ENSURES(lane->engine->drained());
+    stats.requests += lane->engine->arrivals_delivered();
+    stats.dispatches += lane->engine->dispatches();
+    stats.completions += lane->engine->completions();
+  }
+  stats.tenants = lanes.size();
+  return stats;
+}
+
+SimResult simulate_sharded(RequestStream& requests,
+                           const TenantFactory& factory,
+                           const ShardedOptions& options) {
+  SimResult result;
+  simulate_sharded(requests, factory, options,
+                   [&result](const CompletionRecord& record) {
+                     result.completions.push_back(record);
+                   });
+  return result;
+}
+
+}  // namespace qos::stream

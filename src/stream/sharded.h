@@ -1,0 +1,101 @@
+// Sharded deterministic simulation: one run partitioned across cores by
+// tenant, bit-identical to the serial reference at any shard count.
+//
+// The logical partition is the tenant (Request::client): each tenant gets
+// its own Scheduler + Server lane from a TenantFactory, which is the
+// provisioning model the control plane already uses — tenants share nothing,
+// so lanes can advance independently.  What forces coordination is not lane
+// coupling but the *streaming input* (one globally arrival-sorted stream)
+// and the *deterministic output* (one canonical completion order).  Both are
+// provided by a conservative virtual-time barrier, classic conservative PDES
+// with lookahead δ:
+//
+//   window k:  feed every arrival in [W, W+δ) to its lane's inbox;
+//              advance all lanes to W+δ in parallel (the barrier step);
+//              merge the lanes' window completions canonically and emit.
+//
+// Lookahead here is exact, not estimated: a lane can always advance to the
+// window edge because no event outside its own inbox can affect it.  Windows
+// jump over empty virtual time (W realigns to the next event), so sparse
+// traces don't pay per-window overhead.
+//
+// Determinism argument (tests/test_sharded_sim.cpp asserts all of it):
+//   * each lane's event sequence is a pure function of its input — the
+//     windowed advance_until cuts compose to exactly the per-tenant serial
+//     reference (SimEngine's resumability contract);
+//   * the thread pool only decides *which worker* runs a lane's window, never
+//     the lane's state evolution, so the shard count is pure parallelism;
+//   * window completions are merged by tenant-ascending concatenation +
+//     stable sort on (finish, seq, server) — a canonical order independent
+//     of both thread scheduling and shard count.  Windows tile virtual time,
+//     so per-window merges concatenate into a globally sorted sequence.
+//
+// Memory: one window of arrivals + per-lane in-flight state + one window of
+// completions — bounded by burst density, not run length.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+#include "stream/stream.h"
+#include "util/time.h"
+
+namespace qos::stream {
+
+/// One tenant's independent service lane, as built by a TenantFactory.
+struct TenantSim {
+  std::unique_ptr<Scheduler> scheduler;
+  std::vector<std::unique_ptr<Server>> servers;  ///< size == server_count()
+};
+
+/// Builds the lane for a tenant the first time one of its requests arrives.
+/// Must be deterministic in `client`; it is only ever called on the
+/// coordinator thread, in first-arrival order.
+using TenantFactory = std::function<TenantSim(std::uint32_t client)>;
+
+struct ShardedOptions {
+  /// Worker count including the caller (ThreadPool semantics): 1 is the
+  /// serial reference every other count must match bit for bit.
+  int shards = 1;
+
+  /// δ — the barrier window width in virtual time.  Purely a
+  /// throughput/memory knob: wider windows amortize barriers but buffer more
+  /// arrivals; results are identical for any value.
+  Time lookahead = 10'000;
+};
+
+struct ShardedStats {
+  std::uint64_t requests = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t windows = 0;  ///< barrier steps taken (empty time skipped)
+  std::uint64_t tenants = 0;  ///< lanes created
+  Time makespan = 0;          ///< last completion instant
+
+  std::uint64_t events() const { return requests + dispatches + completions; }
+};
+
+/// Drive a multi-tenant stream through per-tenant lanes on `shards` threads.
+/// Completions reach `out` in the canonical merged order (finish, then seq,
+/// then server), one window at a time.  Observability sinks are not wired —
+/// lanes retire events concurrently, so there is no canonical global event
+/// interleaving to offer a sink; instrument a lane's scheduler directly if
+/// needed.
+ShardedStats simulate_sharded(
+    RequestStream& requests, const TenantFactory& factory,
+    const ShardedOptions& options,
+    const std::function<void(const CompletionRecord&)>& out);
+
+/// Materializing convenience: completions in the canonical merged order.
+/// Interchangeable with concatenating per-tenant serial runs and sorting by
+/// (finish, seq, server).
+SimResult simulate_sharded(RequestStream& requests,
+                           const TenantFactory& factory,
+                           const ShardedOptions& options = {});
+
+}  // namespace qos::stream

@@ -1,0 +1,230 @@
+#include "stream/spc_stream.h"
+
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/spc.h"
+#include "util/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QOS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace qos::stream {
+namespace {
+
+/// One line at a time from somewhere.  Views stay valid until the next call.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  /// Next line without its terminator, or nullopt at end of file.  The final
+  /// line is yielded whether or not it ends in a newline.
+  virtual std::optional<std::string_view> next_line() = 0;
+};
+
+/// Pulls the file through a fixed-size buffer; a line spanning a chunk
+/// boundary is stitched in a carry buffer.  Memory: one chunk + the longest
+/// line.
+class ChunkLineSource final : public LineSource {
+ public:
+  ChunkLineSource(std::FILE* file, std::size_t chunk_bytes)
+      : file_(file), buf_(chunk_bytes > 0 ? chunk_bytes : 1) {}
+
+  ~ChunkLineSource() override {
+    if (file_) std::fclose(file_);
+  }
+
+  std::optional<std::string_view> next_line() override {
+    carry_.clear();
+    while (true) {
+      if (pos_ == filled_) {
+        filled_ = std::fread(buf_.data(), 1, buf_.size(), file_);
+        pos_ = 0;
+        if (filled_ == 0) {
+          if (carry_.empty()) return std::nullopt;
+          return std::string_view(carry_);
+        }
+      }
+      const char* begin = buf_.data() + pos_;
+      const char* end = buf_.data() + filled_;
+      const char* nl = static_cast<const char*>(
+          std::memchr(begin, '\n', static_cast<std::size_t>(end - begin)));
+      if (nl != nullptr) {
+        const std::size_t n = static_cast<std::size_t>(nl - begin);
+        pos_ += n + 1;
+        if (carry_.empty()) return std::string_view(begin, n);
+        carry_.append(begin, n);
+        return std::string_view(carry_);
+      }
+      carry_.append(begin, static_cast<std::size_t>(end - begin));
+      pos_ = filled_;
+    }
+  }
+
+ private:
+  std::FILE* file_;
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  std::string carry_;
+};
+
+#ifdef QOS_HAVE_MMAP
+/// Walks an mmap'd file in place — zero copies, the page cache owns the
+/// bytes.  Advised MADV_SEQUENTIAL: the walk is one pass front to back.
+class MmapLineSource final : public LineSource {
+ public:
+  MmapLineSource(void* data, std::size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+
+  ~MmapLineSource() override {
+    if (data_ != nullptr && size_ > 0)
+      ::munmap(const_cast<char*>(data_), size_);
+  }
+
+  std::optional<std::string_view> next_line() override {
+    if (pos_ >= size_) return std::nullopt;
+    const char* begin = data_ + pos_;
+    const char* nl = static_cast<const char*>(
+        std::memchr(begin, '\n', size_ - pos_));
+    const std::size_t n = nl != nullptr
+                              ? static_cast<std::size_t>(nl - begin)
+                              : size_ - pos_;
+    pos_ += n + 1;  // past the newline (or past the end; loop exits either way)
+    return std::string_view(begin, n);
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+#endif  // QOS_HAVE_MMAP
+
+std::unique_ptr<LineSource> open_source(const std::string& path,
+                                        const SpcStreamOptions& options) {
+#ifdef QOS_HAVE_MMAP
+  if (options.use_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return nullptr;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::make_unique<MmapLineSource>(nullptr, 0);
+    }
+    void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (data == MAP_FAILED) return nullptr;
+    ::madvise(data, size, MADV_SEQUENTIAL);
+    return std::make_unique<MmapLineSource>(data, size);
+  }
+#endif
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return nullptr;
+  return std::make_unique<ChunkLineSource>(file, options.chunk_bytes);
+}
+
+}  // namespace
+
+class SpcFileStream::Impl {
+ public:
+  Impl(std::unique_ptr<LineSource> source, Time window)
+      : source_(std::move(source)), window_(window) {}
+
+  std::optional<Request> next() {
+    // Fill the reorder heap until its top is provably final: either the file
+    // is exhausted, or some record `window_` newer has been seen, so the
+    // bounded-disorder contract puts every unread record after the top.
+    while (!exhausted_ && !releasable()) {
+      auto line = source_->next_line();
+      if (!line) {
+        exhausted_ = true;
+        break;
+      }
+      if (line->empty()) continue;  // blank lines are not counted as skipped
+      Request r;
+      if (!parse_spc_line(*line, r)) {
+        ++skipped_;
+        continue;
+      }
+      if (r.arrival > max_seen_) max_seen_ = r.arrival;
+      heap_.push({r.arrival, file_index_++, r});
+    }
+    if (heap_.empty()) return std::nullopt;
+    Request r = heap_.top().record;
+    heap_.pop();
+    // A pop below the last emitted arrival means the file's disorder
+    // exceeded the window and the sorted-stream contract is already broken
+    // — fail loudly rather than hand the simulator time travel.
+    QOS_CHECK(r.arrival >= last_emitted_);
+    last_emitted_ = r.arrival;
+    r.seq = seq_++;  // dense, in emission order — the Trace ctor's numbering
+    QOS_CHECK(request_record_ok(r));
+    return r;
+  }
+
+  std::size_t skipped_lines() const { return skipped_; }
+
+ private:
+  struct Pending {
+    Time arrival;
+    std::uint64_t index;  ///< position in file — the stable-sort tie-break
+    Request record;
+
+    // Inverted: std::priority_queue is a max-heap, we need the min.
+    friend bool operator<(const Pending& a, const Pending& b) {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.index > b.index;
+    }
+  };
+
+  bool releasable() const {
+    return !heap_.empty() && heap_.top().arrival + window_ <= max_seen_;
+  }
+
+  std::unique_ptr<LineSource> source_;
+  Time window_;
+  std::priority_queue<Pending> heap_;
+  std::uint64_t file_index_ = 0;
+  std::uint64_t seq_ = 0;
+  Time max_seen_ = 0;
+  Time last_emitted_ = 0;
+  std::size_t skipped_ = 0;
+  bool exhausted_ = false;
+};
+
+SpcFileStream::SpcFileStream(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+SpcFileStream::~SpcFileStream() = default;
+
+std::optional<Request> SpcFileStream::next() { return impl_->next(); }
+
+std::size_t SpcFileStream::skipped_lines() const {
+  return impl_->skipped_lines();
+}
+
+std::unique_ptr<SpcFileStream> try_open_spc_stream(
+    const std::string& path, const SpcStreamOptions& options) {
+  QOS_EXPECTS(options.reorder_window >= 0);
+  auto source = open_source(path, options);
+  if (source == nullptr) return nullptr;
+  return std::make_unique<SpcFileStream>(
+      std::make_unique<SpcFileStream::Impl>(std::move(source),
+                                            options.reorder_window));
+}
+
+}  // namespace qos::stream

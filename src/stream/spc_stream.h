@@ -1,0 +1,71 @@
+// Streaming SPC trace ingest: read an on-disk trace file of any size with
+// bounded memory.
+//
+// Two line sources share one grammar (trace/spc.h's parse_spc_line):
+//   * a chunked reader that pulls the file through a fixed-size buffer, and
+//   * an mmap-backed reader that walks the mapped bytes in place (falls back
+//     to the chunked reader on platforms without mmap).
+// Both yield records in file order.  SPC files are *nearly* time-sorted —
+// multi-ASU captures interleave streams whose clocks disagree slightly — so
+// a bounded-disorder reorder stage sits on top: records buffer in a min-heap
+// keyed (arrival, file index) and one is released only once a record
+// `reorder_window` newer has been seen, at which point nothing still in the
+// file can precede it.  Tie-breaking on file index reproduces exactly the
+// stable sort parse_spc + the Trace constructor perform, so the streamed
+// sequence is byte-identical to the materialized one (tests/test_stream.cpp)
+// — provided the file's disorder really is bounded by the window, which is
+// checked loudly (QOS_CHECK) rather than silently mis-sorted.
+//
+// Memory is O(records within one reorder window) + one chunk, independent of
+// file size.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "stream/stream.h"
+#include "util/time.h"
+
+namespace qos::stream {
+
+struct SpcStreamOptions {
+  /// Max timestamp disorder tolerated (and buffered).  A record is emitted
+  /// once some later file record is at least this much newer.  The default
+  /// comfortably covers the sub-second clock skew of the public UMass/HP
+  /// captures; exceeding it fails loudly instead of emitting out of order.
+  Time reorder_window = kUsPerSec;
+
+  /// Read granularity of the chunked reader.
+  std::size_t chunk_bytes = std::size_t{1} << 20;
+
+  /// Map the file instead of reading it through a buffer.  Same sequence;
+  /// the page cache, not the heap, holds the bytes.
+  bool use_mmap = false;
+};
+
+/// RequestStream over an SPC file.  Yields the identical sequence (order,
+/// dense seq numbering, field values) that try_load_spc_file + Trace would
+/// materialize.  Lines parse_spc_line rejects are skipped and counted.
+class SpcFileStream final : public RequestStream {
+ public:
+  ~SpcFileStream() override;
+  std::optional<Request> next() override;
+
+  /// Malformed lines seen so far (total once the stream is exhausted);
+  /// matches parse_spc's skipped-line count.
+  std::size_t skipped_lines() const;
+
+  class Impl;
+  explicit SpcFileStream(std::unique_ptr<Impl> impl);
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Open an SPC file as a stream; nullptr when the file cannot be opened
+/// (the same error contract as try_load_spc_file).
+std::unique_ptr<SpcFileStream> try_open_spc_stream(
+    const std::string& path, const SpcStreamOptions& options = {});
+
+}  // namespace qos::stream

@@ -1,0 +1,21 @@
+#include "stream/stream_sim.h"
+
+namespace qos::stream {
+
+SimResult collect_stream(RequestStream& requests, Scheduler& scheduler,
+                         std::span<Server* const> servers, EventSink* sink) {
+  SimResult result;
+  simulate_stream(requests, scheduler, servers, sink,
+                  [&result](const CompletionRecord& record) {
+                    result.completions.push_back(record);
+                  });
+  return result;
+}
+
+SimResult collect_stream(RequestStream& requests, Scheduler& scheduler,
+                         Server& server, EventSink* sink) {
+  Server* servers[] = {&server};
+  return collect_stream(requests, scheduler, servers, sink);
+}
+
+}  // namespace qos::stream

@@ -3,47 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/generator_core.h"
 #include "util/check.h"
 
 namespace qos {
 namespace {
 
-/// Stateful LBA/size/op assignment shared by all generators.
-class AddressAssigner {
- public:
-  AddressAssigner(const AddressSpec& spec, Rng rng)
-      : spec_(spec), rng_(rng) {}
-
-  void fill(Request& r) {
-    if (rng_.next_double() < spec_.sequential_prob && last_lba_ != 0) {
-      r.lba = last_lba_ + spec_.size_blocks;
-    } else {
-      r.lba = static_cast<std::uint64_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(spec_.lba_max)));
-    }
-    last_lba_ = r.lba;
-    r.size_blocks = spec_.size_blocks;
-    r.is_write = rng_.next_double() < spec_.write_fraction;
-  }
-
- private:
-  AddressSpec spec_;
-  Rng rng_;
-  std::uint64_t last_lba_ = 0;
-};
-
-std::uint64_t hash_node(std::uint64_t seed, std::uint64_t node) {
-  // SplitMix64-style mix of (seed, node) for per-node cascade orientation.
-  std::uint64_t z = seed ^ (node * 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-// All generators funnel through here so every synthetic trace is checked
-// against the central invariants (a zero size_blocks in an AddressSpec
-// would otherwise only surface at simulate() entry).
-Trace finalize(std::vector<Request> out) {
+// All generators funnel through here: sort the arrival skeleton (stably, so
+// equal-arrival ties keep generation order — the same order Trace's
+// constructor would pick), assign addresses to the *sorted* sequence, and
+// check the central invariants.  Assigning addresses after the sort is what
+// lets the streaming adapters (stream/gen_stream.h) reproduce the identical
+// request sequence: the address stream is a function of the arrival-sorted
+// order, which both paths share, not of generator-internal emission order.
+Trace finalize(std::vector<Request> out, AddressAssigner& addr) {
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (auto& r : out) addr.fill(r);
   Trace trace(std::move(out));
   QOS_ENSURES(trace.validate());
   return trace;
@@ -59,86 +37,20 @@ Trace generate_workload(const WorkloadSpec& spec, Time duration,
   QOS_EXPECTS(spec.transition.empty() ||
               spec.transition.size() == n_states * n_states);
 
+  const double horizon_sec = to_sec(duration);
   Rng rng(seed);
-  Rng state_rng = rng.fork();
-  Rng batch_rng = rng.fork();
+  MmppCore base(&spec.states, &spec.transition, horizon_sec, rng.fork());
+  BatchCore batches(spec.batches, 0, horizon_sec, duration, rng.fork());
   AddressAssigner addr(spec.addresses, rng.fork());
 
   std::vector<Request> out;
-
-  // --- MMPP base process ---
-  std::size_t state = 0;
-  double t_sec = 0;
-  const double horizon_sec = to_sec(duration);
-  while (t_sec < horizon_sec) {
-    const MmppState& st = spec.states[state];
-    const double dwell = state_rng.exponential(st.mean_dwell_sec);
-    const double end_sec = std::min(horizon_sec, t_sec + dwell);
-    if (st.rate_iops > 0) {
-      double a = t_sec;
-      const double mean_gap = 1.0 / st.rate_iops;
-      while (true) {
-        a += state_rng.exponential(mean_gap);
-        if (a >= end_sec) break;
-        Request r;
-        r.arrival = from_sec(a);
-        addr.fill(r);
-        out.push_back(r);
-      }
-    }
-    t_sec = end_sec;
-    // Transition.
-    if (spec.transition.empty()) {
-      if (n_states > 1) {
-        std::size_t next = static_cast<std::size_t>(
-            state_rng.uniform_int(0, static_cast<std::int64_t>(n_states) - 2));
-        if (next >= state) ++next;
-        state = next;
-      }
-    } else {
-      const double u = state_rng.next_double();
-      double acc = 0;
-      std::size_t next = n_states - 1;
-      for (std::size_t j = 0; j < n_states; ++j) {
-        acc += spec.transition[state * n_states + j];
-        if (u < acc) {
-          next = j;
-          break;
-        }
-      }
-      state = next;
-    }
+  while (auto t = base.next()) out.push_back(Request{.arrival = *t});
+  std::vector<Time> cluster;
+  while (batches.next_batch(cluster)) {
+    for (Time a : cluster) out.push_back(Request{.arrival = a});
+    cluster.clear();
   }
-
-  // --- Batch overlay ---
-  if (spec.batches.batches_per_sec > 0) {
-    double b = 0;
-    const double mean_gap = 1.0 / spec.batches.batches_per_sec;
-    while (true) {
-      b += batch_rng.exponential(mean_gap);
-      if (b >= horizon_sec) break;
-      double size = static_cast<double>(
-          batch_rng.geometric(1.0 / spec.batches.mean_size));
-      if (spec.batches.giant_prob > 0 &&
-          batch_rng.next_double() < spec.batches.giant_prob) {
-        size *= spec.batches.giant_factor;
-      }
-      const Time base = from_sec(b);
-      std::int64_t count = static_cast<std::int64_t>(size);
-      if (spec.batches.max_size > 0 && count > spec.batches.max_size)
-        count = spec.batches.max_size;
-      for (std::int64_t i = 0; i < count; ++i) {
-        Request r;
-        r.arrival =
-            base + batch_rng.uniform_int(0, spec.batches.spread_us);
-        if (r.arrival >= duration) continue;
-        addr.fill(r);
-        out.push_back(r);
-      }
-    }
-  }
-
-  return finalize(std::move(out));
+  return finalize(std::move(out), addr);
 }
 
 Trace generate_poisson(double rate_iops, Time duration, std::uint64_t seed,
@@ -146,19 +58,10 @@ Trace generate_poisson(double rate_iops, Time duration, std::uint64_t seed,
   QOS_EXPECTS(rate_iops > 0 && duration > 0);
   Rng rng(seed);
   AddressAssigner addr(addr_spec, rng.fork());
+  PoissonWindowCore core(rate_iops, 0, to_sec(duration), rng);
   std::vector<Request> out;
-  const double horizon = to_sec(duration);
-  const double mean_gap = 1.0 / rate_iops;
-  double t = 0;
-  while (true) {
-    t += rng.exponential(mean_gap);
-    if (t >= horizon) break;
-    Request r;
-    r.arrival = from_sec(t);
-    addr.fill(r);
-    out.push_back(r);
-  }
-  return finalize(std::move(out));
+  while (auto t = core.next()) out.push_back(Request{.arrival = *t});
+  return finalize(std::move(out), addr);
 }
 
 Trace generate_bmodel(double mean_rate_iops, double b, int levels,
@@ -188,12 +91,10 @@ Trace generate_bmodel(double mean_rate_iops, double b, int levels,
       if (!go_left) lo += width;
       node = node * 2 + (go_left ? 0 : 1);
     }
-    Request r;
-    r.arrival = lo + (width > 1 ? rng.uniform_int(0, width - 1) : 0);
-    addr.fill(r);
-    out.push_back(r);
+    const Time arrival = lo + (width > 1 ? rng.uniform_int(0, width - 1) : 0);
+    out.push_back(Request{.arrival = arrival});
   }
-  return finalize(std::move(out));
+  return finalize(std::move(out), addr);
 }
 
 Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
@@ -203,30 +104,11 @@ Trace generate_pareto_onoff(double on_rate_iops, double alpha_on,
   QOS_EXPECTS(on_rate_iops > 0 && duration > 0);
   Rng rng(seed);
   AddressAssigner addr(addr_spec, rng.fork());
+  ParetoOnOffCore core(on_rate_iops, alpha_on, xm_on_sec, mean_off_sec,
+                       to_sec(duration), rng);
   std::vector<Request> out;
-  const double horizon = to_sec(duration);
-  double t = 0;
-  bool on = true;
-  const double mean_gap = 1.0 / on_rate_iops;
-  while (t < horizon) {
-    if (on) {
-      const double end = std::min(horizon, t + rng.pareto(alpha_on, xm_on_sec));
-      double a = t;
-      while (true) {
-        a += rng.exponential(mean_gap);
-        if (a >= end) break;
-        Request r;
-        r.arrival = from_sec(a);
-        addr.fill(r);
-        out.push_back(r);
-      }
-      t = end;
-    } else {
-      t += rng.exponential(mean_off_sec);
-    }
-    on = !on;
-  }
-  return finalize(std::move(out));
+  while (auto t = core.next()) out.push_back(Request{.arrival = *t});
+  return finalize(std::move(out), addr);
 }
 
 RegimeSchedule::RegimeSchedule(std::vector<RegimePhase> phases) {
@@ -279,6 +161,7 @@ Trace generate_regime_switching(const RegimeSchedule& schedule, Time duration,
   std::vector<Request> out;
 
   const std::vector<RegimePhase>& phases = schedule.phases();
+  std::vector<Time> cluster;
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const RegimePhase& ph = phases[i];
     if (ph.begin >= duration) break;
@@ -287,53 +170,18 @@ Trace generate_regime_switching(const RegimeSchedule& schedule, Time duration,
                          : duration;
     // Per-phase streams keyed on (seed, phase index): phase content is a
     // function of its own window alone, never of how earlier phases drew.
-    Rng base_rng(hash_node(seed, 2 * i + 1));
-    Rng batch_rng(hash_node(seed, 2 * i + 2));
-    const double begin_sec = to_sec(ph.begin);
-    const double end_sec = to_sec(end);
-
-    if (ph.rate_iops > 0) {
-      double t = begin_sec;
-      const double mean_gap = 1.0 / ph.rate_iops;
-      while (true) {
-        t += base_rng.exponential(mean_gap);
-        if (t >= end_sec) break;
-        Request r;
-        r.arrival = from_sec(t);
-        addr.fill(r);
-        out.push_back(r);
-      }
-    }
-
-    if (ph.batches.batches_per_sec > 0) {
-      double b = begin_sec;
-      const double mean_gap = 1.0 / ph.batches.batches_per_sec;
-      while (true) {
-        b += batch_rng.exponential(mean_gap);
-        if (b >= end_sec) break;
-        double size = static_cast<double>(
-            batch_rng.geometric(1.0 / ph.batches.mean_size));
-        if (ph.batches.giant_prob > 0 &&
-            batch_rng.next_double() < ph.batches.giant_prob) {
-          size *= ph.batches.giant_factor;
-        }
-        const Time base = from_sec(b);
-        std::int64_t count = static_cast<std::int64_t>(size);
-        if (ph.batches.max_size > 0 && count > ph.batches.max_size)
-          count = ph.batches.max_size;
-        for (std::int64_t j = 0; j < count; ++j) {
-          Request r;
-          r.arrival = base + batch_rng.uniform_int(0, ph.batches.spread_us);
-          // Clip the cluster at the phase boundary so a shift is sharp.
-          if (r.arrival >= end) continue;
-          addr.fill(r);
-          out.push_back(r);
-        }
-      }
+    PoissonWindowCore base(ph.rate_iops, to_sec(ph.begin), to_sec(end),
+                           Rng(hash_node(seed, 2 * i + 1)));
+    BatchCore batches(ph.batches, to_sec(ph.begin), to_sec(end), end,
+                      Rng(hash_node(seed, 2 * i + 2)));
+    while (auto t = base.next()) out.push_back(Request{.arrival = *t});
+    while (batches.next_batch(cluster)) {
+      for (Time a : cluster) out.push_back(Request{.arrival = a});
+      cluster.clear();
     }
   }
 
-  return finalize(std::move(out));
+  return finalize(std::move(out), addr);
 }
 
 }  // namespace qos

@@ -1,0 +1,156 @@
+#include "trace/generator_core.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qos {
+
+std::uint64_t hash_node(std::uint64_t seed, std::uint64_t node) {
+  std::uint64_t z = seed ^ (node * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// ---- MmppCore ----
+
+MmppCore::MmppCore(const std::vector<MmppState>* states,
+                   const std::vector<double>* transition, double horizon_sec,
+                   Rng rng)
+    : states_(states), transition_(transition), rng_(rng),
+      horizon_(horizon_sec) {
+  QOS_EXPECTS(states_ != nullptr && !states_->empty());
+  QOS_EXPECTS(transition_ != nullptr);
+  QOS_EXPECTS(transition_->empty() ||
+              transition_->size() == states_->size() * states_->size());
+  if (horizon_ <= 0) done_ = true;  // the one-shot loop never entered
+}
+
+void MmppCore::begin_dwell() {
+  const MmppState& st = (*states_)[state_];
+  const double dwell = rng_.exponential(st.mean_dwell_sec);
+  end_ = std::min(horizon_, t_ + dwell);
+  if (st.rate_iops > 0) {
+    a_ = t_;
+    in_dwell_ = true;
+  } else {
+    finish_dwell();
+  }
+}
+
+void MmppCore::finish_dwell() {
+  in_dwell_ = false;
+  t_ = end_;
+  const std::size_t n_states = states_->size();
+  if (transition_->empty()) {
+    if (n_states > 1) {
+      std::size_t next = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n_states) - 2));
+      if (next >= state_) ++next;
+      state_ = next;
+    }
+  } else {
+    const double u = rng_.next_double();
+    double acc = 0;
+    std::size_t next = n_states - 1;
+    for (std::size_t j = 0; j < n_states; ++j) {
+      acc += (*transition_)[state_ * n_states + j];
+      if (u < acc) {
+        next = j;
+        break;
+      }
+    }
+    state_ = next;
+  }
+  if (t_ >= horizon_) done_ = true;
+}
+
+std::optional<Time> MmppCore::next() {
+  while (!done_) {
+    if (in_dwell_) {
+      const MmppState& st = (*states_)[state_];
+      a_ += rng_.exponential(1.0 / st.rate_iops);
+      if (a_ < end_) return from_sec(a_);
+      finish_dwell();
+    } else {
+      begin_dwell();
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- BatchCore ----
+
+BatchCore::BatchCore(const BatchSpec& spec, double start_sec, double end_sec,
+                     Time clip, Rng rng)
+    : spec_(spec), end_(end_sec), clip_(clip), rng_(rng), b_(start_sec) {
+  if (spec_.batches_per_sec > 0) {
+    alive_ = true;
+    advance_frontier();
+  }
+}
+
+void BatchCore::advance_frontier() {
+  b_ += rng_.exponential(1.0 / spec_.batches_per_sec);
+  if (b_ >= end_) {
+    alive_ = false;
+    frontier_ = kTimeMax;
+  } else {
+    frontier_ = from_sec(b_);
+  }
+}
+
+bool BatchCore::next_batch(std::vector<Time>& out) {
+  if (!alive_) return false;
+  double size = static_cast<double>(rng_.geometric(1.0 / spec_.mean_size));
+  if (spec_.giant_prob > 0 && rng_.next_double() < spec_.giant_prob) {
+    size *= spec_.giant_factor;
+  }
+  const Time base = from_sec(b_);
+  std::int64_t count = static_cast<std::int64_t>(size);
+  if (spec_.max_size > 0 && count > spec_.max_size) count = spec_.max_size;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const Time arrival = base + rng_.uniform_int(0, spec_.spread_us);
+    if (arrival >= clip_) continue;
+    out.push_back(arrival);
+  }
+  advance_frontier();
+  return true;
+}
+
+// ---- ParetoOnOffCore ----
+
+ParetoOnOffCore::ParetoOnOffCore(double on_rate_iops, double alpha_on,
+                                 double xm_on_sec, double mean_off_sec,
+                                 double horizon_sec, Rng rng)
+    : rng_(rng), horizon_(horizon_sec), on_rate_(on_rate_iops),
+      alpha_on_(alpha_on), xm_on_(xm_on_sec), mean_off_(mean_off_sec),
+      mean_gap_(1.0 / on_rate_iops) {
+  QOS_EXPECTS(on_rate_iops > 0);
+}
+
+std::optional<Time> ParetoOnOffCore::next() {
+  while (!done_) {
+    if (in_on_) {
+      a_ += rng_.exponential(mean_gap_);
+      if (a_ < end_) return from_sec(a_);
+      in_on_ = false;
+      t_ = end_;
+      on_ = false;
+      if (t_ >= horizon_) done_ = true;
+    } else if (t_ >= horizon_) {
+      done_ = true;
+    } else if (on_) {
+      end_ = std::min(horizon_, t_ + rng_.pareto(alpha_on_, xm_on_));
+      a_ = t_;
+      in_on_ = true;
+    } else {
+      t_ += rng_.exponential(mean_off_);
+      on_ = true;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qos

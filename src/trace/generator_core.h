@@ -1,0 +1,186 @@
+// Incremental generator cores — the draw-for-draw heart of every synthetic
+// workload, shared by the materialized API (trace/generator.h) and the
+// streaming adapters (stream/gen_stream.h).
+//
+// Each core owns one forked Rng stream and replays exactly the draw sequence
+// the original one-shot generator made on that stream, but one arrival (or
+// one batch) per call instead of one trace per call.  Because the Rng forks
+// happen in the same order at construction and each core consumes its own
+// stream sequentially, a materialized trace (drain the cores, sort, assign
+// addresses) and a streamed run (merge the cores in sorted order, assign
+// addresses at emission) produce byte-identical request sequences — the
+// invariant tests/test_stream.cpp asserts for every generator and preset.
+//
+// Address assignment is deliberately NOT part of the cores: the
+// AddressAssigner is a function of the *arrival-sorted* sequence (see
+// generator.cpp), which is the one order both paths share.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/generator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace qos {
+
+/// SplitMix64-style mix of (seed, node); per-node cascade orientation for
+/// the b-model and the per-phase stream seeds of regime switching.
+std::uint64_t hash_node(std::uint64_t seed, std::uint64_t node);
+
+/// Stateful LBA/size/op assignment shared by all generators.  Applied to
+/// the arrival-sorted request sequence (materialized: a fill pass after the
+/// sort; streamed: a fill per emission), so both paths see the identical
+/// address stream.
+class AddressAssigner {
+ public:
+  AddressAssigner(const AddressSpec& spec, Rng rng) : spec_(spec), rng_(rng) {}
+
+  void fill(Request& r) {
+    if (rng_.next_double() < spec_.sequential_prob && last_lba_ != 0) {
+      r.lba = last_lba_ + spec_.size_blocks;
+    } else {
+      r.lba = static_cast<std::uint64_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(spec_.lba_max)));
+    }
+    last_lba_ = r.lba;
+    r.size_blocks = spec_.size_blocks;
+    r.is_write = rng_.next_double() < spec_.write_fraction;
+  }
+
+ private:
+  AddressSpec spec_;
+  Rng rng_;
+  std::uint64_t last_lba_ = 0;
+};
+
+/// Poisson arrivals at `rate_iops` over [start_sec, end_sec), emitted in
+/// time order.  The base process of generate_poisson (start 0) and of each
+/// regime phase.  A rate of 0 emits nothing (and draws nothing).
+class PoissonWindowCore {
+ public:
+  PoissonWindowCore(double rate_iops, double start_sec, double end_sec,
+                    Rng rng)
+      : rng_(rng),
+        t_(start_sec),
+        end_(end_sec),
+        mean_gap_(rate_iops > 0 ? 1.0 / rate_iops : 0),
+        alive_(rate_iops > 0) {}
+
+  /// Next arrival instant, or nullopt forever once the window is exhausted.
+  std::optional<Time> next() {
+    if (!alive_) return std::nullopt;
+    t_ += rng_.exponential(mean_gap_);
+    if (t_ >= end_) {
+      alive_ = false;
+      return std::nullopt;
+    }
+    return from_sec(t_);
+  }
+
+ private:
+  Rng rng_;
+  double t_;
+  double end_;
+  double mean_gap_;
+  bool alive_;
+};
+
+/// The MMPP base process of generate_workload: per dwell, an exponential
+/// dwell-length draw, the dwell's Poisson arrivals, then the state
+/// transition draw(s) — all from one Rng stream in exactly that order.
+class MmppCore {
+ public:
+  /// `states` / `transition` are borrowed from the WorkloadSpec and must
+  /// outlive the core.  Requires !states->empty() and a horizon > 0.
+  MmppCore(const std::vector<MmppState>* states,
+           const std::vector<double>* transition, double horizon_sec,
+           Rng rng);
+
+  /// Next arrival instant in time order; nullopt forever once the horizon
+  /// is reached.
+  std::optional<Time> next();
+
+ private:
+  void begin_dwell();   ///< dwell-length draw; arms the arrival loop
+  void finish_dwell();  ///< advance to dwell end + transition draw(s)
+
+  const std::vector<MmppState>* states_;
+  const std::vector<double>* transition_;
+  Rng rng_;
+  double horizon_;
+  std::size_t state_ = 0;
+  double t_ = 0;        ///< dwell start (seconds)
+  double end_ = 0;      ///< dwell end (seconds)
+  double a_ = 0;        ///< last arrival instant within the dwell
+  bool in_dwell_ = false;
+  bool done_ = false;
+};
+
+/// The Poisson batch overlay: near-instantaneous request clusters.  Emits
+/// one whole batch per call — the jittered arrivals of a batch are not
+/// sorted among themselves, so the consumer owns the ordering (materialized:
+/// the global sort; streamed: the merge heap).
+///
+/// The next batch's base instant is drawn one batch ahead (the same position
+/// in the Rng stream the one-shot loop draws it), so frontier() is always a
+/// sound lower bound on every arrival this core can still emit — the fact
+/// the streaming merge's bounded lookahead rests on.
+class BatchCore {
+ public:
+  /// Overlay over [start_sec, end_sec); arrivals at or after `clip` are
+  /// dropped (generate_workload clips at the trace duration, regime phases
+  /// at the phase end).  A batches_per_sec of 0 emits nothing.
+  BatchCore(const BatchSpec& spec, double start_sec, double end_sec, Time clip,
+            Rng rng);
+
+  /// Lower bound (in Time) on every arrival still to come; kTimeMax once
+  /// exhausted.
+  Time frontier() const { return frontier_; }
+
+  /// Emit the next batch's arrivals (may be empty after clipping) into
+  /// `out`; false once exhausted.  Arrivals are appended in generation
+  /// order.
+  bool next_batch(std::vector<Time>& out);
+
+ private:
+  void advance_frontier();  ///< draw the next batch's base instant
+
+  BatchSpec spec_;
+  double end_;
+  Time clip_;
+  Rng rng_;
+  double b_ = 0;             ///< next batch's base instant (seconds)
+  Time frontier_ = kTimeMax;
+  bool alive_ = false;
+};
+
+/// Pareto on/off source: ON periods Pareto(alpha, xm) at `on_rate_iops`,
+/// OFF periods exponential — one Rng stream, periods and arrivals drawn in
+/// strict alternation exactly as generate_pareto_onoff does.
+class ParetoOnOffCore {
+ public:
+  ParetoOnOffCore(double on_rate_iops, double alpha_on, double xm_on_sec,
+                  double mean_off_sec, double horizon_sec, Rng rng);
+
+  std::optional<Time> next();
+
+ private:
+  Rng rng_;
+  double horizon_;
+  double on_rate_;
+  double alpha_on_;
+  double xm_on_;
+  double mean_off_;
+  double mean_gap_;
+  double t_ = 0;      ///< current period start
+  double end_ = 0;    ///< current ON period end
+  double a_ = 0;      ///< last arrival within the ON period
+  bool on_ = true;
+  bool in_on_ = false;  ///< inside an armed ON period
+  bool done_ = false;
+};
+
+}  // namespace qos

@@ -13,13 +13,13 @@ namespace qos {
 namespace {
 
 // Split a line on commas into at most `n` trimmed fields; returns count.
-std::size_t split_fields(const std::string& line, std::string* fields,
+std::size_t split_fields(std::string_view line, std::string_view* fields,
                          std::size_t n) {
   std::size_t count = 0;
   std::size_t pos = 0;
   while (count < n && pos <= line.size()) {
     std::size_t comma = line.find(',', pos);
-    if (comma == std::string::npos) comma = line.size();
+    if (comma == std::string_view::npos) comma = line.size();
     std::size_t b = pos;
     std::size_t e = comma;
     while (b < e && (line[b] == ' ' || line[b] == '\t')) ++b;
@@ -34,62 +34,58 @@ std::size_t split_fields(const std::string& line, std::string* fields,
 
 }  // namespace
 
+bool parse_spc_line(std::string_view line, Request& out) {
+  std::string_view f[5];
+  if (split_fields(line, f, 5) != 5) return false;
+  unsigned asu = 0;
+  unsigned long long lba = 0;
+  unsigned long long size_bytes = 0;
+  double ts = 0;
+  auto ok = [](std::string_view field, auto& val) {
+    auto [p, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), val);
+    return ec == std::errc() && p == field.data() + field.size();
+  };
+  if (!ok(f[0], asu) || !ok(f[1], lba) || !ok(f[2], size_bytes) ||
+      f[3].empty()) {
+    return false;
+  }
+  // A zero-byte request would violate the Trace positive-size invariant;
+  // a size whose block count overflows uint32 would silently wrap.
+  constexpr auto kMaxBytes =
+      std::uint64_t{std::numeric_limits<std::uint32_t>::max()} * 512;
+  if (size_bytes == 0 || size_bytes > kMaxBytes) return false;
+  // Timestamps are decimal seconds; std::from_chars(double) is not
+  // universally available for floats pre-GCC11, but we target GCC with
+  // C++20 where it is.  Reject non-finite values (NaN compares false
+  // against every bound) and values whose microsecond conversion would
+  // overflow Time.
+  constexpr double kMaxSeconds = static_cast<double>(kTimeMax / kUsPerSec);
+  if (!ok(f[4], ts) || !std::isfinite(ts) || ts < 0 || ts > kMaxSeconds) {
+    return false;
+  }
+  const char op = f[3][0];
+  if (op != 'r' && op != 'R' && op != 'w' && op != 'W') return false;
+  out.client = asu;
+  out.lba = lba;
+  out.size_blocks = static_cast<std::uint32_t>((size_bytes + 511) / 512);
+  out.is_write = (op == 'w' || op == 'W');
+  out.arrival = from_sec(ts);
+  return true;
+}
+
 Trace parse_spc(const std::string& text, std::size_t* skipped_lines) {
   std::vector<Request> out;
   std::size_t skipped = 0;
   std::istringstream in(text);
   std::string line;
-  std::string f[5];
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    if (split_fields(line, f, 5) != 5) {
-      ++skipped;
-      continue;
-    }
     Request r;
-    unsigned asu = 0;
-    unsigned long long lba = 0;
-    unsigned long long size_bytes = 0;
-    double ts = 0;
-    auto ok = [](auto& field, auto& val) {
-      auto [p, ec] =
-          std::from_chars(field.data(), field.data() + field.size(), val);
-      return ec == std::errc() && p == field.data() + field.size();
-    };
-    if (!ok(f[0], asu) || !ok(f[1], lba) || !ok(f[2], size_bytes) ||
-        f[3].empty()) {
+    if (!parse_spc_line(line, r)) {
       ++skipped;
       continue;
     }
-    // A zero-byte request would violate the Trace positive-size invariant;
-    // a size whose block count overflows uint32 would silently wrap.
-    constexpr auto kMaxBytes =
-        std::uint64_t{std::numeric_limits<std::uint32_t>::max()} * 512;
-    if (size_bytes == 0 || size_bytes > kMaxBytes) {
-      ++skipped;
-      continue;
-    }
-    // Timestamps are decimal seconds; std::from_chars(double) is not
-    // universally available for floats pre-GCC11, but we target GCC with
-    // C++20 where it is.  Reject non-finite values (NaN compares false
-    // against every bound) and values whose microsecond conversion would
-    // overflow Time.
-    constexpr double kMaxSeconds =
-        static_cast<double>(kTimeMax / kUsPerSec);
-    if (!ok(f[4], ts) || !std::isfinite(ts) || ts < 0 || ts > kMaxSeconds) {
-      ++skipped;
-      continue;
-    }
-    const char op = f[3][0];
-    if (op != 'r' && op != 'R' && op != 'w' && op != 'W') {
-      ++skipped;
-      continue;
-    }
-    r.client = asu;
-    r.lba = lba;
-    r.size_blocks = static_cast<std::uint32_t>((size_bytes + 511) / 512);
-    r.is_write = (op == 'w' || op == 'W');
-    r.arrival = from_sec(ts);
     out.push_back(r);
   }
   if (skipped_lines) *skipped_lines = skipped;

@@ -13,14 +13,23 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "trace/trace.h"
 
 namespace qos {
 
-/// Parse SPC trace text.  Malformed lines — wrong field count, unparsable
-/// numbers, zero or uint32-overflowing block counts, negative / non-finite /
-/// unrepresentably large timestamps, unknown opcodes — are skipped; a count
+/// Parse one SPC record line into `out` (seq is left untouched — the
+/// consumer numbers records).  False for malformed lines: wrong field count,
+/// unparsable numbers, zero or uint32-overflowing block counts, negative /
+/// non-finite / unrepresentably large timestamps, unknown opcodes.  Empty
+/// lines are malformed too; callers that want parse_spc's skip-counting
+/// semantics (blank lines silently ignored, everything else counted) must
+/// test for emptiness first.  Shared by parse_spc and the chunked/mmap
+/// streaming readers in stream/spc_stream.h so one grammar serves both.
+bool parse_spc_line(std::string_view line, Request& out);
+
+/// Parse SPC trace text.  Lines parse_spc_line rejects are skipped; a count
 /// of skipped lines can be retrieved via the optional out-param.  The
 /// returned trace always satisfies Trace::validate() (non-monotonic input
 /// timestamps are sorted by the Trace constructor).

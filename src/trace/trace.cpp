@@ -23,7 +23,7 @@ bool Trace::validate() const {
   Time prev = 0;
   for (std::size_t i = 0; i < requests_.size(); ++i) {
     const Request& r = requests_[i];
-    if (r.arrival < prev || r.seq != i || r.size_blocks == 0) return false;
+    if (!request_record_ok(r) || r.arrival < prev || r.seq != i) return false;
     prev = r.arrival;
   }
   return true;

@@ -16,6 +16,15 @@
 
 namespace qos {
 
+/// The per-record invariant every workload source must establish before a
+/// request reaches the simulator: non-negative arrival and a positive block
+/// count.  One definition shared by Trace::validate (materialized traces)
+/// and the streaming readers in src/stream (which never hold a full Trace
+/// to validate, so they check each record at emission instead).
+inline bool request_record_ok(const Request& r) {
+  return r.arrival >= 0 && r.size_blocks != 0;
+}
+
 class Trace {
  public:
   Trace() = default;

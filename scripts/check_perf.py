@@ -63,6 +63,14 @@ machine-cancelling trick as --online.  Checks:
      barrier window, not the run length, so this is absolute and
      machine-checked on the current numbers alone.
   3. Integrity: completions == requests in the current run.
+  4. Observability (instrumented manifests, i.e. --trace/--metrics runs):
+     obs_overhead — (untraced - instrumented) / untraced events/sec from
+     the harness's own --overhead reference pass — must stay under
+     --max-overhead (default 0.20, the <= 20% tracing budget), and
+     trace_dropped must be 0 (streaming tracing never silently loses
+     spans).  Check 1 only compares like-for-like manifests: an
+     instrumented run against an uninstrumented baseline is gated here,
+     not on the baseline's raw throughput.
 
 Digests are printed for the log but not gated against the baseline (the
 cross-shard byte-identity check is CI's `cmp` over the harness's stdout;
@@ -180,15 +188,39 @@ def check_chaos(baseline, current, tolerance):
     return failures
 
 
-def check_stream(baseline, current, tolerance):
+def check_stream(baseline, current, tolerance, max_overhead):
     failures = []
+    cur_obs = current.get("observability", {})
+    base_obs = baseline.get("observability", {})
+    instrumented = cur_obs.get("traced", False) or cur_obs.get("metrics",
+                                                               False)
     base_norm = baseline["normalized"]
     cur_norm = current["normalized"]
     allowed = (1.0 - tolerance) * base_norm
-    if cur_norm < allowed:
+    # The baseline normalized throughput only gates a like-for-like run: an
+    # instrumented pass against an uninstrumented baseline (or vice versa)
+    # measures the tracer, not a regression — those runs are gated on
+    # obs_overhead below instead.
+    comparable = instrumented == (base_obs.get("traced", False) or
+                                  base_obs.get("metrics", False))
+    if comparable and cur_norm < allowed:
         failures.append(
             f"normalized {cur_norm:.4f} < {allowed:.4f} "
             f"(>{tolerance:.0%} regression from {base_norm:.4f})")
+    if instrumented:
+        # Observability gates, on the current run alone.  The overhead
+        # ratio only exists when --overhead ran a reference pass.
+        untraced = cur_obs.get("untraced_events_per_sec", 0)
+        overhead = cur_obs.get("obs_overhead", 0.0)
+        if untraced > 0 and overhead > max_overhead:
+            failures.append(
+                f"obs_overhead {overhead:.4f} > {max_overhead:.2f} — "
+                f"tracing+metrics cost more than "
+                f"{max_overhead:.0%} of untraced events/sec")
+        if cur_obs.get("trace_dropped", 0) != 0:
+            failures.append(
+                f"trace_dropped {cur_obs['trace_dropped']} != 0 — spans "
+                f"were silently lost (streaming mode must never drop)")
     if not current.get("rss_ok", False):
         failures.append(
             f"peak_rss_bytes {current.get('peak_rss_bytes', 0)} exceeds "
@@ -205,6 +237,15 @@ def check_stream(baseline, current, tolerance):
     for key in ("request_digest", "completion_digest"):
         print(f"{key:<24} {baseline.get(key, ''):>14} "
               f"{current.get(key, ''):>14}  (informational)")
+    if cur_obs:
+        print(f"{'traced/metrics':<24} {'':>14} "
+              f"{str(cur_obs.get('traced', False)) + '/' + str(cur_obs.get('metrics', False)):>14}")
+        for key in ("events_observed", "trace_observed", "trace_dropped",
+                    "obs_overhead", "untraced_events_per_sec"):
+            print(f"{key:<24} {base_obs.get(key, 0):>14} "
+                  f"{cur_obs.get(key, 0):>14}")
+        print(f"{'event_digest':<24} {base_obs.get('event_digest', ''):>14} "
+              f"{cur_obs.get('event_digest', ''):>14}  (informational)")
     return failures
 
 
@@ -229,6 +270,10 @@ def main() -> int:
                         help="micro: hard speedup floor at 256 flows")
     parser.add_argument("--min-normalized", type=float, default=0.02,
                         help="online: hard normalized-throughput floor")
+    parser.add_argument("--max-overhead", type=float, default=0.20,
+                        help="stream: ceiling on observability.obs_overhead "
+                             "for instrumented giant_run manifests (the "
+                             "<= 20%% events/sec tracing budget)")
     args = parser.parse_args()
     if sum((args.online, args.chaos, args.stream)) > 1:
         parser.error("--online, --chaos and --stream are mutually exclusive")
@@ -252,7 +297,8 @@ def main() -> int:
         return 0
 
     if args.stream:
-        failures = check_stream(baseline, current, args.tolerance)
+        failures = check_stream(baseline, current, args.tolerance,
+                                args.max_overhead)
         if failures:
             print("\nperf-smoke FAILED:", file=sys.stderr)
             for f_ in failures:

@@ -74,8 +74,14 @@ ShapingOutcome shape_and_run(const Trace& trace, const ShapingConfig& raw) {
     Server* servers[] = {decorated(&server, 0)};
     out.sim = simulate(trace, *scheduler, servers, config.effective_sink());
   }
-  if (config.observed())
+  if (config.observed()) {
     out.report = build_shaping_report(out.sim, config.delta, config.registry);
+    if (config.tracer != nullptr) {
+      out.report.traced = true;
+      out.report.trace_observed = config.tracer->observed();
+      out.report.trace_dropped = config.tracer->dropped();
+    }
+  }
   return out;
 }
 

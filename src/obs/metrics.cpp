@@ -107,7 +107,15 @@ double LatencyHistogram::cdf(Time value_us) const {
   return static_cast<double>(cum) / static_cast<double>(count_);
 }
 
+bool LatencyHistogram::consistent() const {
+  std::uint64_t in_buckets = 0;
+  for (std::uint64_t b : buckets_) in_buckets += b;
+  return in_buckets == count_;
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
+  QOS_CHECK(consistent());
+  QOS_CHECK(other.consistent());
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size())
     buckets_.resize(other.buckets_.size(), 0);
@@ -119,6 +127,27 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   count_ += other.count_;
 }
 
+void OccupancySeries::merge(const OccupancySeries& other) {
+  if (other.empty()) return;
+  if (!started_) {
+    *this = other;
+    return;
+  }
+  // Both series live on the same virtual clock.  Extend each to the union
+  // window's end (a lane holds its current value past its last update and
+  // contributes 0 before its first), then sum the integrals.
+  const Time union_last = last_ > other.last_ ? last_ : other.last_;
+  weighted_sum_ += static_cast<double>(value_) *
+                   static_cast<double>(union_last - last_);
+  weighted_sum_ += other.weighted_sum_ +
+                   static_cast<double>(other.value_) *
+                       static_cast<double>(union_last - other.last_);
+  if (other.first_ < first_) first_ = other.first_;
+  last_ = union_last;
+  value_ += other.value_;
+  if (other.max_ > max_) max_ = other.max_;  // lower bound on combined peak
+}
+
 void MetricRegistry::merge_from(const MetricRegistry& other) {
   for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
   for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
@@ -127,6 +156,14 @@ void MetricRegistry::merge_from(const MetricRegistry& other) {
     QOS_CHECK(occupancies_.find(name) == occupancies_.end());
     occupancies_.emplace(name, o);
   }
+}
+
+void MetricRegistry::fan_in(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, o] : other.occupancies_)
+    occupancies_[name].merge(o);
 }
 
 const Counter* MetricRegistry::find_counter(const std::string& name) const {

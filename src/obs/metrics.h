@@ -96,7 +96,15 @@ class LatencyHistogram {
   /// separate threads after a join is equivalent to recording every sample
   /// into one histogram (tests assert), which is how the runner aggregates
   /// sweep metrics race-free — no histogram is ever shared across threads.
+  /// QOS_CHECKs both sides' bucket/count consistency first: a histogram
+  /// whose bucket sum disagrees with its count was built under a different
+  /// bucketing (or torn by a data race), and folding it in would corrupt
+  /// every downstream quantile silently.
   void merge(const LatencyHistogram& other);
+
+  /// True when the bucket counts sum to count() — the invariant every
+  /// record()/merge() preserves and merge() checks on both operands.
+  bool consistent() const;
 
   /// Visit non-empty buckets as (lower, upper, count), lower inclusive,
   /// upper exclusive (equal to lower + 1 for the exact unit buckets).
@@ -168,6 +176,22 @@ class OccupancySeries {
   Time duration() const { return started_ ? last_ - first_ : 0; }
   bool empty() const { return !started_; }
 
+  /// Parallel composition for shard fan-in: `this` and `other` are step
+  /// functions on the SAME virtual clock (per-lane shards of one sharded
+  /// run), and the combined series is their pointwise sum.  A lane
+  /// contributes 0 before its first update (its queue is empty until then)
+  /// and holds its current value from its last update to the union window's
+  /// end, so the combined integral over [min(first), max(last)] — and hence
+  /// mean()/mean_until() — is exact.  max() becomes the max of per-lane
+  /// peaks: a lower bound on the combined instantaneous peak (two lanes'
+  /// peaks need not coincide; an exact combined peak would need the full
+  /// step timelines, which the bounded-memory summaries deliberately drop).
+  /// current() becomes the sum of currents.  Merging an empty other is a
+  /// no-op; merging into an empty this copies.  NOT valid for series from
+  /// unrelated runs — use MetricRegistry::merge_from's collision abort to
+  /// catch that.
+  void merge(const OccupancySeries& other);
+
  private:
   bool started_ = false;
   Time first_ = 0;
@@ -213,6 +237,14 @@ class MetricRegistry {
   /// fan-in half of the runner's aggregation model: workers populate
   /// thread-private registries, the collecting thread merges after join.
   void merge_from(const MetricRegistry& other);
+
+  /// Shard fan-in: like merge_from, but `other` is a per-lane shard of the
+  /// SAME run (shared virtual clock), so colliding occupancy series compose
+  /// in parallel via OccupancySeries::merge instead of aborting.  Fold
+  /// lanes in a deterministic order (ascending tenant) — counter and bucket
+  /// arithmetic is exact, but occupancy integrals are doubles, and a fixed
+  /// fold order is what makes snapshots bit-identical across shard counts.
+  void fan_in(const MetricRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -159,6 +159,15 @@ std::string ShapingReport::to_string() const {
                   static_cast<long long>(q2_occupancy.max));
     out += buf;
   }
+  if (traced) {
+    // Only traced runs print this line, so untraced stdout stays
+    // byte-identical to pre-tracing builds.
+    std::snprintf(buf, sizeof(buf),
+                  "trace     observed=%llu dropped=%llu\n",
+                  static_cast<unsigned long long>(trace_observed),
+                  static_cast<unsigned long long>(trace_dropped));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "misses    total=%llu max-run=%llu runs:",
                 static_cast<unsigned long long>(deadline_misses),
@@ -197,6 +206,13 @@ std::string ShapingReport::to_csv() const {
   };
   occ("q1_occupancy", q1_occupancy);
   occ("q2_occupancy", q2_occupancy);
+  if (traced) {
+    std::snprintf(buf, sizeof(buf),
+                  "trace,observed,%llu\ntrace,dropped,%llu\n",
+                  static_cast<unsigned long long>(trace_observed),
+                  static_cast<unsigned long long>(trace_dropped));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "misses,total,%llu\n",
                 static_cast<unsigned long long>(deadline_misses));
   out += buf;
@@ -235,6 +251,13 @@ std::string ShapingReport::to_json() const {
   };
   occ("q1_occupancy", q1_occupancy, true);
   occ("q2_occupancy", q2_occupancy, true);
+  std::snprintf(buf, sizeof(buf),
+                "  \"trace\": {\"traced\": %s, \"observed\": %llu, "
+                "\"dropped\": %llu},\n",
+                traced ? "true" : "false",
+                static_cast<unsigned long long>(trace_observed),
+                static_cast<unsigned long long>(trace_dropped));
+  out += buf;
   std::snprintf(buf, sizeof(buf), "  \"deadline_misses\": %llu,\n",
                 static_cast<unsigned long long>(deadline_misses));
   out += buf;

@@ -43,6 +43,15 @@ struct ShapingReport {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
 
+  /// Tracing accounting, filled by shape_and_run when a Tracer was attached
+  /// (traced == true).  trace_dropped counts completed spans the Tracer's
+  /// ring buffer evicted — silent span loss unless surfaced here: any
+  /// analysis over a trace with trace_dropped > 0 is looking at a window,
+  /// not the run.
+  bool traced = false;
+  std::uint64_t trace_observed = 0;
+  std::uint64_t trace_dropped = 0;
+
   /// miss_run_lengths[k] = number of maximal runs of exactly k+1 consecutive
   /// requests (arrival order) whose response time exceeded delta.
   std::vector<std::uint64_t> miss_run_lengths;

@@ -1,0 +1,122 @@
+// SpanMap — open-addressing map from request seq to in-flight RequestSpan.
+//
+// The Tracer keeps one live span per sampled in-flight request and touches
+// the map on nearly every event (insert at arrival, lookup at admit and
+// dispatch, erase at completion).  With node-based std::unordered_map that
+// is an allocation and a pointer chase per touch, which alone can cost more
+// than the rest of the event pipeline on a giant run.  This map is a flat
+// linear-probe table — power-of-two capacity, splitmix64-mixed keys,
+// backward-shift deletion (no tombstones) — so the steady-state working set
+// is one contiguous array sized by the *in-flight* span count (bounded by
+// queue depths, typically tens), never by the run length.
+//
+// Not a general-purpose container: keys are request seqs (any u64 works;
+// the table stores key+1 so 0 marks an empty slot), values must be
+// default-constructible and assignable, and there is no iteration — the
+// Tracer never walks live spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qos {
+
+template <typename Value>
+class SpanMap {
+ public:
+  /// Reference to the value for `key`, inserting a default-constructed one
+  /// when absent; `inserted` reports which happened.  The reference is
+  /// invalidated by any later insert (the table may grow).
+  Value& find_or_insert(std::uint64_t key, bool& inserted) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.stored == 0) {
+        s.stored = key + 1;
+        s.value = Value{};
+        ++size_;
+        inserted = true;
+        return s.value;
+      }
+      if (s.stored == key + 1) {
+        inserted = false;
+        return s.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Remove `key` if present (backward-shift deletion keeps every remaining
+  /// entry reachable without tombstones).  Returns whether it was present.
+  bool erase(std::uint64_t key) {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.stored == 0) return false;
+      if (s.stored == key + 1) break;
+      i = (i + 1) & mask;
+    }
+    std::size_t hole = i;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      const Slot& cand = slots_[j];
+      if (cand.stored == 0) break;
+      // cand may shift into the hole only if its home slot does not lie
+      // strictly between the hole and its current position (probe-order
+      // arithmetic, mod capacity).
+      const std::size_t home = mix(cand.stored - 1) & mask;
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        slots_[hole] = cand;
+        hole = j;
+      }
+    }
+    slots_[hole].stored = 0;
+    slots_[hole].value = Value{};
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t stored = 0;  ///< key + 1; 0 = empty
+    Value value{};
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {  // splitmix64 finalizer
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 64 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.stored == 0) continue;
+      std::size_t i = mix(s.stored - 1) & mask;
+      while (slots_[i].stored != 0) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace qos

@@ -10,6 +10,19 @@ Tracer::Tracer(TracerConfig config)
     : sample_every_(config.sample_every < 1 ? 1 : config.sample_every),
       max_spans_(config.max_spans) {
   if (max_spans_ > 0) done_.reserve(max_spans_);
+  // Precompute the divisibility-test constants for sampled() (see trace.h).
+  std::uint64_t d = sample_every_;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++sample_shift_;
+  }
+  sample_low_mask_ = (std::uint64_t{1} << sample_shift_) - 1;
+  // Inverse of odd d mod 2^64 by Newton iteration: each step doubles the
+  // number of correct low bits, so five steps from a 3-bit seed suffice.
+  std::uint64_t inv = d;  // correct to 3 bits for odd d
+  for (int i = 0; i < 5; ++i) inv *= 2 - d * inv;
+  sample_inv_ = inv;
+  sample_thresh_ = ~std::uint64_t{0} / d;
 }
 
 void Tracer::annotate(std::string label, std::string trace_name, Time delta) {
@@ -29,16 +42,21 @@ void Tracer::clear() {
 }
 
 RequestSpan& Tracer::live(const Event& e) {
-  auto [it, inserted] = live_.try_emplace(e.seq);
+  bool inserted = false;
+  RequestSpan& span = live_.find_or_insert(e.seq, inserted);
   if (inserted) {
-    it->second.seq = e.seq;
-    it->second.client = e.client;
+    span.seq = e.seq;
+    span.client = e.client;
     ++observed_;
   }
-  return it->second;
+  return span;
 }
 
 void Tracer::finish(RequestSpan span) {
+  if (span_sink_ != nullptr) {
+    span_sink_->on_span(span);  // streaming mode: forward, never retain
+    return;
+  }
   if (max_spans_ == 0 || done_.size() < max_spans_) {
     done_.push_back(span);
     return;
@@ -53,10 +71,14 @@ void Tracer::on_event(const Event& e) {
   switch (e.kind) {
     case EventKind::kFaultBegin: {
       // Multi-server runs announce each window once per server (every
-      // FaultyServer carries its own schedule copy); record it once.
+      // FaultyServer carries its own schedule copy); record it once.  The
+      // dedup vector is kept even in streaming mode — it is bounded by the
+      // fault schedule, not the run length.
       const FaultSpan span{e.time, e.c, e.a, e.b};
-      if (std::find(faults_.begin(), faults_.end(), span) == faults_.end())
+      if (std::find(faults_.begin(), faults_.end(), span) == faults_.end()) {
         faults_.push_back(span);
+        if (span_sink_ != nullptr) span_sink_->on_fault(span);
+      }
       break;
     }
     case EventKind::kFaultEnd:
@@ -64,7 +86,11 @@ void Tracer::on_event(const Event& e) {
     case EventKind::kSlackDispatch:
       // Slack accounting is a run-level series: exact even when request
       // sampling drops the span itself.
-      slack_.push_back({e.time, e.a});
+      if (span_sink_ != nullptr) {
+        span_sink_->on_slack({e.time, e.a});
+      } else {
+        slack_.push_back({e.time, e.a});
+      }
       if (sampled(e.seq)) live(e).slack_funding = e.a;
       break;
     case EventKind::kArrival:

@@ -24,10 +24,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/sink.h"
+#include "obs/span_map.h"
 #include "util/time.h"
 
 namespace qos {
@@ -107,6 +107,20 @@ struct TracerConfig {
   std::size_t max_spans = 0;
 };
 
+/// Consumer of assembled trace records as they are produced — the streaming
+/// alternative to materializing a TraceData.  A Tracer with a SpanSink
+/// attached forwards each completed span / fault window / slack sample here
+/// instead of accumulating it, so memory stays bounded by the in-flight
+/// request census regardless of run length.  ChunkedTraceWriter
+/// (obs/trace_stream.h) is the file-backed implementation.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const RequestSpan& span) = 0;
+  virtual void on_fault(const FaultSpan& fault) = 0;
+  virtual void on_slack(const SlackSample& sample) = 0;
+};
+
 /// Everything one traced run produced — the unit the exporters serialize.
 struct TraceData {
   std::string label;       ///< e.g. the sweep-cell label ("Miser")
@@ -136,6 +150,15 @@ class Tracer final : public EventSink {
   /// disables forwarding.  Not owned.
   void set_downstream(EventSink* sink) { downstream_ = sink; }
 
+  /// Switch to streaming mode: completed spans, fault windows and slack
+  /// samples go to `sink` as they are produced and are NOT accumulated —
+  /// data() then carries metadata, fault windows (kept for dedup; bounded
+  /// by the fault schedule) and counters, but empty spans/slack.  Nothing
+  /// is ring-evicted in this mode, so dropped() stays 0.  Not owned; set
+  /// before the run starts (mid-run switching would split the record
+  /// stream).
+  void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
+
   void on_event(const Event& e) override;
 
   /// Snapshot the assembled trace.  Completed spans come out in completion
@@ -155,17 +178,30 @@ class Tracer final : public EventSink {
   std::size_t in_flight() const { return live_.size(); }
 
  private:
+  /// seq % sample_every == 0, without the per-event 64-bit division (this
+  /// runs for every lifecycle event of a giant run).  Decompose
+  /// sample_every = d * 2^s with d odd: divisible iff the low s bits are
+  /// zero and (seq >> s) * inv(d) mod 2^64 <= (2^64 - 1) / d — the standard
+  /// multiplicative-inverse divisibility test, one multiply and two
+  /// compares.
   bool sampled(std::uint64_t seq) const {
-    return sample_every_ <= 1 || seq % sample_every_ == 0;
+    return sample_every_ <= 1 ||
+           ((seq & sample_low_mask_) == 0 &&
+            (seq >> sample_shift_) * sample_inv_ <= sample_thresh_);
   }
   RequestSpan& live(const Event& e);
   void finish(RequestSpan span);
 
   std::uint64_t sample_every_;
+  std::uint64_t sample_low_mask_ = 0;  ///< 2^s - 1
+  unsigned sample_shift_ = 0;          ///< s: trailing zero bits
+  std::uint64_t sample_inv_ = 1;       ///< inverse of the odd part mod 2^64
+  std::uint64_t sample_thresh_ = ~std::uint64_t{0};  ///< (2^64-1) / odd part
   std::size_t max_spans_;
   EventSink* downstream_ = nullptr;
+  SpanSink* span_sink_ = nullptr;
 
-  std::unordered_map<std::uint64_t, RequestSpan> live_;  ///< by seq
+  SpanMap<RequestSpan> live_;  ///< in-flight sampled spans, by seq
   std::vector<RequestSpan> done_;  ///< ring when max_spans_ > 0
   std::size_t ring_next_ = 0;      ///< next overwrite slot once saturated
   std::vector<FaultSpan> faults_;

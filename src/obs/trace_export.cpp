@@ -5,11 +5,14 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "obs/trace_codec.h"
+
 namespace qos {
 
 // ---- binary container -----------------------------------------------------
 //
-// Layout (all integers little-endian, fixed width):
+// Layout (all integers little-endian, fixed width; record encodings shared
+// with the chunked QOSTRC02 container via obs/trace_codec.h):
 //
 //   "QOSTRC01"                       8-byte magic
 //   u32 trace_count
@@ -21,130 +24,24 @@ namespace qos {
 //     u64 fault_count, fault_count * FaultSpan records
 //     u64 slack_count, slack_count * SlackSample records
 //   u64 FNV-1a checksum of everything before it
-//
-// A RequestSpan record is its fields in declaration order; klass/server/
-// admitted/demoted are one byte each.
 
 namespace {
 
+using trace_codec::fnv1a;
+using trace_codec::get_fault;
+using trace_codec::get_slack;
+using trace_codec::get_span;
+using trace_codec::put_fault;
+using trace_codec::put_i64;
+using trace_codec::put_slack;
+using trace_codec::put_span;
+using trace_codec::put_str;
+using trace_codec::put_u32;
+using trace_codec::put_u64;
+using trace_codec::Reader;
+
 constexpr char kMagic[] = "QOSTRC01";  // 8 chars + NUL
 constexpr std::size_t kMagicLen = 8;
-
-std::uint64_t fnv1a(const char* data, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-void put_i64(std::string& out, std::int64_t v) {
-  put_u64(out, static_cast<std::uint64_t>(v));
-}
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-void put_str(std::string& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out += s;
-}
-
-/// Bounds-checked reader over the serialized bytes.
-class Reader {
- public:
-  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
-
-  bool u64(std::uint64_t& v) {
-    if (pos_ + 8 > size_) return fail();
-    v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    pos_ += 8;
-    return true;
-  }
-  bool i64(std::int64_t& v) {
-    std::uint64_t u = 0;
-    if (!u64(u)) return false;
-    v = static_cast<std::int64_t>(u);
-    return true;
-  }
-  bool u32(std::uint32_t& v) {
-    if (pos_ + 4 > size_) return fail();
-    v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    pos_ += 4;
-    return true;
-  }
-  bool u8(std::uint8_t& v) {
-    if (pos_ + 1 > size_) return fail();
-    v = static_cast<std::uint8_t>(data_[pos_++]);
-    return true;
-  }
-  bool str(std::string& s) {
-    std::uint32_t n = 0;
-    if (!u32(n) || pos_ + n > size_) return fail();
-    s.assign(data_ + pos_, n);
-    pos_ += n;
-    return true;
-  }
-
-  std::size_t pos() const { return pos_; }
-  bool ok() const { return ok_; }
-
- private:
-  bool fail() {
-    ok_ = false;
-    return false;
-  }
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-void put_span(std::string& out, const RequestSpan& s) {
-  put_u64(out, s.seq);
-  put_u32(out, s.client);
-  put_i64(out, s.arrival);
-  put_i64(out, s.decision);
-  put_i64(out, s.enqueue);
-  put_i64(out, s.service_start);
-  put_i64(out, s.completion);
-  put_i64(out, s.depth_at_decision);
-  put_i64(out, s.max_q1_at_decision);
-  put_i64(out, s.slack_funding);
-  put_i64(out, s.inflation_us);
-  put_u8(out, static_cast<std::uint8_t>(s.klass));
-  put_u8(out, s.server);
-  put_u8(out, s.admitted);
-  put_u8(out, s.demoted);
-}
-
-bool get_span(Reader& in, RequestSpan& s) {
-  std::uint8_t klass = 0;
-  const bool ok = in.u64(s.seq) && in.u32(s.client) && in.i64(s.arrival) &&
-                  in.i64(s.decision) && in.i64(s.enqueue) &&
-                  in.i64(s.service_start) && in.i64(s.completion) &&
-                  in.i64(s.depth_at_decision) &&
-                  in.i64(s.max_q1_at_decision) && in.i64(s.slack_funding) &&
-                  in.i64(s.inflation_us) && in.u8(klass) && in.u8(s.server) &&
-                  in.u8(s.admitted) && in.u8(s.demoted);
-  if (!ok || klass > 1) return false;
-  s.klass = static_cast<ServiceClass>(klass);
-  return true;
-}
 
 }  // namespace
 
@@ -162,17 +59,9 @@ std::string serialize_traces(std::span<const TraceData> traces) {
     put_u64(out, t.spans.size());
     for (const RequestSpan& s : t.spans) put_span(out, s);
     put_u64(out, t.faults.size());
-    for (const FaultSpan& f : t.faults) {
-      put_i64(out, f.begin);
-      put_i64(out, f.end);
-      put_i64(out, f.kind);
-      put_i64(out, f.severity_ppm);
-    }
+    for (const FaultSpan& f : t.faults) put_fault(out, f);
     put_u64(out, t.slack.size());
-    for (const SlackSample& s : t.slack) {
-      put_i64(out, s.time);
-      put_i64(out, s.slack);
-    }
+    for (const SlackSample& s : t.slack) put_slack(out, s);
   }
   put_u64(out, fnv1a(out.data(), out.size()));
   return out;
@@ -211,13 +100,11 @@ std::optional<std::vector<TraceData>> deserialize_traces(
     if (!in.u64(faults) || faults > bytes.size()) return std::nullopt;
     t.faults.resize(faults);
     for (FaultSpan& f : t.faults)
-      if (!in.i64(f.begin) || !in.i64(f.end) || !in.i64(f.kind) ||
-          !in.i64(f.severity_ppm))
-        return std::nullopt;
+      if (!get_fault(in, f)) return std::nullopt;
     if (!in.u64(slack) || slack > bytes.size()) return std::nullopt;
     t.slack.resize(slack);
     for (SlackSample& s : t.slack)
-      if (!in.i64(s.time) || !in.i64(s.slack)) return std::nullopt;
+      if (!get_slack(in, s)) return std::nullopt;
     traces.push_back(std::move(t));
   }
   if (!in.ok() || in.pos() != payload) return std::nullopt;

@@ -1,0 +1,161 @@
+// Streaming trace path: chunked QOSTRC02 container, cursor-based scan, and
+// bounded-memory analysis/export over traces too large to materialize.
+//
+// The QOSTRC01 container (obs/trace_export.h) holds a whole TraceData —
+// writer and reader both materialize every span, which is fine for
+// figure-sized runs and O(requests) memory for giant ones.  QOSTRC02 is the
+// at-scale sibling: records are written through as they complete, framed
+// into fixed-size chunks, each independently checksummed and length-prefixed
+// so a reader can *skip* record types it does not need without parsing them.
+//
+// Layout (integers little-endian; record encodings shared with QOSTRC01 via
+// obs/trace_codec.h):
+//
+//   "QOSTRC02"                      8-byte magic
+//   meta chunk   ('M'):  label str, trace_name str, i64 delta,
+//                        u64 sample_every
+//   data chunks  ('S' spans | 'F' faults | 'K' slack), any order/number:
+//   footer chunk ('E'):  u64 observed, dropped, spans, faults, slack totals
+//
+//   every chunk:  u8 type, u64 payload_len, payload,
+//                 u64 FNV-1a(payload)
+//   data payload: u64 record_count, records
+//
+// The footer's totals double as a structural check: a truncated stream
+// either has no footer or disagrees with the per-type record counts, and
+// scan_trace_stream rejects both.  Memory for writer, cursor, analysis and
+// Perfetto export is O(chunk), never O(trace).
+//
+// What streaming analysis gives up: the queue-timeline reconstruction
+// (obs/trace_analysis.h) needs all enqueue/dispatch edges time-sorted, and
+// spans arrive in completion order — a span completing at time c may have
+// enqueued arbitrarily earlier, so no bounded-memory single pass can emit
+// the timeline exactly.  Streaming analysis therefore reports attribution,
+// miss counts and slack accounting (all exactly equal to the materialized
+// path — tests assert) and omits the timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_analysis.h"
+
+namespace qos {
+
+/// Run-level metadata carried in the QOSTRC02 meta chunk (the TraceData
+/// header fields, minus the materialized record vectors).
+struct StreamTraceMeta {
+  std::string label;
+  std::string trace_name;
+  Time delta = 0;
+  std::uint64_t sample_every = 1;
+};
+
+/// Footer totals: observability counters plus per-type record counts.
+struct StreamTraceFooter {
+  std::uint64_t observed = 0;  ///< sampled requests seen
+  std::uint64_t dropped = 0;   ///< ring evictions (0 in pure streaming mode)
+  std::uint64_t spans = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t slack = 0;
+};
+
+/// SpanSink that frames records into QOSTRC02 chunks on `out` as they
+/// arrive.  Attach to a Tracer via set_span_sink for bounded-memory traced
+/// runs; finish() must be called exactly once after the run to flush
+/// pending chunks and write the footer (the destructor QOS_CHECKs this —
+/// an unfinished stream is silently unreadable, which is worse than
+/// aborting).  The stream is borrowed and must outlive the writer.
+class ChunkedTraceWriter final : public SpanSink {
+ public:
+  static constexpr std::size_t kDefaultRecordsPerChunk = 4096;
+
+  ChunkedTraceWriter(std::ostream& out, const StreamTraceMeta& meta,
+                     std::size_t records_per_chunk = kDefaultRecordsPerChunk);
+  ~ChunkedTraceWriter() override;
+
+  ChunkedTraceWriter(const ChunkedTraceWriter&) = delete;
+  ChunkedTraceWriter& operator=(const ChunkedTraceWriter&) = delete;
+
+  void on_span(const RequestSpan& span) override;
+  void on_fault(const FaultSpan& fault) override;
+  void on_slack(const SlackSample& sample) override;
+
+  /// Flush pending chunks and write the footer.  `observed`/`dropped` come
+  /// from the Tracer at end of run (record counts are tracked internally).
+  void finish(std::uint64_t observed, std::uint64_t dropped);
+  bool finished() const { return finished_; }
+  const StreamTraceFooter& footer() const { return footer_; }
+
+ private:
+  void flush_chunk(char type, std::string& payload, std::uint64_t& count);
+
+  std::ostream& out_;
+  std::size_t records_per_chunk_;
+  std::string span_buf_, fault_buf_, slack_buf_;
+  std::uint64_t span_count_ = 0, fault_count_ = 0, slack_count_ = 0;
+  StreamTraceFooter footer_;
+  bool finished_ = false;
+};
+
+/// Scan a QOSTRC02 stream front to back, invoking the non-null callbacks
+/// per record.  Chunks whose record type has a null callback are *seeked
+/// over* — their payloads are never read or checksummed, which is what
+/// makes a faults-only pre-pass over a 10^8-span trace cheap.  Returns the
+/// footer on success; nullopt on bad magic, a corrupt/truncated chunk, a
+/// missing footer, or footer/record-count disagreement (only for the record
+/// types actually read — skipped types are trusted to the footer).
+/// `meta`, when non-null, receives the meta chunk.  The stream must be
+/// seekable (a file or istringstream); the cursor leaves it positioned at
+/// the end.  Rewind (clear() + seekg(0)) to scan again.
+std::optional<StreamTraceFooter> scan_trace_stream(
+    std::istream& in, StreamTraceMeta* meta,
+    const std::function<void(const RequestSpan&)>& on_span,
+    const std::function<void(const FaultSpan&)>& on_fault,
+    const std::function<void(const SlackSample&)>& on_slack);
+
+/// True when `bytes` (>= 8 bytes of a file head) carries the QOSTRC02
+/// magic — how tools pick the streaming path over deserialize_traces.
+bool is_chunked_trace(const std::string& head);
+
+/// Bounded-memory analysis of a QOSTRC02 stream: attribution counts, slack
+/// accounting and fault windows, but no materialized misses or timeline
+/// (see file comment).  Equal to the materialized attribute_misses /
+/// miser_slack_report on the same records.
+struct StreamAnalysis {
+  StreamTraceMeta meta;
+  StreamTraceFooter footer;
+  std::uint64_t completed = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t by_cause[kMissCauseCount] = {0, 0, 0, 0};
+  SlackReport slack;
+  std::vector<FaultSpan> faults;  ///< bounded by the fault schedule
+};
+
+/// Two-pass scan: faults + slack first (span chunks skipped), then spans
+/// classified against `delta` (< 0 uses the stream's own meta delta).
+/// nullopt on any structural error.
+std::optional<StreamAnalysis> analyze_trace_stream(std::istream& in,
+                                                   Time delta = -1);
+
+/// The trace_analysis_text twin for streamed traces: identical header,
+/// miss-attribution table and slack lines (tests assert), with the
+/// retained/dropped line reading from the footer and the queue-timeline
+/// line replaced by an "omitted" note.
+std::string trace_analysis_text_stream(const StreamAnalysis& analysis);
+
+/// Streaming Perfetto export: one pass over `trace_in`, writing trace_event
+/// JSON to `json_out` as spans are decoded; server/fault track metadata is
+/// emitted on first sight.  Same track layout as perfetto_trace_json for a
+/// single trace.  Returns false on a malformed stream (json_out may then
+/// hold a partial document).
+bool perfetto_trace_json_stream(std::istream& trace_in,
+                                std::ostream& json_out);
+
+}  // namespace qos

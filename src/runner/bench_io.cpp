@@ -94,6 +94,15 @@ std::string bench_timing_json(const BenchTiming& timing,
                 static_cast<unsigned long long>(timing.cache_hits),
                 static_cast<unsigned long long>(timing.rows), timing.threads);
   std::string out = buf;
+  if (timing.traced) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"trace\": {\"observed\": %llu, \"retained\": %llu, "
+                  "\"dropped\": %llu}",
+                  static_cast<unsigned long long>(timing.trace_observed),
+                  static_cast<unsigned long long>(timing.trace_retained),
+                  static_cast<unsigned long long>(timing.trace_dropped));
+    out += buf;
+  }
   if (profile != nullptr && !profile->empty()) {
     out += ",\n  \"profile\": {";
     bool first = true;
@@ -188,6 +197,14 @@ void write_bench_json(const BenchOptions& options, const SweepRunner& runner,
   timing.cache_hits = runner.stats().cache_hits;
   timing.rows = rows;
   timing.threads = runner.pool().thread_count();
+  if (options.trace) {
+    timing.traced = true;
+    for (const TraceData& t : runner.traces()) {
+      timing.trace_observed += t.observed;
+      timing.trace_retained += t.spans.size();
+      timing.trace_dropped += t.dropped;
+    }
+  }
   write_manifest(options, timing, /*warn_unused_trace=*/false);
   write_trace_outputs(options, runner);
 }

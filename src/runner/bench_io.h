@@ -67,6 +67,15 @@ struct BenchTiming {
   std::uint64_t cache_hits = 0;
   std::uint64_t rows = 0;
   int threads = 1;
+
+  /// Tracing accounting for --trace runs, emitted as a "trace" object in
+  /// the manifest.  trace_dropped > 0 means the span ring evicted spans —
+  /// silent loss unless it lands in the JSON where CI and humans can see
+  /// it.  traced == false omits the object (untraced manifests unchanged).
+  bool traced = false;
+  std::uint64_t trace_observed = 0;
+  std::uint64_t trace_retained = 0;
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Serialize `timing` (stable key order, fixed formatting).  A non-null,

@@ -1,9 +1,11 @@
 #include "stream/sharded.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/sharded_sink.h"
 #include "runner/thread_pool.h"
 #include "sim/engine.h"
 #include "util/check.h"
@@ -16,6 +18,7 @@ struct Lane {
   TenantSim sim;
   std::vector<Server*> servers;  ///< raw views for the engine
   std::unique_ptr<SimEngine> engine;
+  std::unique_ptr<MetricRegistry> registry;   ///< private metric shard
   std::vector<Request> inbox;                 ///< this window's arrivals
   std::vector<CompletionRecord> window_out;   ///< this window's completions
 };
@@ -39,6 +42,14 @@ ShardedStats simulate_sharded(
   std::vector<std::unique_ptr<Lane>> lanes;  ///< kept sorted by tenant id
   std::unordered_map<std::uint32_t, Lane*> by_tenant;
 
+  // Per-lane buffered sinks, canonically merged to options.sink at every
+  // barrier flush (obs/sharded_sink.h).  Lane buffers are each written by
+  // exactly one worker per window and only touched by the coordinator
+  // between windows, so no event crosses threads unsynchronized.
+  std::optional<ShardedEventSink> event_merge;
+  if (options.sink != nullptr)
+    event_merge.emplace(options.sink, options.overlap_drain);
+
   auto lane_for = [&](std::uint32_t tenant) -> Lane& {
     if (auto it = by_tenant.find(tenant); it != by_tenant.end())
       return *it->second;
@@ -52,8 +63,15 @@ ShardedStats simulate_sharded(
       QOS_CHECK(s != nullptr);
       lane->servers.push_back(s.get());
     }
+    EventSink* lane_sink =
+        event_merge ? event_merge->lane(tenant) : nullptr;
+    if (options.registry != nullptr)
+      lane->registry = std::make_unique<MetricRegistry>();
+    if (lane_sink != nullptr || lane->registry != nullptr)
+      lane->sim.scheduler->attach_observability(lane_sink,
+                                                lane->registry.get());
     lane->engine = std::make_unique<SimEngine>(*lane->sim.scheduler,
-                                               lane->servers, nullptr);
+                                               lane->servers, lane_sink);
     Lane& ref = *lane;
     by_tenant.emplace(tenant, &ref);
     lanes.insert(std::lower_bound(lanes.begin(), lanes.end(), tenant,
@@ -116,6 +134,12 @@ ShardedStats simulate_sharded(
       lane.engine->advance_until(limit, collect);
     });
 
+    // Event flush first: the window's events re-serialize into the canonical
+    // (time, seq, server) order on the coordinator.  Windows tile virtual
+    // time, so per-window flushes concatenate into one globally ordered
+    // stream — identical to what a 1-shard run hands the same sink.
+    if (event_merge) event_merge->flush();
+
     // Canonical merge: tenant-ascending concatenation, then a stable sort
     // on (finish, seq, server).  Every finish in this window precedes every
     // finish of later windows, so per-window emission is globally sorted.
@@ -140,6 +164,18 @@ ShardedStats simulate_sharded(
     stats.completions += lane->engine->completions();
   }
   stats.tenants = lanes.size();
+  if (event_merge) {
+    event_merge->finish();  // drain handed-off windows, join the drain thread
+    stats.events_forwarded = event_merge->forwarded();
+    stats.event_digest = event_merge->digest();
+  }
+
+  // Metric fan-in after the run, in tenant-ascending order: integer metric
+  // arithmetic is exact, and occupancy integrals are doubles whose fixed
+  // fold order makes the global snapshot bit-identical across shard counts.
+  if (options.registry != nullptr)
+    for (const auto& lane : lanes) options.registry->fan_in(*lane->registry);
+
   return stats;
 }
 

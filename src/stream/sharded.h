@@ -39,6 +39,9 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/sharded_sink.h"
+#include "obs/sink.h"
 #include "sim/scheduler.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
@@ -67,6 +70,27 @@ struct ShardedOptions {
   /// throughput/memory knob: wider windows amortize barriers but buffer more
   /// arrivals; results are identical for any value.
   Time lookahead = 10'000;
+
+  /// Observability (both optional, borrowed, coordinator-thread consumers).
+  /// When `sink` is non-null every lane gets a private buffered sink
+  /// (obs/sharded_sink.h); at each barrier the coordinator merges the lane
+  /// buffers canonically — (time, seq, server), the completion merge's
+  /// order — and forwards one stream here, byte-identical at any shard
+  /// count.  When `registry` is non-null every lane records into a private
+  /// MetricRegistry, fanned in tenant-ascending after the run
+  /// (MetricRegistry::fan_in), so snapshots are also shard-independent.
+  EventSink* sink = nullptr;
+  MetricRegistry* registry = nullptr;
+
+  /// Overlap the event drain (canonical merge + `sink` consumer chain) with
+  /// the next window's parallel advance on an internal drain thread —
+  /// bounded at one pending window, so memory stays two windows deep (see
+  /// obs/sharded_sink.h).  The stream `sink` observes is byte-identical
+  /// either way; with overlap it is driven from that internal thread while
+  /// the run is in flight (it is never called concurrently, and the run's
+  /// end joins the thread before returning).  Disable to drive `sink`
+  /// strictly from the coordinator between barriers.
+  bool overlap_drain = true;
 };
 
 struct ShardedStats {
@@ -77,15 +101,24 @@ struct ShardedStats {
   std::uint64_t tenants = 0;  ///< lanes created
   Time makespan = 0;          ///< last completion instant
 
+  /// When ShardedOptions::sink was set: how many events the canonical merge
+  /// forwarded, and the order-sensitive digest of that stream (folded inline
+  /// during the merge, so it is free to read).  Equal digests across shard
+  /// counts certify byte-identical event streams.
+  std::uint64_t events_forwarded = 0;
+  EventStreamDigest event_digest;
+
   std::uint64_t events() const { return requests + dispatches + completions; }
 };
 
 /// Drive a multi-tenant stream through per-tenant lanes on `shards` threads.
 /// Completions reach `out` in the canonical merged order (finish, then seq,
-/// then server), one window at a time.  Observability sinks are not wired —
-/// lanes retire events concurrently, so there is no canonical global event
-/// interleaving to offer a sink; instrument a lane's scheduler directly if
-/// needed.
+/// then server), one window at a time.  Observability is wired through
+/// ShardedOptions::sink / ::registry: lanes buffer events privately while
+/// they advance concurrently, and the coordinator re-serializes them into
+/// the canonical global order at every barrier flush, so a downstream sink
+/// (probe, Tracer, SlaBreachDetector) sees the same stream a 1-shard run
+/// produces.
 ShardedStats simulate_sharded(
     RequestStream& requests, const TenantFactory& factory,
     const ShardedOptions& options,

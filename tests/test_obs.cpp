@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/span_map.h"
 
 namespace qos {
 namespace {
@@ -294,6 +295,107 @@ TEST(Merge, RegistryFanIn) {
   EXPECT_EQ(collector.find_occupancy("q2.depth")->max(), 4);
 }
 
+// ---- shard fan-in edge cases ---------------------------------------------
+// The sharded simulator fans per-lane shards of ONE run into a global
+// registry; lanes routinely contribute nothing, one sample, or series with
+// disjoint active windows.  These pin the merge semantics for each case.
+
+TEST(Merge, OccupancyMergeMatchesHandComputedIntegral) {
+  // Lane A: value 2 on [0, 10), then 0 on [10, 30).
+  // Lane B: first update at t=20 (contributes 0 before that — its queue was
+  // empty), value 3 on [20, 30).
+  // Combined over [0, 30): 2*10 + 0*10 + 3*10 = 50 -> mean 50/30.
+  OccupancySeries a, b;
+  a.update(0, 2);
+  a.update(10, 0);
+  a.update(30, 0);
+  b.update(20, 3);
+  b.update(30, 3);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 50.0 / 30.0);
+  EXPECT_EQ(a.max(), 3);
+  EXPECT_EQ(a.current(), 3);
+  EXPECT_EQ(a.duration(), 30);
+}
+
+TEST(Merge, OccupancyMergeExtendsShorterSeriesCurrentValue) {
+  // The shorter series holds its last value to the union window's end:
+  // A is 1 on [0, 100); B is 5 on [0, 10) and holds 5 to 100.
+  // Combined integral: (1+5)*10 + (1+5)*90 = 600 -> mean 6.
+  OccupancySeries a, b;
+  a.update(0, 1);
+  a.update(100, 1);
+  b.update(0, 5);
+  b.update(10, 5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+  EXPECT_EQ(a.duration(), 100);
+}
+
+TEST(Merge, OccupancyMergeEmptyShardIsIdentity) {
+  OccupancySeries series, empty;
+  series.update(0, 4);
+  series.update(10, 4);
+  const double mean = series.mean();
+  series.merge(empty);  // empty other: no-op
+  EXPECT_DOUBLE_EQ(series.mean(), mean);
+  EXPECT_EQ(series.max(), 4);
+  EXPECT_EQ(series.duration(), 10);
+
+  OccupancySeries target;
+  target.merge(series);  // empty this: copies
+  EXPECT_DOUBLE_EQ(target.mean(), mean);
+  EXPECT_EQ(target.max(), 4);
+  EXPECT_EQ(target.current(), 4);
+  EXPECT_EQ(target.duration(), 10);
+}
+
+TEST(Merge, OccupancyMergeSingleUpdateShard) {
+  // A lane that saw exactly one update has a zero-width window: it must
+  // contribute its value from that instant on, and nothing before.
+  OccupancySeries a, b;
+  a.update(0, 1);
+  a.update(40, 1);
+  b.update(30, 7);  // single sample at t=30
+  a.merge(b);
+  // Integral: 1*30 + (1+7)*10 = 110 -> mean 110/40.
+  EXPECT_DOUBLE_EQ(a.mean(), 110.0 / 40.0);
+  EXPECT_EQ(a.max(), 7);
+  EXPECT_EQ(a.current(), 8);
+}
+
+TEST(Merge, HistogramMergeSingleSampleShards) {
+  // Degenerate shards — one sample each, including 0 — must still combine
+  // min/max/mean exactly.
+  LatencyHistogram a, b, c;
+  a.record(0);
+  b.record(1'000'000);
+  c.record(500);
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a.mean_us(), (0.0 + 1'000'000.0 + 500.0) / 3.0);
+  EXPECT_TRUE(a.consistent());
+}
+
+TEST(Merge, FanInOccupancyCollisionComposesInParallel) {
+  // merge_from aborts on occupancy collisions (unrelated runs); fan_in is
+  // the sharded path and must compose them instead.
+  MetricRegistry lane_a, lane_b, global;
+  lane_a.occupancy("q1.occupancy").update(0, 2);
+  lane_a.occupancy("q1.occupancy").update(10, 2);
+  lane_b.occupancy("q1.occupancy").update(0, 3);
+  lane_b.occupancy("q1.occupancy").update(10, 3);
+  lane_a.counter("rtt.admitted").add(7);
+  lane_b.counter("rtt.admitted").add(5);
+  global.fan_in(lane_a);
+  global.fan_in(lane_b);
+  EXPECT_DOUBLE_EQ(global.occupancy("q1.occupancy").mean(), 5.0);
+  EXPECT_EQ(global.counter("rtt.admitted").value(), 12u);
+}
+
 TEST(ShapingReportTest, MissRunsAndClassSplit) {
   // Hand-built result: seq order response times (ms):
   //   5, 15, 20, 5, 30  with delta = 10 ms
@@ -330,6 +432,98 @@ TEST(ShapingReportTest, MissRunsAndClassSplit) {
   EXPECT_NE(report.to_csv().find("misses,total,3"), std::string::npos);
   EXPECT_NE(report.to_json().find("\"deadline_misses\": 3"),
             std::string::npos);
+}
+
+// ---- SpanMap -------------------------------------------------------------
+// The Tracer's flat linear-probe table: insert/lookup/erase must behave like
+// a map through growth and backward-shift deletion (no tombstones means
+// erase must keep every colliding probe chain reachable).
+
+TEST(SpanMap, InsertLookupAndSize) {
+  SpanMap<int> map;
+  EXPECT_TRUE(map.empty());
+  bool inserted = false;
+  map.find_or_insert(7, inserted) = 70;
+  EXPECT_TRUE(inserted);
+  map.find_or_insert(7, inserted) += 1;
+  EXPECT_FALSE(inserted);  // second touch finds, not inserts
+  EXPECT_EQ(map.find_or_insert(7, inserted), 71);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(SpanMap, ZeroKeyIsAValidKey) {
+  // Slot emptiness is encoded as stored == 0 via key + 1, so seq 0 — the
+  // very first request of every run — must round-trip.
+  SpanMap<int> map;
+  bool inserted = false;
+  map.find_or_insert(0, inserted) = 42;
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.find_or_insert(0, inserted), 42);
+  EXPECT_FALSE(inserted);
+  EXPECT_TRUE(map.erase(0));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(SpanMap, EraseMissingAndOnEmpty) {
+  SpanMap<int> map;
+  EXPECT_FALSE(map.erase(5));  // empty table, no slots allocated yet
+  bool inserted = false;
+  map.find_or_insert(5, inserted);
+  EXPECT_FALSE(map.erase(6));
+  EXPECT_TRUE(map.erase(5));
+  EXPECT_FALSE(map.erase(5));  // already gone
+}
+
+TEST(SpanMap, GrowthRehashesEveryEntry) {
+  // Push far past the initial 64-slot table and the 3/4 load factor; every
+  // key must survive the rehash chain with its value.
+  SpanMap<std::uint64_t> map;
+  bool inserted = false;
+  constexpr std::uint64_t kN = 10'000;
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    map.find_or_insert(k * 97 + 13, inserted) = k;
+    ASSERT_TRUE(inserted);
+  }
+  EXPECT_EQ(map.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_EQ(map.find_or_insert(k * 97 + 13, inserted), k) << k;
+    ASSERT_FALSE(inserted);
+  }
+}
+
+TEST(SpanMap, BackwardShiftDeletionKeepsProbeChainsReachable) {
+  // Interleave inserts and erases in the in-flight pattern the Tracer
+  // drives (insert at arrival, erase at completion) and mirror against a
+  // reference map; any tombstone-style breakage shows up as a lost key.
+  SpanMap<std::uint64_t> map;
+  bool inserted = false;
+  std::uint64_t live_lo = 0, next = 0;
+  for (int round = 0; round < 2'000; ++round) {
+    map.find_or_insert(next, inserted) = next * 2;
+    ASSERT_TRUE(inserted);
+    ++next;
+    if (round % 3 == 2) {
+      ASSERT_TRUE(map.erase(live_lo));
+      ++live_lo;
+    }
+  }
+  for (std::uint64_t k = live_lo; k < next; ++k) {
+    ASSERT_EQ(map.find_or_insert(k, inserted), k * 2) << k;
+    ASSERT_FALSE(inserted);
+  }
+  EXPECT_EQ(map.size(), next - live_lo);
+  EXPECT_FALSE(map.erase(live_lo - 1));  // erased keys stay erased
+}
+
+TEST(SpanMap, ClearResets) {
+  SpanMap<int> map;
+  bool inserted = false;
+  for (std::uint64_t k = 0; k < 100; ++k) map.find_or_insert(k, inserted);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  map.find_or_insert(3, inserted) = 9;
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.size(), 1u);
 }
 
 }  // namespace

@@ -19,6 +19,10 @@ tsan_filter='ThreadPool|ResultCache|Sweep|Parallel|MinCapacityCached|Merge'
 tsan_filter+='|Obs|Chaos|Fault|DegradedRtt|CapacityMonitor|Histogram'
 tsan_filter+='|Registry|Occupancy|CounterGauge|Sinks|Exporters|ShapingReport|Sla'
 tsan_filter+='|Tracer|TraceLifecycle|Profile'
+# Million-flow hot-path structures and the sparse-activation differentials:
+# single-threaded by design, kept in the TSan stage as a cheap guard against
+# a future caller sharing a scheduler across runner threads.
+tsan_filter+='|FlatSlotMap|TimerWheel|IndexedMinHeapLazy|FqSparseActivation'
 
 echo "== tier-1: plain build + ctest =="
 cmake -B build -S . >/dev/null

@@ -30,6 +30,7 @@ std::vector<TenantSpec> plan_tenant_specs(std::span<const Trace> tenants,
 
 MultiTenantScheduler::MultiTenantScheduler(std::vector<TenantSpec> tenants) {
   QOS_EXPECTS(!tenants.empty());
+  QOS_EXPECTS(tenants.size() <= kMaxTenants);
   std::vector<double> weights;
   for (const auto& spec : tenants) {
     QOS_EXPECTS(spec.cmin_iops > 0);

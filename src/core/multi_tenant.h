@@ -15,6 +15,7 @@
 // (the isolation property asserted by tests/test_multi_tenant.cpp).
 #pragma once
 
+#include <climits>
 #include <deque>
 #include <memory>
 #include <span>
@@ -60,6 +61,20 @@ class MultiTenantScheduler final : public Scheduler {
                    Time now) override;
 
   std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Largest supported tenant set: tenant i owns flow ids 2i and 2i+1, and
+  /// both must narrow to a non-negative int for the fair scheduler.  The
+  /// constructor rejects anything larger up front.
+  static constexpr std::size_t kMaxTenants =
+      (static_cast<std::size_t>(INT_MAX) - 1) / 2;
+
+  /// Checked narrowing for flow ids: aborts instead of silently wrapping
+  /// to a negative id (which 2 * tenant does past 2^30 tenants).
+  static int checked_flow_id(std::size_t flow) {
+    QOS_EXPECTS(flow <= static_cast<std::size_t>(INT_MAX));
+    return static_cast<int>(flow);
+  }
+
   std::int64_t len_q1(std::size_t tenant) const;
   std::size_t q2_queued(std::size_t tenant) const;
 
@@ -76,9 +91,9 @@ class MultiTenantScheduler final : public Scheduler {
     std::int64_t len_q1 = 0;  ///< pending primaries (queued + in service)
   };
 
-  int q1_flow(std::size_t tenant) const { return static_cast<int>(2 * tenant); }
+  int q1_flow(std::size_t tenant) const { return checked_flow_id(2 * tenant); }
   int q2_flow(std::size_t tenant) const {
-    return static_cast<int>(2 * tenant + 1);
+    return checked_flow_id(2 * tenant + 1);
   }
 
   std::vector<Tenant> tenants_;

@@ -1,0 +1,362 @@
+// Frozen dense-vector + indexed-heap FQ backends (the PR 5 layout).
+//
+// These are the pre-flat-table implementations, kept verbatim as the layout
+// the million-flow overhaul is measured against: per-flow state in a vector
+// pre-sized to the full id space, and head tags in an IndexedMinHeap keyed
+// directly by flow id.  bench/micro_algorithms runs them side by side with
+// the production flat-table backends at 4k/64k/1M flows (the committed
+// baseline's `ref = "dense"` cells), and tests/test_fq_differential.cpp
+// uses them as a second executable spec for the sparse-activation
+// differentials.  They are NOT part of the production library — do not use
+// them outside tests and benches, and do not "fix" them: a deliberate
+// behaviour change in the real backends must retire the corresponding
+// assertion here, not mutate the reference.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fq/fair_scheduler.h"
+#include "fq/pclock.h"
+#include "util/check.h"
+#include "util/indexed_heap.h"
+#include "util/ring_buffer.h"
+
+namespace qos::denseref {
+
+/// SFQ over dense pre-sized flow vectors (PR 5 production implementation).
+class DenseSfqScheduler final : public FairScheduler {
+ public:
+  explicit DenseSfqScheduler(std::vector<double> weights) {
+    QOS_EXPECTS(!weights.empty());
+    flows_.resize(weights.size());
+    head_start_.reset(static_cast<int>(weights.size()));
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      QOS_EXPECTS(weights[i] > 0);
+      flows_[i].weight = weights[i];
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost, Time) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    Item item;
+    item.handle = handle;
+    item.start = std::max(v_, f.last_finish);
+    item.finish = item.start + cost / f.weight;
+    f.last_finish = item.finish;
+    const bool was_empty = f.queue.empty();
+    f.queue.push_back(item);
+    if (was_empty) head_start_.push(flow, item.start);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    if (head_start_.empty()) return std::nullopt;
+    const int best = head_start_.top();
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    v_ = item.start;
+    if (f.queue.empty())
+      head_start_.pop();
+    else
+      head_start_.update(best, f.queue.front().start);
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override { return head_start_.empty(); }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  double virtual_time() const { return v_; }
+
+  std::size_t approx_memory_bytes() const {
+    std::size_t queues = 0;
+    for (const Flow& f : flows_) queues += f.queue.capacity() * sizeof(Item);
+    return flows_.capacity() * sizeof(Flow) + queues +
+           head_start_.memory_bytes();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double start = 0;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    RingBuffer<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  IndexedMinHeap<double> head_start_;
+  double v_ = 0;
+};
+
+/// WFQ (SCFQ virtual time) over dense pre-sized flow vectors.
+class DenseWfqScheduler final : public FairScheduler {
+ public:
+  explicit DenseWfqScheduler(std::vector<double> weights) {
+    QOS_EXPECTS(!weights.empty());
+    flows_.resize(weights.size());
+    head_finish_.reset(static_cast<int>(weights.size()));
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      QOS_EXPECTS(weights[i] > 0);
+      flows_[i].weight = weights[i];
+      total_weight_ += weights[i];
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost, Time) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    Item item;
+    item.handle = handle;
+    item.cost = cost;
+    item.finish = std::max(v_, f.last_finish) + cost / f.weight;
+    f.last_finish = item.finish;
+    const bool was_empty = f.queue.empty();
+    f.queue.push_back(item);
+    if (was_empty) head_finish_.push(flow, item.finish);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    if (head_finish_.empty()) return std::nullopt;
+    const int best = head_finish_.top();
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    v_ = item.finish;
+    if (f.queue.empty())
+      head_finish_.pop();
+    else
+      head_finish_.update(best, f.queue.front().finish);
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override { return head_finish_.empty(); }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  double virtual_time() const { return v_; }
+
+  std::size_t approx_memory_bytes() const {
+    std::size_t queues = 0;
+    for (const Flow& f : flows_) queues += f.queue.capacity() * sizeof(Item);
+    return flows_.capacity() * sizeof(Flow) + queues +
+           head_finish_.memory_bytes();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 1;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    RingBuffer<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  IndexedMinHeap<double> head_finish_;
+  double v_ = 0;
+  double total_weight_ = 0;
+};
+
+/// WF2Q+ two-heap eligible-set structure over dense flow vectors.
+class DenseWf2qPlusScheduler final : public FairScheduler {
+ public:
+  explicit DenseWf2qPlusScheduler(std::vector<double> weights) {
+    QOS_EXPECTS(!weights.empty());
+    flows_.resize(weights.size());
+    eligible_.reset(static_cast<int>(weights.size()));
+    ineligible_.reset(static_cast<int>(weights.size()));
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      QOS_EXPECTS(weights[i] > 0);
+      flows_[i].weight = weights[i];
+      total_weight_ += weights[i];
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost, Time) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    Item item;
+    item.handle = handle;
+    item.cost = cost;
+    item.start = std::max(v_, f.last_finish);
+    item.finish = item.start + cost / f.weight;
+    f.last_finish = item.finish;
+    const bool was_empty = f.queue.empty();
+    f.queue.push_back(item);
+    if (was_empty) classify(flow, item);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    if (eligible_.empty() && ineligible_.empty()) return std::nullopt;
+    if (eligible_.empty()) v_ = std::max(v_, ineligible_.top_key());
+    while (!ineligible_.empty() && ineligible_.top_key() <= v_) {
+      const int flow = ineligible_.pop();
+      eligible_.push(
+          flow, flows_[static_cast<std::size_t>(flow)].queue.front().finish);
+    }
+    QOS_CHECK(!eligible_.empty());
+    const int best = eligible_.pop();
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    v_ += item.cost / total_weight_;
+    if (!f.queue.empty()) classify(best, f.queue.front());
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override {
+    return eligible_.empty() && ineligible_.empty();
+  }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  double virtual_time() const { return v_; }
+
+  std::size_t approx_memory_bytes() const {
+    std::size_t queues = 0;
+    for (const Flow& f : flows_) queues += f.queue.capacity() * sizeof(Item);
+    return flows_.capacity() * sizeof(Flow) + queues +
+           eligible_.memory_bytes() + ineligible_.memory_bytes();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    double cost = 1;
+    double start = 0;
+    double finish = 0;
+  };
+  struct Flow {
+    double weight = 1;
+    double last_finish = 0;
+    RingBuffer<Item> queue;
+  };
+
+  void classify(int flow, const Item& head) {
+    if (head.start <= v_)
+      eligible_.push(flow, head.finish);
+    else
+      ineligible_.push(flow, head.start);
+  }
+
+  std::vector<Flow> flows_;
+  IndexedMinHeap<double> eligible_;
+  IndexedMinHeap<double> ineligible_;
+  double v_ = 0;
+  double total_weight_ = 0;
+};
+
+/// pClock tagging over dense flow vectors, EDF via flow-id-keyed heap.
+class DensePClockScheduler final : public FairScheduler {
+ public:
+  explicit DensePClockScheduler(std::vector<PClockSla> slas) {
+    QOS_EXPECTS(!slas.empty());
+    flows_.resize(slas.size());
+    head_deadline_.reset(static_cast<int>(slas.size()));
+    for (std::size_t i = 0; i < slas.size(); ++i) {
+      QOS_EXPECTS(slas[i].sigma >= 0);
+      QOS_EXPECTS(slas[i].rho > 0);
+      QOS_EXPECTS(slas[i].delta >= 0);
+      flows_[i].sla = slas[i];
+      flows_[i].tokens = slas[i].sigma;
+    }
+  }
+
+  int flow_count() const override { return static_cast<int>(flows_.size()); }
+
+  void enqueue(int flow, std::uint64_t handle, double cost,
+               Time now) override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    QOS_EXPECTS(cost > 0);
+    Flow& f = flows_[static_cast<std::size_t>(flow)];
+    f.tokens = std::min(f.sla.sigma,
+                        f.tokens + f.sla.rho * to_sec(now - f.last_update));
+    f.last_update = now;
+
+    Item item;
+    item.handle = handle;
+    f.tokens -= cost;
+    if (f.tokens >= 0) {
+      item.deadline = now + f.sla.delta;
+    } else {
+      item.deadline = now + f.sla.delta + from_sec(-f.tokens / f.sla.rho);
+    }
+    if (!f.queue.empty())
+      item.deadline = std::max(item.deadline, f.queue.back().deadline);
+    const bool was_empty = f.queue.empty();
+    f.queue.push_back(item);
+    if (was_empty) head_deadline_.push(flow, item.deadline);
+  }
+
+  std::optional<FqDispatch> dequeue(Time) override {
+    if (head_deadline_.empty()) return std::nullopt;
+    const int best = head_deadline_.top();
+    Flow& f = flows_[static_cast<std::size_t>(best)];
+    const Item item = f.queue.front();
+    f.queue.pop_front();
+    if (f.queue.empty())
+      head_deadline_.pop();
+    else
+      head_deadline_.update(best, f.queue.front().deadline);
+    return FqDispatch{best, item.handle};
+  }
+
+  bool empty() const override { return head_deadline_.empty(); }
+
+  std::size_t backlog(int flow) const override {
+    QOS_EXPECTS(flow >= 0 && flow < flow_count());
+    return flows_[static_cast<std::size_t>(flow)].queue.size();
+  }
+
+  std::size_t approx_memory_bytes() const {
+    std::size_t queues = 0;
+    for (const Flow& f : flows_) queues += f.queue.capacity() * sizeof(Item);
+    return flows_.capacity() * sizeof(Flow) + queues +
+           head_deadline_.memory_bytes();
+  }
+
+ private:
+  struct Item {
+    std::uint64_t handle = 0;
+    Time deadline = 0;
+  };
+  struct Flow {
+    PClockSla sla;
+    double tokens = 0;
+    Time last_update = 0;
+    RingBuffer<Item> queue;
+  };
+
+  std::vector<Flow> flows_;
+  IndexedMinHeap<Time> head_deadline_;
+};
+
+}  // namespace qos::denseref

@@ -1,0 +1,157 @@
+// Flat cache-line-bucketed open-addressing flow table.
+//
+// The FQ backends key per-flow state by integer flow id.  Up to PR 10 that
+// state lived in vectors pre-sized to the full id space, which is fine at
+// 256 flows and hopeless at 10^6: a scheduler paid O(capacity) memory and
+// construction for flows that may never arrive.  FlatSlotMap instead maps a
+// sparse flow id to a *dense slot* assigned on first touch, so per-flow
+// state (kept by the caller in slot-indexed arrays) is O(flows ever seen),
+// not O(id capacity).
+//
+// Layout: an open-addressing table of 64-byte buckets, each holding up to
+// 12 (tag byte, slot) entries plus an occupancy bitmap.  A lookup hashes the
+// key to a bucket and a 1-byte tag; one cache-line load answers the common
+// case (tag filter over the bucket's entries), and collisions probe *within
+// the line* before moving to the next bucket — no node chasing, no per-entry
+// allocation.  A full-key confirm reads the slot's entry in `slot_keys_`,
+// the array the caller is about to index anyway.
+//
+// Flows are never erased: an idle flow's tag state (last finish tag, token
+// debt) must survive its queue draining, so the map only grows.  That rules
+// out tombstones and keeps probing exact: the first bucket with a free entry
+// on the probe path terminates an unsuccessful lookup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qos {
+
+class FlatSlotMap {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  FlatSlotMap() = default;
+
+  std::size_t size() const { return slot_keys_.size(); }
+  bool empty() const { return slot_keys_.empty(); }
+
+  /// Slot for `key`, or kNoSlot when the key has never been inserted.
+  std::uint32_t find(std::int32_t key) const {
+    if (buckets_.empty()) return kNoSlot;
+    const std::uint64_t h = hash(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t b = static_cast<std::size_t>(h >> 32) & bucket_mask();
+    while (true) {
+      const Bucket& bucket = buckets_[b];
+      std::uint32_t candidates = bucket.used;
+      while (candidates != 0) {
+        const int e = count_trailing_zeros(candidates);
+        candidates &= candidates - 1;
+        if (bucket.tags[e] == tag) {
+          const std::uint32_t slot = bucket.slots[e];
+          if (slot_keys_[slot] == key) return slot;
+        }
+      }
+      if (bucket.used != kFullMask) return kNoSlot;  // free entry => absent
+      b = (b + 1) & bucket_mask();
+    }
+  }
+
+  /// Slot for `key`, inserting a fresh dense slot (== previous size()) on
+  /// first touch.
+  std::uint32_t find_or_insert(std::int32_t key) {
+    const std::uint32_t found = find(key);
+    if (found != kNoSlot) return found;
+    if (slot_keys_.size() + 1 >
+        (buckets_.size() * kEntriesPerBucket * 7) / 8)
+      grow();
+    const std::uint32_t slot = static_cast<std::uint32_t>(slot_keys_.size());
+    slot_keys_.push_back(key);
+    insert_slot(key, slot);
+    return slot;
+  }
+
+  /// Flow id that was assigned `slot` (slot must be live).
+  std::int32_t key_of_slot(std::uint32_t slot) const {
+    QOS_EXPECTS(slot < slot_keys_.size());
+    return slot_keys_[slot];
+  }
+
+  /// Bytes held by the table itself (buckets + slot->key array): the
+  /// footprint scales with flows *seen*, not with the id capacity.
+  std::size_t memory_bytes() const {
+    return buckets_.capacity() * sizeof(Bucket) +
+           slot_keys_.capacity() * sizeof(std::int32_t);
+  }
+
+ private:
+  static constexpr int kEntriesPerBucket = 12;
+  static constexpr std::uint32_t kFullMask = (1u << kEntriesPerBucket) - 1;
+
+  // 2 (bitmap) + 12 (tags) + 48 (slots) = 62 bytes, padded to one line.
+  struct alignas(64) Bucket {
+    std::uint16_t used = 0;                        ///< occupancy bitmap
+    std::uint8_t tags[kEntriesPerBucket] = {};
+    std::uint32_t slots[kEntriesPerBucket] = {};
+  };
+  static_assert(sizeof(Bucket) == 64, "bucket must be one cache line");
+
+  static int count_trailing_zeros(std::uint32_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctz(x);
+#else
+    int n = 0;
+    while ((x & 1u) == 0) {
+      x >>= 1;
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  static std::uint64_t hash(std::int32_t key) {
+    // Fibonacci multiplicative mix; high bits select the bucket, a middle
+    // byte the tag, so bucket index and tag stay independent.
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(key)) *
+           0x9E3779B97F4A7C15ull;
+  }
+
+  static std::uint8_t tag_of(std::uint64_t h) {
+    return static_cast<std::uint8_t>(h >> 24);
+  }
+
+  std::size_t bucket_mask() const { return buckets_.size() - 1; }
+
+  void insert_slot(std::int32_t key, std::uint32_t slot) {
+    if (buckets_.empty()) buckets_.resize(kMinBuckets);
+    const std::uint64_t h = hash(key);
+    std::size_t b = static_cast<std::size_t>(h >> 32) & bucket_mask();
+    while (buckets_[b].used == kFullMask) b = (b + 1) & bucket_mask();
+    Bucket& bucket = buckets_[b];
+    const int e =
+        count_trailing_zeros(~static_cast<std::uint32_t>(bucket.used) &
+                             kFullMask);
+    bucket.used = static_cast<std::uint16_t>(bucket.used | (1u << e));
+    bucket.tags[e] = tag_of(h);
+    bucket.slots[e] = slot;
+  }
+
+  void grow() {
+    const std::size_t next =
+        buckets_.empty() ? kMinBuckets : buckets_.size() * 2;
+    buckets_.assign(next, Bucket{});
+    for (std::uint32_t slot = 0; slot < slot_keys_.size(); ++slot)
+      insert_slot(slot_keys_[slot], slot);
+  }
+
+  static constexpr std::size_t kMinBuckets = 2;  ///< power of two
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::int32_t> slot_keys_;  ///< slot -> flow id (confirm + grow)
+};
+
+}  // namespace qos

@@ -1,14 +1,20 @@
 // Indexed binary min-heap over small dense integer ids.
 //
 // The event simulator keys it by completion time over server ids; the fair
-// schedulers key it by head tag over flow ids.  Both need the exact total
+// schedulers key it by head tag over flow slots.  Both need the exact total
 // order their original linear scans induced: ascending key, ties broken by
 // the *lowest id* (the scans used a strict `<` improvement test walking ids
 // in ascending order).  The heap therefore orders nodes lexicographically by
 // (key, id), which makes every pop bit-compatible with the scan it replaced.
+// (A backend whose tie-break unit is not its heap id — e.g. a slot-keyed
+// heap that must tie-break on flow id — folds the tie value into a pair
+// Key, whose lexicographic `<` subsumes the id comparison.)
 //
-// A position table gives O(log n) update/erase of an arbitrary id, so head
-// tag changes (or a server redispatch) never require rebuilding.
+// A position table gives O(log n) update/erase of an arbitrary id.  The
+// table grows lazily toward `id_capacity` as ids are first pushed, so a
+// heap configured for 10^6 ids but holding a handful costs a handful of
+// entries, not megabytes — `reset` records the capacity bound and
+// allocates nothing.
 #pragma once
 
 #include <cstddef>
@@ -24,18 +30,20 @@ class IndexedMinHeap {
   IndexedMinHeap() = default;
   explicit IndexedMinHeap(int id_capacity) { reset(id_capacity); }
 
-  /// Empty the heap and size the id space to [0, id_capacity).
+  /// Empty the heap and bound the id space to [0, id_capacity).  O(1): no
+  /// storage is reserved up front; the position table grows with the
+  /// largest id actually pushed.
   void reset(int id_capacity) {
     QOS_EXPECTS(id_capacity >= 0);
+    capacity_ = static_cast<std::size_t>(id_capacity);
     heap_.clear();
-    heap_.reserve(static_cast<std::size_t>(id_capacity));
-    pos_.assign(static_cast<std::size_t>(id_capacity), kAbsent);
+    pos_.clear();
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  bool contains(int id) const { return pos_[check_id(id)] != kAbsent; }
+  bool contains(int id) const { return slot_of(check_id(id)) != kAbsent; }
 
   /// Id with the smallest (key, id).
   int top() const {
@@ -49,21 +57,23 @@ class IndexedMinHeap {
   }
 
   const Key& key_of(int id) const {
-    const std::size_t p = pos_[check_id(id)];
+    const std::size_t p = slot_of(check_id(id));
     QOS_EXPECTS(p != kAbsent);
     return heap_[p].key;
   }
 
   void push(int id, Key key) {
-    QOS_EXPECTS(pos_[check_id(id)] == kAbsent);
-    pos_[static_cast<std::size_t>(id)] = heap_.size();
+    const std::size_t i = check_id(id);
+    if (i >= pos_.size()) grow_pos(i);
+    QOS_EXPECTS(pos_[i] == kAbsent);
+    pos_[i] = heap_.size();
     heap_.push_back(Node{key, id});
     sift_up(heap_.size() - 1);
   }
 
   /// Re-key an id already in the heap (key may move either way).
   void update(int id, Key key) {
-    const std::size_t p = pos_[check_id(id)];
+    const std::size_t p = slot_of(check_id(id));
     QOS_EXPECTS(p != kAbsent);
     heap_[p].key = key;
     sift_up(p);
@@ -79,9 +89,17 @@ class IndexedMinHeap {
   }
 
   void erase(int id) {
-    const std::size_t p = pos_[check_id(id)];
+    const std::size_t p = slot_of(check_id(id));
     QOS_EXPECTS(p != kAbsent);
     remove_at(p);
+  }
+
+  /// Bytes held by the heap and its position table.  The lazy-growth
+  /// contract asserted by bench/micro_algorithms: an idle heap costs O(1)
+  /// regardless of id_capacity, and a busy one O(max id pushed).
+  std::size_t memory_bytes() const {
+    return heap_.capacity() * sizeof(Node) +
+           pos_.capacity() * sizeof(std::size_t);
   }
 
  private:
@@ -93,8 +111,21 @@ class IndexedMinHeap {
   static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
 
   std::size_t check_id(int id) const {
-    QOS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < pos_.size());
+    QOS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < capacity_);
     return static_cast<std::size_t>(id);
+  }
+
+  /// Heap index of `id`, kAbsent when out — including ids beyond the lazily
+  /// grown position table, which have never been pushed.
+  std::size_t slot_of(std::size_t i) const {
+    return i < pos_.size() ? pos_[i] : kAbsent;
+  }
+
+  void grow_pos(std::size_t i) {
+    std::size_t next = pos_.empty() ? 16 : pos_.size() * 2;
+    if (next < i + 1) next = i + 1;
+    if (next > capacity_) next = capacity_;
+    pos_.resize(next, kAbsent);
   }
 
   /// (key, id) lexicographic — the scan-equivalent total order.
@@ -145,6 +176,7 @@ class IndexedMinHeap {
     }
   }
 
+  std::size_t capacity_ = 0;  ///< id bound from reset(); pos_ grows toward it
   std::vector<Node> heap_;
   std::vector<std::size_t> pos_;  ///< id -> heap index, kAbsent when out
 };

@@ -85,7 +85,13 @@ class RingBuffer {
  private:
   std::size_t mask() const { return buf_.size() - 1; }
 
+  /// Largest power-of-two capacity a size_t can express: the doubling loop
+  /// below would otherwise shift into zero (and spin) for larger requests.
+  static constexpr std::size_t kMaxCapacity =
+      static_cast<std::size_t>(1) << (8 * sizeof(std::size_t) - 1);
+
   static std::size_t ceil_pow2(std::size_t n) {
+    QOS_EXPECTS(n <= kMaxCapacity);
     std::size_t p = kMinCapacity;
     while (p < n) p <<= 1;
     return p;

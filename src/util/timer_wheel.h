@@ -1,0 +1,282 @@
+// Hierarchical bitmap timer wheel: a calendar-queue priority structure for
+// virtual-time head tags, the O(1)-amortized alternative to IndexedMinHeap.
+//
+// Keys are unsigned 64-bit ticks (integer deadlines, or any monotone
+// integer embedding of a tag).  The wheel quantizes `key - origin` into one
+// of 64^3 buckets of width 2^shift ticks; a three-level occupancy bitmap
+// (one bit per bucket, one bit per 64 buckets, one bit per 4096) turns
+// find-min-bucket into three find-first-set instructions.  Within a bucket
+// the minimum is located by an exact (key, tie) walk, so extraction order
+// is the same scan-equivalent total order the heaps implement — ascending
+// key, ties broken by the lowest tie value (flow id) — and a backend
+// swapping heap for wheel dispatches bit-identically.
+//
+// Keys past the wheel's horizon (bucket_count << shift ticks from origin)
+// go to an unordered overflow lane that is only consulted when the wheel
+// proper drains; the wheel then re-anchors `origin` (renormalizes) and
+// redistributes.  Keys below `origin` — possible after a renormalization
+// anchored on a far-future overflow key — clamp into bucket 0, which keeps
+// ordering exact (bucket 0's walk compares full keys) at a locality cost,
+// so callers should report a lower bound on future keys via
+// `advance_floor`; renormalization then anchors no higher than that floor
+// and the clamp path stays cold.
+//
+// Unlike a classic timer wheel there is no tick cascade: extraction pays
+// the in-bucket walk instead.  That trades worst-case O(bucket occupancy)
+// per pop for O(1) insert/erase/re-key with zero per-node allocation —
+// node storage is one flat 24-byte record per id, grown lazily, so an idle
+// wheel costs nothing per configured flow (the same contract as the lazy
+// IndexedMinHeap).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qos {
+
+class TimerWheel {
+ public:
+  /// `shift` sets the bucket width to 2^shift key ticks.  With the default
+  /// 6 (64 us at microsecond keys) the horizon is ~16.8 s of deadlines; a
+  /// wider shift trades longer in-bucket walks for a longer horizon.
+  explicit TimerWheel(int shift = 6) : shift_(shift) {
+    QOS_EXPECTS(shift >= 0 && shift < 40);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  bool contains(std::uint32_t id) const {
+    return id < nodes_.size() && nodes_[id].loc != kAbsentLoc;
+  }
+
+  std::uint64_t key_of(std::uint32_t id) const {
+    QOS_EXPECTS(contains(id));
+    return nodes_[id].key;
+  }
+
+  void push(std::uint32_t id, std::uint64_t key, std::int32_t tie) {
+    if (id >= nodes_.size()) {
+      std::size_t next = nodes_.empty() ? 16 : nodes_.size() * 2;
+      if (next < id + 1) next = id + 1;
+      nodes_.resize(next);
+    }
+    QOS_EXPECTS(nodes_[id].loc == kAbsentLoc);
+    Node& n = nodes_[id];
+    n.key = key;
+    n.tie = tie;
+    link(id);
+    ++size_;
+    if (cached_valid_ && before(n.key, n.tie, nodes_[cached_min_].key,
+                                nodes_[cached_min_].tie))
+      cached_min_ = id;
+  }
+
+  /// Re-key an id already in the wheel (tie value is retained).
+  void update(std::uint32_t id, std::uint64_t key) {
+    QOS_EXPECTS(contains(id));
+    const std::int32_t tie = nodes_[id].tie;
+    erase(id);
+    push(id, key, tie);
+  }
+
+  void erase(std::uint32_t id) {
+    QOS_EXPECTS(contains(id));
+    unlink(id);
+    nodes_[id].loc = kAbsentLoc;
+    --size_;
+    if (cached_valid_ && cached_min_ == id) cached_valid_ = false;
+  }
+
+  /// Id holding the smallest (key, tie).  Non-const: may renormalize the
+  /// origin and refresh the cached minimum.
+  std::uint32_t top() {
+    QOS_EXPECTS(size_ > 0);
+    if (!cached_valid_) find_min();
+    return cached_min_;
+  }
+
+  std::uint64_t top_key() { return nodes_[top()].key; }
+  std::int32_t top_tie() { return nodes_[top()].tie; }
+
+  /// Remove and return the id with the smallest (key, tie).
+  std::uint32_t pop() {
+    const std::uint32_t id = top();
+    erase(id);
+    return id;
+  }
+
+  /// Perf hint: every future `push` key will be >= t.  Lets a
+  /// renormalization anchor the origin low enough that nothing clamps into
+  /// bucket 0.  Never required for correctness.
+  void advance_floor(std::uint64_t t) {
+    if (t > floor_) floor_ = t;
+  }
+
+  /// Bytes held by the wheel (nodes + bucket heads + bitmaps); lazy, so an
+  /// idle wheel is a few machine words regardless of the id space.
+  std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           heads_.capacity() * sizeof(std::uint32_t) +
+           low_bits_.capacity() * sizeof(std::uint64_t) + sizeof(mid_bits_);
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kAbsentLoc = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kOverflowLoc = 0xFFFFFFFEu;
+  static constexpr std::size_t kBuckets = 64 * 64 * 64;
+
+  struct Node {
+    std::uint64_t key = 0;
+    std::int32_t tie = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t loc = kAbsentLoc;  ///< bucket index, overflow, or absent
+  };
+
+  static bool before(std::uint64_t ka, std::int32_t ta, std::uint64_t kb,
+                     std::int32_t tb) {
+    if (ka != kb) return ka < kb;
+    return ta < tb;
+  }
+
+  static int find_first_set(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(x);
+#else
+    int n = 0;
+    while ((x & 1u) == 0) {
+      x >>= 1;
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  std::uint64_t horizon() const {
+    return static_cast<std::uint64_t>(kBuckets) << shift_;
+  }
+
+  std::uint32_t bucket_for(std::uint64_t key) const {
+    // Keys below origin clamp to bucket 0 — ordering stays exact because
+    // in-bucket walks compare full keys.
+    const std::uint64_t offset = key < origin_ ? 0 : key - origin_;
+    const std::uint64_t b = offset >> shift_;
+    return b < kBuckets ? static_cast<std::uint32_t>(b) : kOverflowLoc;
+  }
+
+  void link(std::uint32_t id) {
+    Node& n = nodes_[id];
+    const std::uint32_t loc = bucket_for(n.key);
+    n.loc = loc;
+    std::uint32_t& head = loc == kOverflowLoc ? overflow_head_ : head_of(loc);
+    n.prev = kNil;
+    n.next = head;
+    if (head != kNil) nodes_[head].prev = id;
+    head = id;
+    if (loc != kOverflowLoc) mark(loc);
+  }
+
+  void unlink(std::uint32_t id) {
+    Node& n = nodes_[id];
+    if (n.prev != kNil)
+      nodes_[n.prev].next = n.next;
+    else if (n.loc == kOverflowLoc)
+      overflow_head_ = n.next;
+    else
+      heads_[n.loc] = n.next;
+    if (n.next != kNil) nodes_[n.next].prev = n.prev;
+    if (n.loc != kOverflowLoc && heads_[n.loc] == kNil) unmark(n.loc);
+  }
+
+  std::uint32_t& head_of(std::uint32_t bucket) {
+    if (heads_.empty()) {
+      heads_.assign(kBuckets, kNil);
+      low_bits_.assign(kBuckets / 64, 0);
+    }
+    return heads_[bucket];
+  }
+
+  void mark(std::uint32_t bucket) {
+    low_bits_[bucket >> 6] |= 1ull << (bucket & 63);
+    mid_bits_[bucket >> 12] |= 1ull << ((bucket >> 6) & 63);
+    top_bits_ |= 1ull << (bucket >> 12);
+  }
+
+  void unmark(std::uint32_t bucket) {
+    low_bits_[bucket >> 6] &= ~(1ull << (bucket & 63));
+    if (low_bits_[bucket >> 6] == 0) {
+      mid_bits_[bucket >> 12] &= ~(1ull << ((bucket >> 6) & 63));
+      if (mid_bits_[bucket >> 12] == 0)
+        top_bits_ &= ~(1ull << (bucket >> 12));
+    }
+  }
+
+  /// Locate the exact (key, tie) minimum and cache it.  Renormalizes first
+  /// if every in-horizon bucket is empty but the overflow lane is not.
+  void find_min() {
+    while (top_bits_ == 0) {
+      QOS_CHECK(overflow_head_ != kNil);
+      renormalize();
+    }
+    const int t = find_first_set(top_bits_);
+    const int m = find_first_set(mid_bits_[t]);
+    const std::uint32_t low_word =
+        (static_cast<std::uint32_t>(t) << 6) | static_cast<std::uint32_t>(m);
+    const int l = find_first_set(low_bits_[low_word]);
+    const std::uint32_t bucket =
+        (low_word << 6) | static_cast<std::uint32_t>(l);
+    std::uint32_t best = heads_[bucket];
+    for (std::uint32_t id = nodes_[best].next; id != kNil;
+         id = nodes_[id].next) {
+      if (before(nodes_[id].key, nodes_[id].tie, nodes_[best].key,
+                 nodes_[best].tie))
+        best = id;
+    }
+    cached_min_ = best;
+    cached_valid_ = true;
+  }
+
+  /// Re-anchor the origin so the earliest overflow key lands in a bucket,
+  /// then redistribute the overflow lane.  Only called with the wheel
+  /// proper empty, so no bucketed node's position can go stale.
+  void renormalize() {
+    std::uint64_t min_key = nodes_[overflow_head_].key;
+    for (std::uint32_t id = nodes_[overflow_head_].next; id != kNil;
+         id = nodes_[id].next)
+      if (nodes_[id].key < min_key) min_key = nodes_[id].key;
+    // Anchor at the callers' future-key floor when the earliest overflow
+    // key still fits from there; otherwise pull the origin up just enough.
+    std::uint64_t base = floor_ < min_key ? floor_ : min_key;
+    if (min_key - base >= horizon())
+      base = min_key - horizon() + (1ull << shift_);
+    QOS_CHECK(base > origin_);  // progress: renormalization must advance
+    origin_ = base;
+    std::uint32_t id = overflow_head_;
+    overflow_head_ = kNil;
+    while (id != kNil) {
+      const std::uint32_t next = nodes_[id].next;
+      link(id);
+      id = next;
+    }
+  }
+
+  int shift_;
+  std::uint64_t origin_ = 0;
+  std::uint64_t floor_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Node> nodes_;          ///< id-indexed, grown lazily
+  std::vector<std::uint32_t> heads_; ///< per-bucket list heads (lazy)
+  std::vector<std::uint64_t> low_bits_;  ///< one bit per bucket (lazy)
+  std::uint64_t mid_bits_[64] = {};  ///< one bit per 64 buckets
+  std::uint64_t top_bits_ = 0;       ///< one bit per 4096 buckets
+  std::uint32_t overflow_head_ = kNil;
+  std::uint32_t cached_min_ = 0;
+  mutable bool cached_valid_ = false;
+};
+
+}  // namespace qos

@@ -1,0 +1,267 @@
+// Unit and differential tests for the million-flow structures: FlatSlotMap
+// (cache-line-bucketed flow id -> dense slot table) and TimerWheel (the
+// hierarchical-bitmap calendar queue that replaces IndexedMinHeap for
+// integer virtual-time tags).  The randomized sections drive each structure
+// and a textbook counterpart (std::unordered_map / the indexed heap itself)
+// through identical seeded op streams and demand identical answers at every
+// step — the wheel in particular must reproduce the heap's exact
+// (key, lowest tie) extraction order across bucket boundaries, overflow
+// renormalizations and below-origin clamps.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/flat_table.h"
+#include "util/indexed_heap.h"
+#include "util/rng.h"
+#include "util/timer_wheel.h"
+
+namespace qos {
+namespace {
+
+TEST(FlatSlotMap, AssignsDenseSlotsInFirstTouchOrder) {
+  FlatSlotMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), FlatSlotMap::kNoSlot);
+  EXPECT_EQ(m.find_or_insert(7), 0u);
+  EXPECT_EQ(m.find_or_insert(1'000'000), 1u);
+  EXPECT_EQ(m.find_or_insert(7), 0u);  // idempotent
+  EXPECT_EQ(m.find(1'000'000), 1u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.key_of_slot(0), 7);
+  EXPECT_EQ(m.key_of_slot(1), 1'000'000);
+}
+
+TEST(FlatSlotMap, SurvivesGrowthAcrossManyKeys) {
+  // Push enough keys to force several bucket-table doublings and verify
+  // every mapping survives each rehash.
+  FlatSlotMap m;
+  constexpr int kKeys = 10'000;
+  for (int i = 0; i < kKeys; ++i)
+    ASSERT_EQ(m.find_or_insert(i * 977), static_cast<std::uint32_t>(i));
+  for (int i = 0; i < kKeys; ++i)
+    ASSERT_EQ(m.find(i * 977), static_cast<std::uint32_t>(i));
+  EXPECT_EQ(m.find(1), FlatSlotMap::kNoSlot);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(FlatSlotMap, DifferentialAgainstUnorderedMap) {
+  FlatSlotMap m;
+  std::unordered_map<std::int32_t, std::uint32_t> ref;
+  Rng rng(21);
+  for (int op = 0; op < 50'000; ++op) {
+    // Mix of fresh keys, repeats and never-inserted probes, spread over a
+    // sparse id space to exercise tag collisions and bucket overflow.
+    const std::int32_t key =
+        static_cast<std::int32_t>(rng.uniform_int(0, 1 << 22));
+    if (rng.next_double() < 0.5) {
+      const auto it = ref.find(key);
+      const std::uint32_t got = m.find_or_insert(key);
+      if (it != ref.end()) {
+        ASSERT_EQ(got, it->second);
+      } else {
+        ASSERT_EQ(got, static_cast<std::uint32_t>(ref.size()));
+        ref.emplace(key, got);
+      }
+    } else {
+      const auto it = ref.find(key);
+      ASSERT_EQ(m.find(key),
+                it == ref.end() ? FlatSlotMap::kNoSlot : it->second);
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+}
+
+TEST(FlatSlotMap, MemoryScalesWithKeysSeenNotIdSpace) {
+  // Holding 100 flows drawn from a 2^30 id space must cost O(100), and an
+  // empty table must cost nothing — the contract the schedulers' O(flows
+  // seen) footprint rests on.
+  FlatSlotMap m;
+  EXPECT_EQ(m.memory_bytes(), 0u);
+  for (int i = 0; i < 100; ++i) m.find_or_insert(i * (1 << 20));
+  EXPECT_LT(m.memory_bytes(), 64u * 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+
+TEST(TimerWheel, PopsInKeyThenTieOrder) {
+  TimerWheel w;
+  w.push(0, 50, 9);
+  w.push(1, 50, 2);  // equal key: lower tie must come out first
+  w.push(2, 10, 5);
+  w.push(3, 500'000, 1);  // different level of the bucket hierarchy
+  EXPECT_EQ(w.pop(), 2u);
+  EXPECT_EQ(w.pop(), 1u);
+  EXPECT_EQ(w.pop(), 0u);
+  EXPECT_EQ(w.pop(), 3u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, UpdateRekeysAndKeepsTie) {
+  TimerWheel w;
+  w.push(0, 100, 7);
+  w.push(1, 200, 3);
+  w.update(1, 50);
+  EXPECT_EQ(w.top(), 1u);
+  EXPECT_EQ(w.top_key(), 50u);
+  EXPECT_EQ(w.top_tie(), 3);
+  w.update(1, 300);
+  EXPECT_EQ(w.top(), 0u);
+  EXPECT_EQ(w.key_of(1), 300u);
+}
+
+TEST(TimerWheel, EraseAndContains) {
+  TimerWheel w;
+  w.push(4, 10, 0);
+  w.push(5, 20, 1);
+  EXPECT_TRUE(w.contains(4));
+  w.erase(4);
+  EXPECT_FALSE(w.contains(4));
+  EXPECT_EQ(w.pop(), 5u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, OverflowLaneRenormalizesInOrder) {
+  // Horizon at the default shift is 64^3 * 64 ticks (~16.8M); keys past it
+  // park in the overflow lane and must still extract in exact order once
+  // the wheel drains and re-anchors.
+  TimerWheel w;
+  w.push(0, 5, 0);
+  w.push(1, 30'000'000, 1);
+  w.push(2, 20'000'000, 2);
+  w.push(3, 90'000'000, 3);
+  EXPECT_EQ(w.pop(), 0u);
+  EXPECT_EQ(w.pop(), 2u);
+  EXPECT_EQ(w.pop(), 1u);
+  EXPECT_EQ(w.pop(), 3u);
+}
+
+TEST(TimerWheel, LoneFarFutureKeyIsReachable) {
+  // A single key far beyond the horizon forces the renormalization that
+  // pulls the origin up past the callers' floor.
+  TimerWheel w;
+  w.push(9, 1'000'000'000'000ull, 4);
+  EXPECT_EQ(w.top(), 9u);
+  EXPECT_EQ(w.top_key(), 1'000'000'000'000ull);
+}
+
+TEST(TimerWheel, KeysBelowOriginClampButStayOrdered) {
+  // Drive origin forward via an overflow renormalization, then insert keys
+  // below the new origin: they clamp into bucket 0 yet must extract in
+  // exact (key, tie) order.
+  TimerWheel w;
+  w.push(0, 20'000'000, 0);
+  EXPECT_EQ(w.top(), 0u);  // renormalizes; origin is now > 3e6
+  w.push(1, 100, 1);
+  w.push(2, 4'000'000, 2);
+  w.push(3, 90, 3);
+  EXPECT_EQ(w.pop(), 3u);
+  EXPECT_EQ(w.pop(), 1u);
+  EXPECT_EQ(w.pop(), 2u);
+  EXPECT_EQ(w.pop(), 0u);
+}
+
+TEST(TimerWheel, MemoryIsLazyAndBounded) {
+  TimerWheel idle;
+  EXPECT_EQ(idle.memory_bytes(), sizeof(std::uint64_t) * 64);
+  TimerWheel w;
+  for (std::uint32_t id = 0; id < 100; ++id) w.push(id, id * 1000, 0);
+  // Bucket heads + bitmaps dominate: ~1.3 MB once touched, regardless of
+  // how many ids are live.
+  EXPECT_LT(w.memory_bytes(), 4u * 1024u * 1024u);
+}
+
+// The wheel must be a drop-in for the indexed heap: identical (key, tie)
+// extraction order under a randomized stream of push/update/erase/pop.  The
+// heap is keyed by (key, tie) pairs with the id as payload, mirroring how
+// PClockScheduler uses both.
+TEST(TimerWheel, DifferentialAgainstIndexedHeap) {
+  constexpr int kIds = 64;
+  TimerWheel w;
+  IndexedMinHeap<std::pair<std::uint64_t, int>> h(kIds);
+  Rng rng(1234);
+  for (int op = 0; op < 30'000; ++op) {
+    const auto id = static_cast<std::uint32_t>(rng.uniform_int(0, kIds - 1));
+    // Keys span ~6x the horizon so pushes land in-wheel and in-overflow and
+    // pops renormalize repeatedly; a small tie range forces tie-breaks.
+    const auto key =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 100'000'000));
+    const int tie = static_cast<int>(rng.uniform_int(0, 3));
+    const double p = rng.next_double();
+    if (!w.contains(id)) {
+      w.push(id, key, tie);
+      h.push(static_cast<int>(id), {key, tie});
+    } else if (p < 0.45) {
+      w.update(id, key);  // keeps the old tie
+      h.update(static_cast<int>(id), {key, h.key_of(static_cast<int>(id)).second});
+    } else if (p < 0.65) {
+      w.erase(id);
+      h.erase(static_cast<int>(id));
+    } else {
+      ASSERT_EQ(w.top_key(), h.top_key().first) << "at op " << op;
+      ASSERT_EQ(w.top_tie(), h.top_key().second) << "at op " << op;
+      ASSERT_EQ(static_cast<int>(w.pop()), h.pop()) << "at op " << op;
+    }
+    ASSERT_EQ(w.size(), h.size());
+    ASSERT_EQ(w.empty(), h.empty());
+  }
+  while (!h.empty()) ASSERT_EQ(static_cast<int>(w.pop()), h.pop());
+  EXPECT_TRUE(w.empty());
+}
+
+// Deadline-style usage: the clock only moves forward, every key is >= the
+// clock at push time, and the caller reports the clock as a floor — the
+// exact contract PClockScheduler drives the wheel with.
+TEST(TimerWheel, DifferentialWithMonotoneFloor) {
+  constexpr int kIds = 48;
+  TimerWheel w;
+  IndexedMinHeap<std::pair<std::uint64_t, int>> h(kIds);
+  Rng rng(77);
+  std::uint64_t now = 0;
+  for (int op = 0; op < 20'000; ++op) {
+    now += static_cast<std::uint64_t>(rng.uniform_int(0, 5'000));
+    w.advance_floor(now);
+    const auto id = static_cast<std::uint32_t>(rng.uniform_int(0, kIds - 1));
+    const auto key =
+        now + static_cast<std::uint64_t>(rng.uniform_int(0, 40'000'000));
+    const int tie = static_cast<int>(id);
+    if (!w.contains(id)) {
+      w.push(id, key, tie);
+      h.push(static_cast<int>(id), {key, tie});
+    } else if (rng.next_double() < 0.6) {
+      // Per-flow deadlines are non-decreasing in the real caller.
+      const std::uint64_t bumped = std::max(key, w.key_of(id));
+      w.update(id, bumped);
+      h.update(static_cast<int>(id), {bumped, tie});
+    } else {
+      ASSERT_EQ(static_cast<int>(w.pop()), h.pop()) << "at op " << op;
+    }
+  }
+  while (!h.empty()) ASSERT_EQ(static_cast<int>(w.pop()), h.pop());
+}
+
+// ---------------------------------------------------------------------------
+// Lazy IndexedMinHeap footprint: reset(huge) must not allocate, and the
+// position table must track the largest id pushed, not the capacity bound.
+
+TEST(IndexedMinHeapLazy, ResetReservesNothing) {
+  IndexedMinHeap<double> h;
+  h.reset(1'000'000);
+  EXPECT_EQ(h.memory_bytes(), 0u);
+}
+
+TEST(IndexedMinHeapLazy, FootprintTracksMaxIdPushedNotCapacity) {
+  IndexedMinHeap<double> h(1'000'000);
+  for (int id = 0; id < 64; ++id) h.push(id, 1.0 * id);
+  // 64 live nodes => a few KB, nowhere near the ~8 MB an eager position
+  // table over 10^6 ids would cost.
+  EXPECT_LT(h.memory_bytes(), 64u * 1024u);
+  EXPECT_EQ(h.pop(), 0);
+}
+
+}  // namespace
+}  // namespace qos

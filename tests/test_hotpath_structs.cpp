@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -73,6 +74,17 @@ TEST(RingBuffer, ReserveRoundsToPowerOfTwo) {
   EXPECT_EQ(rb.capacity(), 128u);
   rb.reserve(10);  // never shrinks
   EXPECT_EQ(rb.capacity(), 128u);
+}
+
+TEST(RingBufferDeath, ReserveBeyondPow2RangeAborts) {
+  // A request above the largest representable power of two used to make
+  // ceil_pow2's doubling loop shift into zero and spin; it must abort on
+  // the precondition instead.
+  RingBuffer<int> rb;
+  EXPECT_DEATH(rb.reserve(std::numeric_limits<std::size_t>::max()),
+               "Precondition");
+  EXPECT_DEATH(
+      rb.reserve((static_cast<std::size_t>(1) << 63) + 1), "Precondition");
 }
 
 TEST(RingBuffer, DifferentialAgainstDeque) {

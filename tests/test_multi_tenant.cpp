@@ -119,5 +119,17 @@ TEST(MultiTenantDeath, RejectsUnknownClient) {
   EXPECT_DEATH(sched.on_arrival(r, 0), "Precondition");
 }
 
+TEST(MultiTenantDeath, FlowIdNarrowingIsChecked) {
+  // 2 * tenant + 1 silently wrapped to a negative flow id past 2^30
+  // tenants; the checked narrowing must abort instead, and the constructor
+  // bound must keep every derivable flow id representable.
+  EXPECT_DEATH(MultiTenantScheduler::checked_flow_id(
+                   static_cast<std::size_t>(INT_MAX) + 1),
+               "Precondition");
+  EXPECT_EQ(MultiTenantScheduler::checked_flow_id(
+                2 * MultiTenantScheduler::kMaxTenants + 1),
+            INT_MAX);
+}
+
 }  // namespace
 }  // namespace qos
